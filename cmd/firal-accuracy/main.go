@@ -1,0 +1,135 @@
+// Command firal-accuracy regenerates the accuracy experiments of the
+// paper: Fig. 2 (MNIST, CIFAR-10, imb-CIFAR-10, ImageNet-50,
+// imb-ImageNet-50), Fig. 3 (Caltech-101, ImageNet-1k) and the Table V
+// dataset summary.
+//
+// Usage:
+//
+//	firal-accuracy -set small -scale 0.1 -trials 3
+//	firal-accuracy -dataset CIFAR-10 -scale 0.2
+//	firal-accuracy -table5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	pub "repro"
+	"repro/internal/dataset"
+	"repro/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("firal-accuracy: ")
+	var (
+		set      = flag.String("set", "small", "dataset group: small (Fig. 2), large (Fig. 3), all")
+		name     = flag.String("dataset", "", "run a single named dataset (overrides -set)")
+		scale    = flag.Float64("scale", 0.1, "pool/eval size scale factor vs Table V")
+		trials   = flag.Int("trials", 3, "trials for Random/K-Means (paper: 10)")
+		seed     = flag.Int64("seed", 1, "master seed")
+		table5   = flag.Bool("table5", false, "print the Table V dataset summary and exit")
+		selector = flag.String("selectors", "", "comma-separated selector subset (default: paper's five)")
+		probes   = flag.Int("probes", 10, "Rademacher probes s for Approx-FIRAL")
+		cgtol    = flag.Float64("cgtol", 0.1, "CG tolerance for Approx-FIRAL")
+		relaxIt  = flag.Int("relaxiters", 0, "cap on mirror-descent iterations (0 = paper default 100)")
+		// Dimension overrides for host-sized reductions of paper-scale
+		// configs (0 = keep the Table V value). EXPERIMENTS.md records the
+		// reductions used.
+		dOver = flag.Int("d", 0, "override feature dimension")
+		cOver = flag.Int("c", 0, "override class count")
+		bOver = flag.Int("budget", 0, "override per-round budget")
+		rOver = flag.Int("rounds", 0, "override round count")
+	)
+	flag.Parse()
+
+	if *table5 {
+		printTableV()
+		return
+	}
+
+	var cfgs []dataset.Config
+	switch {
+	case *name != "":
+		found := false
+		for _, c := range dataset.TableV() {
+			if strings.EqualFold(c.Name, *name) {
+				cfgs = append(cfgs, c)
+				found = true
+			}
+		}
+		if !found {
+			log.Fatalf("unknown dataset %q (see -table5 for names)", *name)
+		}
+	case *set == "small":
+		cfgs = []dataset.Config{dataset.MNIST(), dataset.CIFAR10(), dataset.ImbCIFAR10(),
+			dataset.ImageNet50(), dataset.ImbImageNet50()}
+	case *set == "large":
+		cfgs = []dataset.Config{dataset.Caltech101(), dataset.ImageNet1k()}
+	case *set == "all":
+		cfgs = dataset.TableV()
+	default:
+		log.Fatalf("unknown -set %q", *set)
+	}
+
+	opts := experiments.AccuracyOptions{
+		Scale:  *scale,
+		Trials: *trials,
+		Seed:   *seed,
+		FIRAL:  pub.FIRALOptions{Probes: *probes, CGTol: *cgtol, MaxRelaxIterations: *relaxIt},
+	}
+	if *selector != "" {
+		opts.Selectors = strings.Split(*selector, ",")
+	}
+
+	for i := range cfgs {
+		if *dOver > 0 {
+			cfgs[i].Dim = *dOver
+			cfgs[i].Name += " (reduced)"
+		}
+		if *cOver > 0 {
+			cfgs[i].Classes = *cOver
+		}
+		if *bOver > 0 {
+			cfgs[i].Budget = *bOver
+		}
+		if *rOver > 0 {
+			cfgs[i].Rounds = *rOver
+		}
+	}
+
+	for _, cfg := range cfgs {
+		curves, err := experiments.RunAccuracy(cfg, opts)
+		if err != nil {
+			log.Fatalf("%s: %v", cfg.Name, err)
+		}
+		experiments.PrintAccuracy(os.Stdout, curves)
+		fmt.Println()
+	}
+}
+
+func printTableV() {
+	fmt.Println("# Table V — dataset summary")
+	headers := []string{"name", "type", "#classes", "dim", "|Xo|", "|Xu|", "#rounds", "budget/round", "#eval"}
+	var rows [][]string
+	for _, c := range dataset.TableV() {
+		typ := "balanced"
+		if c.ImbalanceRatio > 1 {
+			typ = fmt.Sprintf("imbalanced (%g:1)", c.ImbalanceRatio)
+		}
+		rows = append(rows, []string{
+			c.Name, typ,
+			fmt.Sprintf("%d", c.Classes),
+			fmt.Sprintf("%d", c.Dim),
+			fmt.Sprintf("%d", c.InitPerClass*c.Classes),
+			fmt.Sprintf("%d", c.PoolSize),
+			fmt.Sprintf("%d", c.Rounds),
+			fmt.Sprintf("%d", c.Budget),
+			fmt.Sprintf("%d", c.EvalSize),
+		})
+	}
+	experiments.PrintTable(os.Stdout, headers, rows)
+}

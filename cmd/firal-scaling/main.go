@@ -1,0 +1,80 @@
+// Command firal-scaling regenerates Figs. 6 and 7: strong and weak
+// scaling of the distributed RELAX and ROUND steps over the in-process
+// MPI runtime, at the paper's rank counts {1, 2, 3, 6, 12}, with measured
+// per-phase times next to theoretical estimates.
+//
+// Note: ranks are simulated as goroutines, so measured wall-clock speedup
+// saturates at the host's core count; the theoretical series shows the
+// ideal multi-device behaviour (see EXPERIMENTS.md).
+//
+// Usage:
+//
+//	firal-scaling -step relax -mode strong -n 24000 -d 64 -c 10
+//	firal-scaling -step round -mode weak -nperrank 4000 -d 48 -c 32
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("firal-scaling: ")
+	var (
+		step     = flag.String("step", "relax", "relax or round")
+		mode     = flag.String("mode", "strong", "strong or weak")
+		ranksStr = flag.String("ranks", "1,2,3,6,12", "rank counts to sweep")
+		n        = flag.Int("n", 24000, "global pool size (strong)")
+		nPerRank = flag.Int("nperrank", 2000, "pool points per rank (weak)")
+		d        = flag.Int("d", 48, "feature dimension")
+		c        = flag.Int("c", 10, "class count")
+		s        = flag.Int("s", 10, "Rademacher probes (relax)")
+		ncg      = flag.Int("ncg", 20, "fixed CG iterations per solve (relax)")
+		b        = flag.Int("b", 3, "points selected when timing the round step")
+		seed     = flag.Int64("seed", 1, "seed")
+	)
+	flag.Parse()
+
+	var ranks []int
+	for _, p := range strings.Split(*ranksStr, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			log.Fatalf("bad -ranks: %v", err)
+		}
+		ranks = append(ranks, v)
+	}
+
+	opts := experiments.ScalingOptions{
+		Ranks: ranks, Strong: *mode == "strong",
+		N: *n, NPerRank: *nPerRank, D: *d, C: *c,
+		S: *s, NCG: *ncg, B: *b, Seed: *seed,
+	}
+
+	switch *step {
+	case "relax":
+		points, err := experiments.RunRelaxScaling(opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		title := fmt.Sprintf("Fig. 6 — RELAX %s scaling (d=%d c=%d)", *mode, *d, *c)
+		experiments.PrintScaling(os.Stdout, title,
+			[]string{"precond", "cg", "gradient", "comm"}, points)
+	case "round":
+		points, err := experiments.RunRoundScaling(opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		title := fmt.Sprintf("Fig. 7 — ROUND %s scaling (d=%d c=%d), per selected point", *mode, *d, *c)
+		experiments.PrintScaling(os.Stdout, title,
+			[]string{"eig", "objective", "comm", "other"}, points)
+	default:
+		log.Fatalf("unknown -step %q", *step)
+	}
+}

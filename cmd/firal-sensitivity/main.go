@@ -1,0 +1,58 @@
+// Command firal-sensitivity regenerates Fig. 4: the RELAX objective
+// trajectory under different Hutchinson probe counts s and CG tolerances,
+// against the exact RELAX solver, on CIFAR-10-like and ImageNet-50-like
+// problems.
+//
+// Usage:
+//
+//	firal-sensitivity -scale 0.1 -iters 40
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"repro/internal/dataset"
+	"repro/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("firal-sensitivity: ")
+	var (
+		name  = flag.String("dataset", "", "single dataset (default: CIFAR-10 and ImageNet-50, as in Fig. 4)")
+		scale = flag.Float64("scale", 0.1, "pool size scale factor")
+		seed  = flag.Int64("seed", 1, "seed")
+		iters = flag.Int("iters", 40, "mirror-descent iterations to trace")
+		exact = flag.Bool("exact", true, "include the exact RELAX trajectory when feasible")
+	)
+	flag.Parse()
+
+	var cfgs []dataset.Config
+	if *name != "" {
+		for _, c := range dataset.TableV() {
+			if strings.EqualFold(c.Name, *name) {
+				cfgs = append(cfgs, c)
+			}
+		}
+		if len(cfgs) == 0 {
+			log.Fatalf("unknown dataset %q", *name)
+		}
+	} else {
+		cfgs = []dataset.Config{dataset.CIFAR10(), dataset.ImageNet50()}
+	}
+
+	for _, cfg := range cfgs {
+		curves, err := experiments.RunSensitivity(cfg, experiments.SensitivityOptions{
+			Scale: *scale, Seed: *seed, Iterations: *iters, IncludeExact: *exact,
+		})
+		if err != nil {
+			log.Fatalf("%s: %v", cfg.Name, err)
+		}
+		experiments.PrintSensitivity(os.Stdout, cfg.Name, curves)
+		fmt.Println()
+	}
+}

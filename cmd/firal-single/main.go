@@ -1,0 +1,89 @@
+// Command firal-single regenerates Fig. 5: the single-device wall-clock
+// breakdown of the RELAX and ROUND solves as a function of the feature
+// dimension d and the class count c, with measured times next to
+// theoretical peak estimates (the paper's paired columns).
+//
+// Usage:
+//
+//	firal-single -step relax -sweep d -values 24,48,64 -c 16 -n 20000
+//	firal-single -step round -sweep c -values 8,16,32,64 -d 24 -n 50000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func parseInts(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("firal-single: ")
+	var (
+		step   = flag.String("step", "relax", "relax or round")
+		sweep  = flag.String("sweep", "d", "swept parameter: d or c")
+		values = flag.String("values", "", "comma-separated sweep values (default: d→24,48,64; c→8,16,32)")
+		dFix   = flag.Int("d", 24, "fixed d when sweeping c")
+		cFix   = flag.Int("c", 12, "fixed c when sweeping d")
+		n      = flag.Int("n", 20000, "pool size")
+		s      = flag.Int("s", 10, "Rademacher probes (relax)")
+		ncg    = flag.Int("ncg", 50, "fixed CG iterations per solve (relax)")
+		seed   = flag.Int64("seed", 1, "seed")
+	)
+	flag.Parse()
+
+	if *values == "" {
+		if *sweep == "d" {
+			*values = "24,48,64"
+		} else {
+			*values = "8,16,32"
+		}
+	}
+	vals, err := parseInts(*values)
+	if err != nil {
+		log.Fatalf("bad -values: %v", err)
+	}
+	fixed := *cFix
+	if *sweep == "c" {
+		fixed = *dFix
+	}
+	opts := experiments.SingleDeviceOptions{N: *n, S: *s, NCG: *ncg, Seed: *seed}
+
+	switch *step {
+	case "relax":
+		rows, err := experiments.RunRelaxSweep(*sweep, vals, fixed, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		title := fmt.Sprintf("Fig. 5 — RELAX solve, sweep over %s (n=%d, s=%d, nCG=%d)", *sweep, *n, *s, *ncg)
+		experiments.PrintBreakdown(os.Stdout, title, *sweep,
+			[]string{"precond", "cg", "gradient", "other"}, rows)
+	case "round":
+		rows, err := experiments.RunRoundSweep(*sweep, vals, fixed, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		title := fmt.Sprintf("Fig. 5 — ROUND solve, sweep over %s (n=%d)", *sweep, *n)
+		experiments.PrintBreakdown(os.Stdout, title, *sweep,
+			[]string{"eig", "objective", "other"}, rows)
+	default:
+		log.Fatalf("unknown -step %q", *step)
+	}
+}

@@ -1,0 +1,84 @@
+// Command firal-time regenerates Table VI: wall-clock comparison of
+// Exact-FIRAL vs Approx-FIRAL RELAX and ROUND steps on ImageNet-50-like
+// and Caltech-101-like problems, plus the analytic complexity Tables II
+// and III.
+//
+// Usage:
+//
+//	firal-time -scale 0.1 -relaxiters 5
+//	firal-time -tables
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"repro/internal/dataset"
+	"repro/internal/experiments"
+	"repro/internal/perfmodel"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("firal-time: ")
+	var (
+		name       = flag.String("dataset", "", "single dataset (default: ImageNet-50 and Caltech-101, as in Table VI)")
+		scale      = flag.Float64("scale", 0.05, "pool size scale factor")
+		seed       = flag.Int64("seed", 1, "seed")
+		relaxIters = flag.Int("relaxiters", 5, "mirror-descent iterations timed in both solvers")
+		tables     = flag.Bool("tables", false, "print analytic Tables II and III at paper scale and exit")
+		// Dimension overrides for host-sized reductions (0 = keep Table V
+		// values); Exact-FIRAL at d=50, c=50 is out of reach of a laptop.
+		dOver = flag.Int("d", 0, "override feature dimension")
+		cOver = flag.Int("c", 0, "override class count")
+		bOver = flag.Int("budget", 0, "override budget")
+	)
+	flag.Parse()
+
+	if *tables {
+		fmt.Print(perfmodel.FormatTableII(100, 50, 5000, 50, 50, 50, 10))
+		fmt.Println()
+		fmt.Print(perfmodel.FormatTableIII(383, 1000))
+		return
+	}
+
+	var cfgs []dataset.Config
+	if *name != "" {
+		for _, c := range dataset.TableV() {
+			if strings.EqualFold(c.Name, *name) {
+				cfgs = append(cfgs, c)
+			}
+		}
+		if len(cfgs) == 0 {
+			log.Fatalf("unknown dataset %q", *name)
+		}
+	} else {
+		cfgs = []dataset.Config{dataset.ImageNet50(), dataset.Caltech101()}
+	}
+
+	for i := range cfgs {
+		if *dOver > 0 {
+			cfgs[i].Dim = *dOver
+			cfgs[i].Name += " (reduced)"
+		}
+		if *cOver > 0 {
+			cfgs[i].Classes = *cOver
+		}
+		if *bOver > 0 {
+			cfgs[i].Budget = *bOver
+		}
+	}
+
+	var comparisons []*experiments.TimeComparison
+	for _, cfg := range cfgs {
+		tc, err := experiments.RunTableVI(cfg, *scale, *seed, *relaxIters)
+		if err != nil {
+			log.Fatalf("%s: %v", cfg.Name, err)
+		}
+		comparisons = append(comparisons, tc)
+	}
+	experiments.PrintTableVI(os.Stdout, comparisons)
+}

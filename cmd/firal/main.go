@@ -1,0 +1,146 @@
+// Command firal runs batch active learning on user-supplied data: point
+// features and (oracle) labels are read from CSV files, a selection
+// strategy is applied for a number of rounds, and the selected indices
+// plus per-round accuracies are reported. This is the downstream-user
+// entry point; the firal-* commands reproduce the paper's experiments.
+//
+// CSV format: one point per row. With -labelcol -1 (default) the last
+// column is the integer class label; any other value selects that column.
+// Rows must be numeric; a non-numeric first row is treated as a header
+// and skipped.
+//
+// Usage:
+//
+//	firal -pool pool.csv -labeled seed.csv -select approx-firal -rounds 3 -budget 10
+//	firal -demo                       # run on a built-in synthetic dataset
+//	firal -pool pool.csv -labeled seed.csv -select random -csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	pub "repro"
+	"repro/internal/csvdata"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("firal: ")
+	var (
+		poolPath = flag.String("pool", "", "CSV of pool points (features + label column)")
+		labPath  = flag.String("labeled", "", "CSV of initially labeled points")
+		evalPath = flag.String("eval", "", "optional CSV of evaluation points")
+		labelCol = flag.Int("labelcol", -1, "label column index (-1 = last)")
+		selName  = flag.String("select", "approx-firal", "strategy: random, kmeans, entropy, margin, least-confidence, exact-firal, approx-firal, dist-firal")
+		ranks    = flag.Int("ranks", 3, "ranks for dist-firal")
+		rounds   = flag.Int("rounds", 3, "active-learning rounds")
+		budget   = flag.Int("budget", 10, "points labeled per round")
+		seed     = flag.Int64("seed", 1, "seed for stochastic strategies")
+		probes   = flag.Int("probes", 10, "Rademacher probes for FIRAL")
+		cgtol    = flag.Float64("cgtol", 0.1, "CG tolerance for FIRAL")
+		relaxIt  = flag.Int("relaxiters", 0, "mirror-descent cap (0 = default 100)")
+		asCSV    = flag.Bool("csv", false, "emit per-round results as CSV")
+		demo     = flag.Bool("demo", false, "ignore -pool/-labeled and run a built-in synthetic demo")
+	)
+	flag.Parse()
+
+	var cfg pub.Config
+	if *demo {
+		cfg = pub.CIFAR10Like().Scale(0.1).Generate(*seed)
+	} else {
+		if *poolPath == "" || *labPath == "" {
+			log.Fatal("need -pool and -labeled CSV files (or -demo)")
+		}
+		poolX, poolY, err := csvdata.Load(*poolPath, *labelCol)
+		if err != nil {
+			log.Fatalf("pool: %v", err)
+		}
+		labX, labY, err := csvdata.Load(*labPath, *labelCol)
+		if err != nil {
+			log.Fatalf("labeled: %v", err)
+		}
+		cfg = pub.Config{
+			PoolX: poolX, PoolY: poolY,
+			LabeledX: labX, LabeledY: labY,
+			Classes: csvdata.NumClasses(poolY, labY),
+			Seed:    *seed,
+		}
+		if *evalPath != "" {
+			evalX, evalY, err := csvdata.Load(*evalPath, *labelCol)
+			if err != nil {
+				log.Fatalf("eval: %v", err)
+			}
+			cfg.EvalX, cfg.EvalY = evalX, evalY
+		}
+	}
+
+	opts := pub.FIRALOptions{Probes: *probes, CGTol: *cgtol, MaxRelaxIterations: *relaxIt}
+	sel, err := strategy(*selName, *ranks, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	learner, err := pub.NewLearner(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	reports, err := learner.Run(sel, *rounds, *budget)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if *asCSV {
+		fmt.Println("round,labels,pool_accuracy,eval_accuracy,select_seconds,selected")
+		for _, r := range reports {
+			fmt.Printf("%d,%d,%.4f,%.4f,%.3f,%s\n",
+				r.Round, r.LabeledCount, r.PoolAccuracy, r.EvalAccuracy,
+				r.SelectSeconds, joinInts(r.Selected, ";"))
+		}
+		return
+	}
+	fmt.Printf("strategy: %s, %d rounds × %d points\n", sel.Name(), *rounds, *budget)
+	for _, r := range reports {
+		fmt.Printf("round %d: labels=%-4d pool acc=%.3f", r.Round, r.LabeledCount, r.PoolAccuracy)
+		if len(cfg.EvalX) > 0 {
+			fmt.Printf(" eval acc=%.3f", r.EvalAccuracy)
+		}
+		fmt.Printf(" (select %.2fs)\n", r.SelectSeconds)
+		fmt.Printf("  selected: %s\n", joinInts(r.Selected, " "))
+	}
+	_ = os.Stdout.Sync()
+}
+
+func strategy(name string, ranks int, o pub.FIRALOptions) (pub.Selector, error) {
+	switch strings.ToLower(name) {
+	case "random":
+		return pub.Random(), nil
+	case "kmeans", "k-means":
+		return pub.KMeans(), nil
+	case "entropy":
+		return pub.Entropy(), nil
+	case "margin":
+		return pub.Margin(), nil
+	case "least-confidence", "leastconfidence":
+		return pub.LeastConfidence(), nil
+	case "exact-firal":
+		return pub.ExactFIRAL(o), nil
+	case "approx-firal", "firal":
+		return pub.ApproxFIRAL(o), nil
+	case "dist-firal", "distributed-firal":
+		return pub.DistributedFIRAL(ranks, o), nil
+	default:
+		return nil, fmt.Errorf("unknown strategy %q", name)
+	}
+}
+
+func joinInts(xs []int, sep string) string {
+	parts := make([]string, len(xs))
+	for i, x := range xs {
+		parts[i] = fmt.Sprintf("%d", x)
+	}
+	return strings.Join(parts, sep)
+}

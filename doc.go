@@ -1,0 +1,31 @@
+// Package firal is a Go reproduction of "A Scalable Algorithm for Active
+// Learning" (Chen, Wen, Biros; SC24, arXiv:2409.07392): the Approx-FIRAL
+// batch active-learning algorithm for multiclass logistic regression,
+// together with the exact FIRAL baseline, the Random/K-Means/Entropy
+// comparison selectors, a distributed-memory parallel implementation over
+// an in-process MPI runtime, and the synthetic embedding benchmarks of the
+// paper's Table V.
+//
+// The import path of this module is "repro"; the package name is firal.
+//
+// # Quick start
+//
+//	cfg := firal.CIFAR10Like().Scale(0.1).Generate(42)
+//	learner, _ := firal.NewLearner(cfg)
+//	reports, _ := learner.Run(firal.ApproxFIRAL(firal.FIRALOptions{}),
+//	    cfg.Rounds, cfg.Budget)
+//	for _, r := range reports {
+//	    fmt.Printf("labels=%d eval accuracy=%.3f\n", r.LabeledCount, r.EvalAccuracy)
+//	}
+//
+// The five built-in selection strategies are Random, KMeans, Entropy,
+// ExactFIRAL and ApproxFIRAL; DistributedFIRAL runs Approx-FIRAL sharded
+// over simulated distributed-memory ranks. Custom strategies implement the
+// Selector interface.
+//
+// Implementation packages live under internal/: internal/firal holds the
+// RELAX/ROUND solvers, internal/mat the dense linear algebra,
+// internal/mpi the message-passing runtime, and internal/experiments the
+// harnesses that regenerate every table and figure of the paper (see
+// DESIGN.md and EXPERIMENTS.md).
+package firal

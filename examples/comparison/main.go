@@ -1,0 +1,51 @@
+// Comparison: run all five selection strategies of the paper's § IV-A on
+// the same dataset and print the accuracy table — a miniature Fig. 2.
+//
+//	go run ./examples/comparison
+package main
+
+import (
+	"fmt"
+	"log"
+
+	firal "repro"
+)
+
+func main() {
+	bench := firal.MNISTLike().Scale(0.1)
+	opts := firal.FIRALOptions{Probes: 10, CGTol: 0.1}
+	selectors := []firal.Selector{
+		firal.Random(),
+		firal.KMeans(),
+		firal.Entropy(),
+		firal.ExactFIRAL(opts),
+		firal.ApproxFIRAL(opts),
+	}
+
+	fmt.Printf("%-14s", "selector")
+	cfgProbe := bench.Generate(7)
+	labels := len(cfgProbe.LabeledX)
+	for r := 0; r < bench.Rounds; r++ {
+		labels += bench.Budget
+		fmt.Printf("  acc@%-4d", labels)
+	}
+	fmt.Println()
+
+	for _, sel := range selectors {
+		// Every selector sees the identical dataset realization.
+		cfg := bench.Generate(7)
+		learner, err := firal.NewLearner(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		reports, err := learner.Run(sel, bench.Rounds, bench.Budget)
+		if err != nil {
+			log.Fatalf("%s: %v", sel.Name(), err)
+		}
+		fmt.Printf("%-14s", sel.Name())
+		for _, r := range reports {
+			fmt.Printf("  %8.3f", r.EvalAccuracy)
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,79 @@
+// Imbalanced: the paper's key robustness result (Fig. 2 (H) and (J)) — on
+// class-imbalanced pools, density-following selectors (Random, Entropy)
+// under-sample minority classes, while FIRAL's Fisher-information
+// objective keeps selecting them. This example runs the imb-CIFAR-10-like
+// benchmark (10:1 pool imbalance) and reports both the final accuracy and
+// how many selections came from the five smallest classes.
+//
+//	go run ./examples/imbalanced
+package main
+
+import (
+	"fmt"
+	"log"
+
+	firal "repro"
+)
+
+const trials = 4
+
+type outcome struct {
+	acc      float64 // final eval accuracy, mean over trials
+	minority int     // selections drawn from the 5 smallest classes
+	total    int
+}
+
+func run(bench firal.Synthetic, mk func() firal.Selector) outcome {
+	var out outcome
+	for s := int64(0); s < trials; s++ {
+		cfg := bench.Generate(300 + s)
+		counts := make([]int, bench.Classes)
+		for _, y := range cfg.PoolY {
+			counts[y]++
+		}
+		// The geometric imbalance profile puts the five smallest classes
+		// well under the mean size.
+		mean := len(cfg.PoolY) / bench.Classes
+		small := make(map[int]bool)
+		for k, c := range counts {
+			small[k] = c < mean*2/3
+		}
+		learner, err := firal.NewLearner(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		reports, err := learner.Run(mk(), bench.Rounds, bench.Budget)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, r := range reports {
+			for _, i := range r.Selected {
+				out.total++
+				if small[cfg.PoolY[i]] {
+					out.minority++
+				}
+			}
+		}
+		out.acc += reports[len(reports)-1].EvalAccuracy / trials
+	}
+	return out
+}
+
+func main() {
+	bench := firal.ImbCIFAR10Like().Scale(0.1)
+	fmt.Printf("imb-CIFAR-10-like pool (%d points, 10:1 class imbalance), %d trials\n\n",
+		bench.PoolSize, trials)
+	fmt.Printf("%-14s  %-10s  %s\n", "selector", "eval acc", "minority-class selections")
+	for _, mk := range []func() firal.Selector{
+		func() firal.Selector { return firal.Random() },
+		func() firal.Selector { return firal.Entropy() },
+		func() firal.Selector { return firal.ApproxFIRAL(firal.FIRALOptions{}) },
+	} {
+		sel := mk()
+		out := run(bench, mk)
+		fmt.Printf("%-14s  %-10.3f  %d/%d\n", sel.Name(), out.acc, out.minority, out.total)
+	}
+	fmt.Println("\nexpected shape (paper Fig. 2 (H)): FIRAL selects minority classes at a")
+	fmt.Println("higher rate than density-following baselines and ends with the best")
+	fmt.Println("accuracy on the imbalanced pool.")
+}

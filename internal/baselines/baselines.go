@@ -1,0 +1,92 @@
+// Package baselines implements the comparison selectors of § IV-A:
+// Random sampling, K-Means (k = b, selecting the pool points nearest the
+// cluster centers), and Entropy (top-b predictive-entropy uncertainty
+// sampling). These are the scalable-but-guarantee-free methods FIRAL is
+// evaluated against.
+package baselines
+
+import (
+	"sort"
+
+	"repro/internal/kmeans"
+	"repro/internal/mat"
+	"repro/internal/rnd"
+	"repro/internal/softmax"
+)
+
+// Random picks b distinct pool indices uniformly at random.
+func Random(n, b int, rng *rnd.Source) []int {
+	if b > n {
+		b = n
+	}
+	return rng.Choice(n, b)
+}
+
+// KMeans clusters the pool features into b clusters (k-means++ seeding,
+// Lloyd iterations) and returns the pool point nearest each center.
+func KMeans(poolX *mat.Dense, b int, rng *rnd.Source) []int {
+	if b > poolX.Rows {
+		b = poolX.Rows
+	}
+	res := kmeans.Run(poolX, b, rng, kmeans.Options{})
+	return kmeans.NearestToCenters(poolX, res.Centers)
+}
+
+// Entropy returns the b pool points with the highest predictive entropy
+// −Σ_c p(y=c|x) log p(y=c|x) under the current classifier probabilities
+// (full softmax rows, n×c).
+func Entropy(probs *mat.Dense, b int) []int {
+	return topByScore(softmax.Entropy(probs), b)
+}
+
+// Margin returns the b pool points with the smallest margin between the
+// top-two class probabilities — margin-based uncertainty sampling, a
+// standard companion baseline to Entropy in active-learning libraries.
+func Margin(probs *mat.Dense, b int) []int {
+	n := probs.Rows
+	scores := make([]float64, n)
+	for i := 0; i < n; i++ {
+		first, second := -1.0, -1.0
+		for _, p := range probs.Row(i) {
+			if p > first {
+				first, second = p, first
+			} else if p > second {
+				second = p
+			}
+		}
+		scores[i] = -(first - second) // smaller margin = higher score
+	}
+	return topByScore(scores, b)
+}
+
+// LeastConfidence returns the b pool points whose top class probability
+// is smallest.
+func LeastConfidence(probs *mat.Dense, b int) []int {
+	n := probs.Rows
+	scores := make([]float64, n)
+	for i := 0; i < n; i++ {
+		_, top := mat.MaxIdx(probs.Row(i))
+		scores[i] = -top
+	}
+	return topByScore(scores, b)
+}
+
+// topByScore returns the indices of the b largest scores, breaking ties
+// by index for determinism.
+func topByScore(scores []float64, b int) []int {
+	n := len(scores)
+	if b > n {
+		b = n
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, c int) bool {
+		if scores[idx[a]] != scores[idx[c]] {
+			return scores[idx[a]] > scores[idx[c]]
+		}
+		return idx[a] < idx[c]
+	})
+	return append([]int(nil), idx[:b]...)
+}

@@ -1,0 +1,111 @@
+package baselines
+
+import (
+	"testing"
+
+	"repro/internal/mat"
+	"repro/internal/rnd"
+)
+
+func TestRandomDistinctWithinRange(t *testing.T) {
+	rng := rnd.New(1)
+	sel := Random(50, 10, rng)
+	if len(sel) != 10 {
+		t.Fatalf("selected %d", len(sel))
+	}
+	seen := map[int]bool{}
+	for _, i := range sel {
+		if i < 0 || i >= 50 || seen[i] {
+			t.Fatalf("bad selection %v", sel)
+		}
+		seen[i] = true
+	}
+	// b > n clamps.
+	if got := Random(3, 10, rng); len(got) != 3 {
+		t.Fatalf("clamp failed: %d", len(got))
+	}
+}
+
+func TestKMeansSelectsSpreadPoints(t *testing.T) {
+	// Two tight, far-apart clusters: selecting 2 points must take one from
+	// each cluster.
+	x := mat.NewDense(20, 2)
+	for i := 0; i < 10; i++ {
+		x.Set(i, 0, 10+0.01*float64(i))
+	}
+	for i := 10; i < 20; i++ {
+		x.Set(i, 0, -10-0.01*float64(i))
+	}
+	sel := KMeans(x, 2, rnd.New(2))
+	if len(sel) != 2 {
+		t.Fatalf("selected %d", len(sel))
+	}
+	side0 := x.At(sel[0], 0) > 0
+	side1 := x.At(sel[1], 0) > 0
+	if side0 == side1 {
+		t.Fatalf("both selections on the same cluster: %v", sel)
+	}
+}
+
+func TestEntropyPicksMostUncertain(t *testing.T) {
+	probs := mat.FromRows([][]float64{
+		{0.99, 0.005, 0.005}, // confident
+		{0.34, 0.33, 0.33},   // most uncertain
+		{0.8, 0.1, 0.1},
+		{0.5, 0.4, 0.1},
+	})
+	sel := Entropy(probs, 2)
+	if sel[0] != 1 {
+		t.Fatalf("most uncertain not first: %v", sel)
+	}
+	if sel[1] != 3 {
+		t.Fatalf("second most uncertain wrong: %v", sel)
+	}
+	// b > n clamps.
+	if got := Entropy(probs, 10); len(got) != 4 {
+		t.Fatalf("clamp failed: %d", len(got))
+	}
+}
+
+func TestMarginPicksSmallestGap(t *testing.T) {
+	probs := mat.FromRows([][]float64{
+		{0.9, 0.05, 0.05},  // margin 0.85
+		{0.45, 0.44, 0.11}, // margin 0.01 — most uncertain
+		{0.6, 0.3, 0.1},    // margin 0.3
+	})
+	sel := Margin(probs, 2)
+	if sel[0] != 1 || sel[1] != 2 {
+		t.Fatalf("margin selections %v", sel)
+	}
+}
+
+func TestLeastConfidencePicksLowestTop(t *testing.T) {
+	probs := mat.FromRows([][]float64{
+		{0.9, 0.1},
+		{0.55, 0.45}, // lowest top probability
+		{0.7, 0.3},
+	})
+	sel := LeastConfidence(probs, 1)
+	if sel[0] != 1 {
+		t.Fatalf("least-confidence selections %v", sel)
+	}
+	if got := LeastConfidence(probs, 99); len(got) != 3 {
+		t.Fatalf("clamp failed: %d", len(got))
+	}
+}
+
+func TestEntropyDeterministicTies(t *testing.T) {
+	probs := mat.FromRows([][]float64{
+		{0.5, 0.5},
+		{0.5, 0.5},
+		{0.5, 0.5},
+	})
+	a := Entropy(probs, 2)
+	b := Entropy(probs, 2)
+	if a[0] != b[0] || a[1] != b[1] {
+		t.Fatalf("tie-breaking not deterministic: %v vs %v", a, b)
+	}
+	if a[0] != 0 || a[1] != 1 {
+		t.Fatalf("expected index order on ties: %v", a)
+	}
+}

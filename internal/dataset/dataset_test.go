@@ -1,0 +1,180 @@
+package dataset
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/logreg"
+)
+
+func TestGenerateShapes(t *testing.T) {
+	cfg := Config{Name: "toy", Classes: 4, Dim: 6, PoolSize: 200, EvalSize: 100,
+		InitPerClass: 2, Rounds: 3, Budget: 5}
+	ds := Generate(cfg, 1)
+	if ds.PoolX.Rows != 200 || ds.PoolX.Cols != 6 {
+		t.Fatalf("pool shape %dx%d", ds.PoolX.Rows, ds.PoolX.Cols)
+	}
+	if len(ds.PoolY) != 200 || len(ds.EvalY) != 100 {
+		t.Fatalf("label lengths %d %d", len(ds.PoolY), len(ds.EvalY))
+	}
+	if ds.LabeledX.Rows != 8 {
+		t.Fatalf("labeled %d", ds.LabeledX.Rows)
+	}
+	// Initial labeled set covers every class.
+	seen := map[int]int{}
+	for _, y := range ds.LabeledY {
+		seen[y]++
+	}
+	for k := 0; k < 4; k++ {
+		if seen[k] != 2 {
+			t.Fatalf("class %d has %d initial labels", k, seen[k])
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := MNIST().Scale(0.05)
+	a := Generate(cfg, 42)
+	b := Generate(cfg, 42)
+	if a.PoolX.Rows != b.PoolX.Rows {
+		t.Fatal("sizes differ")
+	}
+	for i := 0; i < a.PoolX.Rows; i++ {
+		if a.PoolY[i] != b.PoolY[i] {
+			t.Fatal("labels differ under same seed")
+		}
+		for j := 0; j < a.PoolX.Cols; j++ {
+			if a.PoolX.At(i, j) != b.PoolX.At(i, j) {
+				t.Fatal("features differ under same seed")
+			}
+		}
+	}
+	c := Generate(cfg, 43)
+	if c.PoolX.At(0, 0) == a.PoolX.At(0, 0) {
+		t.Fatal("different seeds produced identical data")
+	}
+}
+
+func TestImbalanceRatioRealized(t *testing.T) {
+	cfg := ImbCIFAR10().Scale(0.5)
+	ds := Generate(cfg, 3)
+	counts := make([]int, cfg.Classes)
+	for _, y := range ds.PoolY {
+		counts[y]++
+	}
+	maxC, minC := counts[0], counts[0]
+	for _, c := range counts {
+		if c > maxC {
+			maxC = c
+		}
+		if c < minC {
+			minC = c
+		}
+	}
+	ratio := float64(maxC) / float64(minC)
+	if ratio < 5 || ratio > 15 {
+		t.Fatalf("imbalance ratio %g, want ≈10", ratio)
+	}
+}
+
+func TestBalancedPoolRoughlyEven(t *testing.T) {
+	ds := Generate(CIFAR10().Scale(0.5), 4)
+	counts := make([]int, 10)
+	for _, y := range ds.PoolY {
+		counts[y]++
+	}
+	for k, c := range counts {
+		if math.Abs(float64(c)-150) > 2 {
+			t.Fatalf("class %d count %d, want ≈150", k, c)
+		}
+	}
+}
+
+// TestEmbeddingsAreLearnable: a classifier trained on a modest sample must
+// beat chance decisively — the datasets must look like good self-supervised
+// embeddings, not noise.
+func TestEmbeddingsAreLearnable(t *testing.T) {
+	ds := Generate(CIFAR10().Scale(0.2), 5)
+	// Train on 300 pool points with revealed labels.
+	n := 300
+	x := ds.PoolX.Clone()
+	x.Rows = n
+	m, err := logreg.Train(x, ds.PoolY[:n], ds.Classes, nil, logreg.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc := m.Accuracy(ds.EvalX, ds.EvalY)
+	if acc < 0.8 {
+		t.Fatalf("eval accuracy %g on synthetic embedding; want ≥ 0.8", acc)
+	}
+}
+
+func TestTableVConfigs(t *testing.T) {
+	cfgs := TableV()
+	if len(cfgs) != 7 {
+		t.Fatalf("expected 7 Table V configs, got %d", len(cfgs))
+	}
+	want := map[string]struct{ c, d, pool, rounds, budget int }{
+		"MNIST":           {10, 20, 3000, 3, 10},
+		"CIFAR-10":        {10, 20, 3000, 3, 10},
+		"imb-CIFAR-10":    {10, 20, 3000, 3, 10},
+		"ImageNet-50":     {50, 50, 5000, 6, 50},
+		"imb-ImageNet-50": {50, 50, 5000, 6, 50},
+		"Caltech-101":     {101, 100, 1715, 6, 101},
+		"ImageNet-1k":     {1000, 383, 50000, 5, 200},
+	}
+	for _, cfg := range cfgs {
+		w, ok := want[cfg.Name]
+		if !ok {
+			t.Fatalf("unexpected config %q", cfg.Name)
+		}
+		if cfg.Classes != w.c || cfg.Dim != w.d || cfg.PoolSize != w.pool ||
+			cfg.Rounds != w.rounds || cfg.Budget != w.budget {
+			t.Fatalf("%s: config %+v does not match Table V", cfg.Name, cfg)
+		}
+	}
+	// Imbalance ratios per the paper.
+	if ImbCIFAR10().ImbalanceRatio != 10 || Caltech101().ImbalanceRatio != 10 {
+		t.Fatal("10:1 ratios wrong")
+	}
+	if ImbImageNet50().ImbalanceRatio != 8 {
+		t.Fatal("8:1 ratio wrong")
+	}
+}
+
+func TestScale(t *testing.T) {
+	cfg := ImageNet1k().Scale(0.01)
+	// 50000·0.01 = 500 would drop below one point per class, so the floor
+	// at Classes (1000) applies.
+	if cfg.PoolSize != 1000 {
+		t.Fatalf("scaled pool %d", cfg.PoolSize)
+	}
+	cfg2 := ImageNet1k().Scale(0.1)
+	if cfg2.PoolSize != 5000 {
+		t.Fatalf("scaled pool %d", cfg2.PoolSize)
+	}
+	// Scaling never drops below one point per class.
+	tiny := Caltech101().Scale(1e-9)
+	if tiny.PoolSize < tiny.Classes {
+		t.Fatalf("scaled pool %d below class count", tiny.PoolSize)
+	}
+}
+
+func TestClassCountsSumAndPositivity(t *testing.T) {
+	for _, tc := range []struct {
+		total, c int
+		ratio    float64
+	}{{100, 10, 1}, {100, 10, 10}, {57, 7, 8}, {10, 10, 10}} {
+		counts := classCounts(tc.total, tc.c, tc.ratio)
+		sum := 0
+		for _, v := range counts {
+			if v < 1 {
+				t.Fatalf("%+v: class with %d points", tc, v)
+			}
+			sum += v
+		}
+		if sum != tc.total {
+			t.Fatalf("%+v: counts sum %d", tc, sum)
+		}
+	}
+}

@@ -1,0 +1,304 @@
+// Package distfiral implements the distributed-memory parallel
+// Approx-FIRAL of § III-C on top of the internal/mpi runtime. The data
+// layout follows the paper: the n pool points (x_i, h_i) are evenly
+// partitioned across the p ranks, while all ẽd-length vectors and all
+// O(cd²) block matrices are replicated. Communication per § III-C:
+//
+//   - RELAX: MPI_Allreduce to sum the block-diagonal preconditioner and the
+//     partial fast-matvec results inside CG; the probe block is broadcast
+//     from rank 0.
+//   - ROUND: MPI_Allreduce (maxloc) to pick the globally best candidate;
+//     MPI_Bcast of the winner's (x, h); MPI_Allgather of the block
+//     eigenvalues, which are computed c/p blocks per rank.
+package distfiral
+
+import (
+	"math"
+
+	"repro/internal/firal"
+	"repro/internal/hessian"
+	"repro/internal/krylov"
+	"repro/internal/mat"
+	"repro/internal/mpi"
+	"repro/internal/rnd"
+	"repro/internal/sketch"
+	"repro/internal/timing"
+)
+
+// Shard is one rank's view of the selection problem: the (small) labeled
+// set replicated everywhere and this rank's contiguous slice of the pool.
+type Shard struct {
+	Labeled   *hessian.Set // Xo, replicated
+	PoolLocal *hessian.Set // local slice of Xu
+	// PoolOffset is the global index of the first local pool point.
+	PoolOffset int
+	// PoolTotal is the global pool size n.
+	PoolTotal int
+}
+
+// MakeShard cuts rank's partition out of a global pool, mirroring the
+// paper's even distribution of x_i and h_i.
+func MakeShard(labeled, pool *hessian.Set, size, rank int) *Shard {
+	lo, hi := mpi.Partition(pool.N(), size, rank)
+	idx := make([]int, hi-lo)
+	for i := range idx {
+		idx[i] = lo + i
+	}
+	return &Shard{
+		Labeled:    labeled,
+		PoolLocal:  pool.Subset(idx),
+		PoolOffset: lo,
+		PoolTotal:  pool.N(),
+	}
+}
+
+// D returns the feature dimension.
+func (s *Shard) D() int { return s.PoolLocal.D() }
+
+// C returns the number of Fisher blocks.
+func (s *Shard) C() int { return s.PoolLocal.C() }
+
+// Ed returns ẽd = d·c.
+func (s *Shard) Ed() int { return s.D() * s.C() }
+
+// allreduceBlocks sums a set of d×d blocks across ranks in one
+// MPI_Allreduce of cd² floats (§ III-C, Eq. 22 message size).
+func allreduceBlocks(c *mpi.Comm, blocks []*mat.Dense, ph *timing.Phases) {
+	if c.Size() == 1 {
+		return
+	}
+	d := blocks[0].Rows
+	buf := make([]float64, len(blocks)*d*d)
+	off := 0
+	for _, b := range blocks {
+		copy(buf[off:off+d*d], b.Data)
+		off += d * d
+	}
+	stop := ph.Start("comm")
+	c.Allreduce(buf, mpi.Sum)
+	stop()
+	off = 0
+	for _, b := range blocks {
+		copy(b.Data, buf[off:off+d*d])
+		off += d * d
+	}
+}
+
+// sigmaBlocks computes the global diagonal blocks of Σz: local pool
+// contributions are allreduced, then the replicated labeled contribution
+// is added identically on every rank.
+func (s *Shard) sigmaBlocks(c *mpi.Comm, z []float64, ph *timing.Phases) []*mat.Dense {
+	stop := ph.Start("precond")
+	blocks := s.PoolLocal.BlockDiagSum(z)
+	stop()
+	allreduceBlocks(c, blocks, ph)
+	stop = ph.Start("precond")
+	lb := s.Labeled.BlockDiagSum(nil)
+	for k := range blocks {
+		blocks[k].AddScaled(1, lb[k])
+	}
+	stop()
+	return blocks
+}
+
+// sigmaMatVec returns the distributed operator v ↦ Σz·v: each rank applies
+// its local pool partition with the Lemma-2 fast matvec, results are
+// summed with MPI_Allreduce (message size ẽd), and the replicated labeled
+// term is added locally.
+func (s *Shard) sigmaMatVec(c *mpi.Comm, z []float64, ph *timing.Phases) krylov.Op {
+	buf := make([]float64, s.Ed())
+	return func(dst, v []float64) {
+		s.PoolLocal.MatVec(dst, v, z)
+		stop := ph.Start("comm")
+		c.Allreduce(dst, mpi.Sum)
+		stop()
+		s.Labeled.MatVec(buf, v, nil)
+		for i := range dst {
+			dst[i] += buf[i]
+		}
+	}
+}
+
+// poolMatVec is the distributed v ↦ Hp·v.
+func (s *Shard) poolMatVec(c *mpi.Comm, ph *timing.Phases) krylov.Op {
+	return func(dst, v []float64) {
+		s.PoolLocal.MatVec(dst, v, nil)
+		stop := ph.Start("comm")
+		c.Allreduce(dst, mpi.Sum)
+		stop()
+	}
+}
+
+// RelaxResult reports a distributed RELAX solve (per rank; z holds the
+// local partition's weights scaled to the global budget).
+type RelaxResult struct {
+	// ZLocal is this rank's slice of z⋄ = b·z.
+	ZLocal []float64
+	// Objectives per iteration (identical across ranks).
+	Objectives []float64
+	// Iterations executed, CG iteration total.
+	Iterations   int
+	CGIterations int
+	// Timings holds this rank's phase breakdown ("precond", "cg",
+	// "gradient", "comm", "other").
+	Timings *timing.Phases
+}
+
+// Relax runs the distributed fast RELAX (Algorithm 2 over MPI).
+func Relax(c *mpi.Comm, s *Shard, b int, o firal.RelaxOptions) (*RelaxResult, error) {
+	// Mirror the serial option defaults.
+	if o.MaxIter <= 0 {
+		o.MaxIter = 100
+	}
+	if o.Beta0 <= 0 {
+		o.Beta0 = 1
+	}
+	if o.ObjTol <= 0 {
+		o.ObjTol = 1e-4
+	}
+	if o.Probes <= 0 {
+		o.Probes = 10
+	}
+	if o.CGTol <= 0 {
+		o.CGTol = 0.1
+	}
+	if o.CGMaxIter <= 0 {
+		o.CGMaxIter = 400
+	}
+	if o.FixedIterations > 0 {
+		o.MaxIter = o.FixedIterations
+	}
+
+	ed := s.Ed()
+	nLocal := s.PoolLocal.N()
+	nGlobal := s.PoolTotal
+	res := &RelaxResult{Timings: timing.New()}
+	ph := res.Timings
+
+	z := make([]float64, nLocal)
+	mat.Fill(z, 1/float64(nGlobal))
+
+	// Rank 0 owns the probe stream; with the same seed it draws exactly
+	// the probe sequence of the serial solver, so serial and distributed
+	// runs are comparable draw-for-draw.
+	var rng *rnd.Source
+	if c.Rank() == 0 {
+		rng = rnd.New(o.Seed)
+	}
+
+	g := make([]float64, nLocal)
+	vj := make([]float64, ed)
+	wj := make([]float64, ed)
+	var fHist []float64
+	cgOpt := krylov.Options{Tol: o.CGTol, MaxIter: o.CGMaxIter}
+
+	for t := 1; t <= o.MaxIter; t++ {
+		// Probe block: rank 0 draws, everyone else receives (MPI_Bcast of
+		// W per § III-C).
+		stop := ph.Start("other")
+		v := mat.NewDense(ed, o.Probes)
+		if c.Rank() == 0 {
+			rng.Rademacher(v.Data)
+		}
+		stop()
+		stop = ph.Start("comm")
+		c.Bcast(0, v.Data)
+		stop()
+
+		// Preconditioner from allreduced blocks.
+		blocks := s.sigmaBlocks(c, z, ph)
+		stop = ph.Start("precond")
+		precond, err := firal.BlockPreconditioner(blocks)
+		stop()
+		if err != nil {
+			return nil, err
+		}
+
+		sigMV := s.sigmaMatVec(c, z, ph)
+		poolMV := s.poolMatVec(c, ph)
+
+		// W ← Σz⁻¹ V. Every rank runs the same CG on replicated vectors;
+		// only the matvec is distributed.
+		stop = ph.Start("cg")
+		w := mat.NewDense(ed, o.Probes)
+		cgRes := krylov.SolveColumns(sigMV, precond, v, w, cgOpt)
+		res.CGIterations += krylov.TotalIterations(cgRes)
+		stop()
+
+		// W ← Hp W and objective estimate.
+		stop = ph.Start("gradient")
+		hpw := mat.NewDense(ed, o.Probes)
+		col := make([]float64, ed)
+		for j := 0; j < o.Probes; j++ {
+			w.Col(col, j)
+			poolMV(wj, col)
+			hpw.SetCol(j, wj)
+		}
+		f := sketch.TraceFromProbes(v, hpw)
+		stop()
+
+		// W ← Σz⁻¹ W.
+		stop = ph.Start("cg")
+		w2 := mat.NewDense(ed, o.Probes)
+		cgRes = krylov.SolveColumns(sigMV, precond, hpw, w2, cgOpt)
+		res.CGIterations += krylov.TotalIterations(cgRes)
+		stop()
+
+		// Local gradient slice.
+		stop = ph.Start("gradient")
+		mat.Fill(g, 0)
+		for j := 0; j < o.Probes; j++ {
+			v.Col(vj, j)
+			w2.Col(wj, j)
+			s.PoolLocal.QuadAccum(g, vj, wj, -1/float64(o.Probes))
+		}
+		stop()
+
+		// Mirror-descent update with global normalization: the ∞-norm of
+		// the gradient and the partition sum both need an allreduce.
+		stop = ph.Start("other")
+		gmaxLocal := 0.0
+		for _, gv := range g {
+			if a := math.Abs(gv); a > gmaxLocal {
+				gmaxLocal = a
+			}
+		}
+		stop()
+		stop = ph.Start("comm")
+		gmax := c.AllreduceScalar(gmaxLocal, mpi.Max)
+		stop()
+		stop = ph.Start("other")
+		var localSum float64
+		if gmax > 0 {
+			beta := o.Beta0 / (gmax * math.Sqrt(float64(t)))
+			for i := range z {
+				z[i] *= math.Exp(-beta * g[i])
+				localSum += z[i]
+			}
+		} else {
+			localSum = mat.Sum(z)
+		}
+		stop()
+		stop = ph.Start("comm")
+		total := c.AllreduceScalar(localSum, mpi.Sum)
+		stop()
+		stop = ph.Start("other")
+		mat.Scal(1/total, z)
+		stop()
+
+		res.Iterations = t
+		fHist = append(fHist, f)
+		if o.RecordObjective {
+			res.Objectives = append(res.Objectives, f)
+		}
+		// f is identical on every rank, so the windowed stop fires in
+		// lockstep.
+		if o.FixedIterations == 0 && firal.StochasticConverged(fHist, o.ObjTol) {
+			break
+		}
+	}
+
+	res.ZLocal = z
+	mat.Scal(float64(b), res.ZLocal)
+	return res, nil
+}

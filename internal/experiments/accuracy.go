@@ -1,0 +1,209 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	pub "repro"
+	"repro/internal/dataset"
+)
+
+// AccuracyOptions configure a Fig. 2 / Fig. 3 style accuracy experiment.
+type AccuracyOptions struct {
+	// Scale shrinks the Table V pool/eval sizes for CPU runs (1 = paper
+	// size).
+	Scale float64
+	// Trials is the number of repetitions for the stochastic selectors
+	// (Random, K-Means); the paper uses 10.
+	Trials int
+	// Selectors lists strategy names to run; empty means the paper's
+	// five: Random, K-Means, Entropy, Exact-FIRAL, Approx-FIRAL. The
+	// Exact-FIRAL entry is skipped automatically for large configs, as in
+	// the paper ("we do not conduct tests on Exact-FIRAL" for
+	// Caltech-101/ImageNet-1k).
+	Selectors []string
+	// FIRAL holds selector options for both FIRAL variants.
+	FIRAL pub.FIRALOptions
+	// Seed is the master seed; trial t of dataset D derives its own.
+	Seed int64
+	// MaxExactEd bounds ẽd = d(c−1) above which Exact-FIRAL is skipped
+	// (default 600).
+	MaxExactEd int
+}
+
+func (o *AccuracyOptions) defaults() {
+	if o.Scale <= 0 {
+		o.Scale = 1
+	}
+	if o.Trials <= 0 {
+		o.Trials = 10
+	}
+	if len(o.Selectors) == 0 {
+		o.Selectors = []string{"Random", "K-Means", "Entropy", "Exact-FIRAL", "Approx-FIRAL"}
+	}
+	if o.MaxExactEd <= 0 {
+		o.MaxExactEd = 600
+	}
+}
+
+// AccuracyCurve is one selector's accuracy trajectory, aggregated over
+// trials: entry r corresponds to Labels[r] labeled samples.
+type AccuracyCurve struct {
+	Dataset  string
+	Selector string
+	Labels   []int
+	// Mean and Std of the evaluation accuracy over trials; PoolMean for
+	// pool accuracy; BalancedMean for class-balanced eval accuracy.
+	Mean, Std    []float64
+	PoolMean     []float64
+	BalancedMean []float64
+	Trials       int
+}
+
+// stochastic reports whether a selector benefits from multi-trial
+// averaging (the deterministic ones produce identical runs).
+func stochastic(name string) bool {
+	return name == "Random" || name == "K-Means"
+}
+
+// selectorByName instantiates one of the paper's five strategies.
+func selectorByName(name string, o pub.FIRALOptions) (pub.Selector, error) {
+	switch name {
+	case "Random":
+		return pub.Random(), nil
+	case "K-Means":
+		return pub.KMeans(), nil
+	case "Entropy":
+		return pub.Entropy(), nil
+	case "Approx-FIRAL":
+		return pub.ApproxFIRAL(o), nil
+	case "Exact-FIRAL":
+		return pub.ExactFIRAL(o), nil
+	default:
+		return nil, fmt.Errorf("experiments: unknown selector %q", name)
+	}
+}
+
+// RunAccuracy executes the active-learning comparison on one Table V
+// configuration and returns one curve per selector.
+func RunAccuracy(cfg dataset.Config, o AccuracyOptions) ([]*AccuracyCurve, error) {
+	o.defaults()
+	scaled := cfg.Scale(o.Scale)
+	var curves []*AccuracyCurve
+	for _, name := range o.Selectors {
+		if name == "Exact-FIRAL" && scaled.Dim*(scaled.Classes-1) > o.MaxExactEd {
+			continue // intractable, as in the paper
+		}
+		trials := 1
+		if stochastic(name) {
+			trials = o.Trials
+		}
+		curve := &AccuracyCurve{Dataset: cfg.Name, Selector: name, Trials: trials}
+		sums := make([][]float64, 0)
+		for trial := 0; trial < trials; trial++ {
+			seed := o.Seed + int64(trial)*1009 + 1
+			learnCfg := publicConfig(dataset.Generate(scaled, o.Seed+31))
+			learnCfg.Seed = seed
+			learner, err := pub.NewLearner(learnCfg)
+			if err != nil {
+				return nil, err
+			}
+			sel, err := selectorByName(name, o.FIRAL)
+			if err != nil {
+				return nil, err
+			}
+			reports, err := learner.Run(sel, scaled.Rounds, scaled.Budget)
+			if err != nil {
+				return nil, err
+			}
+			for r, rep := range reports {
+				if trial == 0 {
+					curve.Labels = append(curve.Labels, rep.LabeledCount)
+					curve.PoolMean = append(curve.PoolMean, 0)
+					curve.BalancedMean = append(curve.BalancedMean, 0)
+					sums = append(sums, nil)
+				}
+				sums[r] = append(sums[r], rep.EvalAccuracy)
+				curve.PoolMean[r] += rep.PoolAccuracy / float64(trials)
+				curve.BalancedMean[r] += rep.BalancedEvalAccuracy / float64(trials)
+			}
+		}
+		for _, vals := range sums {
+			m, s := meanStd(vals)
+			curve.Mean = append(curve.Mean, m)
+			curve.Std = append(curve.Std, s)
+		}
+		curves = append(curves, curve)
+	}
+	return curves, nil
+}
+
+func meanStd(vals []float64) (float64, float64) {
+	if len(vals) == 0 {
+		return 0, 0
+	}
+	var m float64
+	for _, v := range vals {
+		m += v
+	}
+	m /= float64(len(vals))
+	var s float64
+	for _, v := range vals {
+		s += (v - m) * (v - m)
+	}
+	if len(vals) > 1 {
+		s = math.Sqrt(s / float64(len(vals)-1))
+	} else {
+		s = 0
+	}
+	return m, s
+}
+
+// publicConfig converts an internal dataset into a public learner Config.
+func publicConfig(ds *dataset.Dataset) pub.Config {
+	toRows := func(m interface {
+		Row(i int) []float64
+	}, n int) [][]float64 {
+		out := make([][]float64, n)
+		for i := range out {
+			out[i] = append([]float64(nil), m.Row(i)...)
+		}
+		return out
+	}
+	return pub.Config{
+		PoolX:    toRows(ds.PoolX, ds.PoolX.Rows),
+		PoolY:    ds.PoolY,
+		LabeledX: toRows(ds.LabeledX, ds.LabeledX.Rows),
+		LabeledY: ds.LabeledY,
+		EvalX:    toRows(ds.EvalX, ds.EvalX.Rows),
+		EvalY:    ds.EvalY,
+		Classes:  ds.Classes,
+		Rounds:   ds.Rounds,
+		Budget:   ds.Budget,
+	}
+}
+
+// PrintAccuracy renders curves in the layout of Fig. 2/3: one row per
+// (selector, #labels) with pool, eval and class-balanced accuracies.
+func PrintAccuracy(w io.Writer, curves []*AccuracyCurve) {
+	if len(curves) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "# %s — evaluation accuracy vs labeled samples\n", curves[0].Dataset)
+	headers := []string{"selector", "#labels", "pool acc", "eval acc", "eval std", "balanced"}
+	var rows [][]string
+	for _, c := range curves {
+		for r := range c.Labels {
+			rows = append(rows, []string{
+				c.Selector,
+				fmt.Sprintf("%d", c.Labels[r]),
+				F(c.PoolMean[r]),
+				F(c.Mean[r]),
+				F(c.Std[r]),
+				F(c.BalancedMean[r]),
+			})
+		}
+	}
+	PrintTable(w, headers, rows)
+}

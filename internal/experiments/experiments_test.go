@@ -1,0 +1,261 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/perfmodel"
+)
+
+// tinyConfig is a fast, well-separated config for driver smoke tests.
+func tinyConfig() dataset.Config {
+	return dataset.Config{Name: "tiny", Classes: 3, Dim: 6, PoolSize: 90,
+		EvalSize: 90, InitPerClass: 1, Rounds: 2, Budget: 5, Separation: 1.5}
+}
+
+func TestRunAccuracySmoke(t *testing.T) {
+	curves, err := RunAccuracy(tinyConfig(), AccuracyOptions{
+		Trials:    2,
+		Selectors: []string{"Random", "Entropy", "Approx-FIRAL"},
+		Seed:      1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(curves) != 3 {
+		t.Fatalf("got %d curves", len(curves))
+	}
+	for _, c := range curves {
+		if len(c.Labels) != 2 || len(c.Mean) != 2 {
+			t.Fatalf("%s: curve lengths %d/%d", c.Selector, len(c.Labels), len(c.Mean))
+		}
+		if c.Labels[0] != 8 || c.Labels[1] != 13 {
+			t.Fatalf("%s: label counts %v", c.Selector, c.Labels)
+		}
+		for _, a := range c.Mean {
+			if a <= 0 || a > 1 {
+				t.Fatalf("%s: accuracy %g out of range", c.Selector, a)
+			}
+		}
+	}
+	var buf bytes.Buffer
+	PrintAccuracy(&buf, curves)
+	if !strings.Contains(buf.String(), "Approx-FIRAL") {
+		t.Fatal("printout missing selector")
+	}
+}
+
+func TestExactSkippedWhenTooLarge(t *testing.T) {
+	cfg := tinyConfig()
+	curves, err := RunAccuracy(cfg, AccuracyOptions{
+		Trials:     1,
+		Selectors:  []string{"Exact-FIRAL"},
+		MaxExactEd: 2, // force the skip
+		Seed:       1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(curves) != 0 {
+		t.Fatal("Exact-FIRAL should have been skipped")
+	}
+}
+
+func TestUnknownSelectorRejected(t *testing.T) {
+	_, err := RunAccuracy(tinyConfig(), AccuracyOptions{Selectors: []string{"bogus"}, Trials: 1})
+	if err == nil {
+		t.Fatal("unknown selector accepted")
+	}
+}
+
+// TestCGConvergenceFig1Shape asserts the headline Fig. 1 property: the
+// preconditioned solve needs strictly fewer iterations than the plain one,
+// and preconditioning improves the condition number (paper: 198 → 72).
+func TestCGConvergenceFig1Shape(t *testing.T) {
+	res, err := RunCGConvergence(tinyConfig(), 1, 3, 1e-3, 500, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PreconditionedIts >= res.PlainIters {
+		t.Fatalf("preconditioner did not reduce iterations: %d vs %d",
+			res.PreconditionedIts, res.PlainIters)
+	}
+	if res.CondSigma <= 0 || res.CondPrecondSigma <= 0 {
+		t.Fatal("condition numbers not computed")
+	}
+	if res.CondPrecondSigma >= res.CondSigma {
+		t.Fatalf("preconditioning did not improve conditioning: %g vs %g",
+			res.CondPrecondSigma, res.CondSigma)
+	}
+	var buf bytes.Buffer
+	PrintCGConvergence(&buf, res)
+	if !strings.Contains(buf.String(), "cond(") {
+		t.Fatal("printout missing condition numbers")
+	}
+}
+
+func TestSensitivityFig4Smoke(t *testing.T) {
+	curves, err := RunSensitivity(tinyConfig(), SensitivityOptions{
+		Seed: 2, Iterations: 6,
+		SValues:      []int{5, 10},
+		TolValues:    []float64{0.5, 0.01},
+		IncludeExact: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// exact + 2 s-curves + 2 tol-curves.
+	if len(curves) != 5 {
+		t.Fatalf("got %d curves", len(curves))
+	}
+	for _, c := range curves {
+		if len(c.Objectives) != 6 {
+			t.Fatalf("%s: %d objectives", c.Label, len(c.Objectives))
+		}
+	}
+	var buf bytes.Buffer
+	PrintSensitivity(&buf, "tiny", curves)
+	if !strings.Contains(buf.String(), "cgtol") {
+		t.Fatal("printout missing curves")
+	}
+}
+
+// TestTableVIShape asserts the headline Table VI property: Approx-FIRAL is
+// faster than Exact-FIRAL in both steps. The config must be large enough
+// in c·d for the exact O(nc²d² + (dc)³) cost to dominate the approximate
+// solver's CG constant factors — mirroring the paper, where the advantage
+// appears on ImageNet-50-sized problems and grows with scale.
+func TestTableVIShape(t *testing.T) {
+	cfg := dataset.Config{Name: "t6", Classes: 20, Dim: 20, PoolSize: 250,
+		EvalSize: 50, InitPerClass: 1, Rounds: 1, Budget: 3, Separation: 1.5}
+	tc, err := RunTableVI(cfg, 1, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tc.ApproxRelax >= tc.ExactRelax {
+		t.Fatalf("RELAX: approx %.4fs not faster than exact %.4fs", tc.ApproxRelax, tc.ExactRelax)
+	}
+	if tc.ApproxRound >= tc.ExactRound {
+		t.Fatalf("ROUND: approx %.4fs not faster than exact %.4fs", tc.ApproxRound, tc.ExactRound)
+	}
+	var buf bytes.Buffer
+	PrintTableVI(&buf, []*TimeComparison{tc})
+	if !strings.Contains(buf.String(), "speedup") {
+		t.Fatal("printout missing speedups")
+	}
+}
+
+func TestRelaxSweepSmoke(t *testing.T) {
+	rows, err := RunRelaxSweep("d", []int{4, 8}, 3, SingleDeviceOptions{
+		N: 400, S: 4, NCG: 5, Seed: 1, Machine: perfmodel.Host(1e9),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.Measured["cg"] <= 0 {
+			t.Fatalf("d=%d: no cg time measured", r.Param)
+		}
+		if r.Theory["cg"] <= 0 {
+			t.Fatalf("d=%d: no cg theory", r.Param)
+		}
+	}
+	var buf bytes.Buffer
+	PrintBreakdown(&buf, "Fig 5A", "d", []string{"precond", "cg", "gradient", "other"}, rows)
+	if !strings.Contains(buf.String(), "cg (exp)") {
+		t.Fatal("breakdown printout wrong")
+	}
+}
+
+func TestRoundSweepSmoke(t *testing.T) {
+	rows, err := RunRoundSweep("c", []int{2, 4}, 6, SingleDeviceOptions{
+		N: 400, Seed: 1, Machine: perfmodel.Host(1e9),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.Measured["objective"] <= 0 || r.Measured["eig"] <= 0 {
+			t.Fatalf("c=%d: phases missing: %v", r.Param, r.Measured)
+		}
+	}
+}
+
+func TestRelaxScalingSmoke(t *testing.T) {
+	points, err := RunRelaxScaling(ScalingOptions{
+		Ranks: []int{1, 2, 3}, Strong: true, N: 600, D: 5, C: 3,
+		S: 4, NCG: 5, Seed: 2, Machine: perfmodel.Host(1e9),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 3 {
+		t.Fatalf("got %d points", len(points))
+	}
+	// Ideal line follows 1/p.
+	if points[1].Ideal >= points[0].Ideal {
+		t.Fatal("strong-scaling ideal line not decreasing")
+	}
+	// Ranks > 1 must record communication time.
+	if points[1].Measured["comm"] <= 0 {
+		t.Fatal("no comm time at p=2")
+	}
+	// Theory comm is zero at p=1 and positive beyond.
+	if points[0].Theory["comm"] != 0 || points[2].Theory["comm"] <= 0 {
+		t.Fatalf("theory comm wrong: %v vs %v", points[0].Theory, points[2].Theory)
+	}
+	var buf bytes.Buffer
+	PrintScaling(&buf, "Fig 6", []string{"precond", "cg", "gradient", "comm"}, points)
+	if !strings.Contains(buf.String(), "ideal") {
+		t.Fatal("scaling printout wrong")
+	}
+}
+
+func TestRoundScalingSmoke(t *testing.T) {
+	points, err := RunRoundScaling(ScalingOptions{
+		Ranks: []int{1, 2}, Strong: false, NPerRank: 200, D: 5, C: 4,
+		B: 2, Seed: 3, Machine: perfmodel.Host(1e9),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("got %d points", len(points))
+	}
+	// Weak scaling: n grows with p.
+	if points[1].N != 2*points[0].N {
+		t.Fatalf("weak scaling sizes %d/%d", points[0].N, points[1].N)
+	}
+	// Ideal line is flat for weak scaling.
+	if points[1].Ideal != points[0].Ideal {
+		t.Fatal("weak-scaling ideal line not flat")
+	}
+}
+
+func TestSynthSetsShapes(t *testing.T) {
+	lab, pool := SynthSets(10, 50, 7, 4, 5)
+	if lab.N() != 10 || pool.N() != 50 || pool.D() != 7 || pool.C() != 4 {
+		t.Fatalf("shapes wrong: %d %d %d %d", lab.N(), pool.N(), pool.D(), pool.C())
+	}
+	// Probability rows must be valid sub-probabilities (reduced rows).
+	for i := 0; i < pool.N(); i++ {
+		var sum float64
+		for _, v := range pool.H.Row(i) {
+			if v < 0 || v > 1 {
+				t.Fatal("invalid probability")
+			}
+			sum += v
+		}
+		if sum >= 1 {
+			t.Fatalf("reduced row sums to %g", sum)
+		}
+	}
+}

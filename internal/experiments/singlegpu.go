@@ -1,0 +1,172 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/firal"
+	"repro/internal/mat"
+	"repro/internal/perfmodel"
+	"repro/internal/timing"
+)
+
+// BreakdownRow is one bar group of Fig. 5: for one value of the swept
+// parameter (d or c), the measured wall-clock per phase next to the
+// theoretical peak estimate per phase.
+type BreakdownRow struct {
+	Param    int
+	Measured map[string]float64
+	Theory   map[string]float64
+}
+
+// SingleDeviceOptions configure the Fig. 5 sweeps.
+type SingleDeviceOptions struct {
+	// N is the pool size (paper: 1e5 for the d sweep, 1.3e6 for c sweep).
+	N int
+	// S is the number of Rademacher probes (paper: 10).
+	S int
+	// NCG fixes the CG iteration count (paper: 50).
+	NCG int
+	// Seed for the synthetic sets.
+	Seed int64
+	// Machine supplies the theory constants; zero value calibrates the
+	// host.
+	Machine perfmodel.Machine
+}
+
+func (o *SingleDeviceOptions) defaults() {
+	if o.N <= 0 {
+		o.N = 20000
+	}
+	if o.S <= 0 {
+		o.S = 10
+	}
+	if o.NCG <= 0 {
+		o.NCG = 50
+	}
+	if o.Machine.Flops == 0 {
+		o.Machine = perfmodel.CalibrateHost()
+	}
+}
+
+// relaxOnce runs exactly one mirror-descent iteration with a fixed CG
+// iteration count and returns the phase breakdown.
+func relaxOnce(p *firal.Problem, s, ncg int, seed int64) (*timing.Phases, error) {
+	res, err := firal.RelaxFast(p, 10, firal.RelaxOptions{
+		FixedIterations: 1,
+		Probes:          s,
+		// A tiny tolerance with MaxIter = ncg forces exactly ncg CG
+		// iterations per solve, matching the paper's fixed nCG = 50 runs.
+		CGTol:     1e-30,
+		CGMaxIter: ncg,
+		Seed:      seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res.Timings, nil
+}
+
+// roundOnce runs exactly one ROUND iteration and returns the phase
+// breakdown.
+func roundOnce(p *firal.Problem, seed int64) (*timing.Phases, error) {
+	z := make([]float64, p.N())
+	mat.Fill(z, 10/float64(p.N()))
+	res, err := firal.RoundFast(p, z, 1, firal.RoundOptions{})
+	if err != nil {
+		return nil, err
+	}
+	return res.Timings, nil
+}
+
+// RunRelaxSweep reproduces Fig. 5(A)/(B): the RELAX phase breakdown as a
+// function of the swept parameter. sweep is "d" (c held fixed) or "c"
+// (d held fixed); values are the parameter values; fixedOther is the
+// non-swept dimension.
+func RunRelaxSweep(sweep string, values []int, fixedOther int, o SingleDeviceOptions) ([]*BreakdownRow, error) {
+	o.defaults()
+	var rows []*BreakdownRow
+	for _, v := range values {
+		d, c := fixedOther, v
+		if sweep == "d" {
+			d, c = v, fixedOther
+		}
+		labeled, pool := SynthSets(2*c, o.N, d, c, o.Seed)
+		p := firal.NewProblem(labeled, pool)
+		ph, err := relaxOnce(p, o.S, o.NCG, o.Seed)
+		if err != nil {
+			return nil, err
+		}
+		q := perfmodel.RelaxParams{N: o.N, D: d, C: c, S: o.S, NCG: 2 * o.NCG, P: 1}
+		// 2·NCG: Algorithm 2 performs two multi-RHS solves per iteration.
+		rows = append(rows, &BreakdownRow{
+			Param: v,
+			Measured: map[string]float64{
+				"precond":  ph.Seconds("precond"),
+				"cg":       ph.Seconds("cg"),
+				"gradient": ph.Seconds("gradient"),
+				"other":    ph.Seconds("other"),
+			},
+			Theory: map[string]float64{
+				"precond":  o.Machine.PrecondComp(q),
+				"cg":       o.Machine.CGComp(q),
+				"gradient": o.Machine.GradientComp(q),
+				"other":    0,
+			},
+		})
+	}
+	return rows, nil
+}
+
+// RunRoundSweep reproduces Fig. 5(C)/(D): the ROUND phase breakdown per
+// iteration as a function of d or c.
+func RunRoundSweep(sweep string, values []int, fixedOther int, o SingleDeviceOptions) ([]*BreakdownRow, error) {
+	o.defaults()
+	var rows []*BreakdownRow
+	for _, v := range values {
+		d, c := fixedOther, v
+		if sweep == "d" {
+			d, c = v, fixedOther
+		}
+		labeled, pool := SynthSets(2*c, o.N, d, c, o.Seed)
+		p := firal.NewProblem(labeled, pool)
+		ph, err := roundOnce(p, o.Seed)
+		if err != nil {
+			return nil, err
+		}
+		q := perfmodel.RoundParams{N: o.N, D: d, C: c, P: 1}
+		rows = append(rows, &BreakdownRow{
+			Param: v,
+			Measured: map[string]float64{
+				"eig":       ph.Seconds("eig"),
+				"objective": ph.Seconds("objective"),
+				"other":     ph.Seconds("other"),
+			},
+			Theory: map[string]float64{
+				"eig":       o.Machine.EigComp(q),
+				"objective": o.Machine.ObjectiveComp(q),
+				"other":     o.Machine.RoundOtherComp(q),
+			},
+		})
+	}
+	return rows, nil
+}
+
+// PrintBreakdown renders a Fig. 5 sweep: for every parameter value, a
+// theory and a measured column per phase (the paper's paired bars).
+func PrintBreakdown(w io.Writer, title, param string, phases []string, rows []*BreakdownRow) {
+	fmt.Fprintf(w, "# %s\n", title)
+	headers := []string{param}
+	for _, ph := range phases {
+		headers = append(headers, ph+" (exp)", ph+" (theory)")
+	}
+	var table [][]string
+	for _, r := range rows {
+		row := []string{fmt.Sprintf("%d", r.Param)}
+		for _, ph := range phases {
+			row = append(row, Secs(r.Measured[ph]), Secs(r.Theory[ph]))
+		}
+		table = append(table, row)
+	}
+	PrintTable(w, headers, table)
+}

@@ -1,0 +1,105 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/dataset"
+	"repro/internal/firal"
+)
+
+// TimeComparison is one row pair of Table VI: wall-clock seconds of the
+// RELAX and ROUND steps for Exact-FIRAL and Approx-FIRAL on the first
+// active-learning round of a dataset.
+type TimeComparison struct {
+	Dataset                  string
+	N, D, C                  int
+	ExactRelax, ExactRound   float64
+	ApproxRelax, ApproxRound float64
+	RelaxIterations          int
+}
+
+// RunTableVI times Exact vs Approx on one config's first round. Both
+// RELAX solvers run the same fixed number of mirror-descent iterations so
+// the comparison is per-equal-work, as in the paper's single-round timing.
+func RunTableVI(cfg dataset.Config, scale float64, seed int64, relaxIters int) (*TimeComparison, error) {
+	if scale <= 0 {
+		scale = 1
+	}
+	if relaxIters <= 0 {
+		relaxIters = 10
+	}
+	ds := dataset.Generate(cfg.Scale(scale), seed)
+	p, err := problemFromDataset(ds)
+	if err != nil {
+		return nil, err
+	}
+	b := cfg.Budget
+	tc := &TimeComparison{
+		Dataset: cfg.Name, N: p.N(), D: p.D(), C: p.C(),
+		RelaxIterations: relaxIters,
+	}
+
+	relaxOpts := firal.RelaxOptions{FixedIterations: relaxIters, Seed: seed}
+
+	var zExact, zApprox []float64
+	tc.ExactRelax = Timed(func() {
+		res, e := firal.RelaxExact(p, b, relaxOpts)
+		if e != nil {
+			err = e
+			return
+		}
+		zExact = res.Z
+	})
+	if err != nil {
+		return nil, err
+	}
+	tc.ExactRound = Timed(func() {
+		_, e := firal.RoundExact(p, zExact, b, firal.RoundOptions{})
+		if e != nil {
+			err = e
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	tc.ApproxRelax = Timed(func() {
+		res, e := firal.RelaxFast(p, b, relaxOpts)
+		if e != nil {
+			err = e
+			return
+		}
+		zApprox = res.Z
+	})
+	if err != nil {
+		return nil, err
+	}
+	tc.ApproxRound = Timed(func() {
+		_, e := firal.RoundFast(p, zApprox, b, firal.RoundOptions{})
+		if e != nil {
+			err = e
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	return tc, nil
+}
+
+// PrintTableVI renders comparisons in the layout of Table VI with speedup
+// columns.
+func PrintTableVI(w io.Writer, comparisons []*TimeComparison) {
+	fmt.Fprintln(w, "# Table VI — Exact-FIRAL vs Approx-FIRAL wall-clock (seconds)")
+	headers := []string{"dataset", "step", "Exact-FIRAL", "Approx-FIRAL", "speedup"}
+	var rows [][]string
+	for _, tc := range comparisons {
+		rows = append(rows,
+			[]string{fmt.Sprintf("%s (n=%d d=%d c=%d)", tc.Dataset, tc.N, tc.D, tc.C),
+				"RELAX", Secs(tc.ExactRelax), Secs(tc.ApproxRelax),
+				fmt.Sprintf("%.1fx", tc.ExactRelax/tc.ApproxRelax)},
+			[]string{"", "ROUND", Secs(tc.ExactRound), Secs(tc.ApproxRound),
+				fmt.Sprintf("%.1fx", tc.ExactRound/tc.ApproxRound)},
+		)
+	}
+	PrintTable(w, headers, rows)
+}

@@ -1,0 +1,86 @@
+package firal
+
+import "math"
+
+// Options configure a full FIRAL selection (RELAX + ROUND).
+type Options struct {
+	// Relax configures the RELAX solver.
+	Relax RelaxOptions
+	// Eta is the ROUND learning rate; 0 means DefaultEta (Theorem 1 with
+	// ε = 1) unless EtaGrid is set.
+	Eta float64
+	// EtaGrid, when non-empty, tunes η as in § IV-A: the ROUND step is run
+	// once per candidate η and the one maximizing min_k λ_min((H)_k) of
+	// the selected batch wins.
+	EtaGrid []float64
+	// NaiveRound switches Exact-FIRAL to the literal per-candidate dense
+	// inverse (reference implementation; tiny problems only).
+	NaiveRound bool
+}
+
+// Result is a full FIRAL selection.
+type Result struct {
+	// Selected are the b chosen pool indices.
+	Selected []int
+	// Eta is the learning rate actually used by the ROUND step.
+	Eta float64
+	// Relax and Round carry the per-step reports.
+	Relax *RelaxResult
+	Round *RoundResult
+}
+
+// SelectApprox runs Approx-FIRAL (Algorithm 2 + Algorithm 3) to pick b
+// pool points.
+func SelectApprox(p *Problem, b int, o Options) (*Result, error) {
+	relax, err := RelaxFast(p, b, o.Relax)
+	if err != nil {
+		return nil, err
+	}
+	return roundWithTuning(p, relax, b, o, RoundFast)
+}
+
+// SelectExact runs Exact-FIRAL (Algorithm 1) to pick b pool points.
+func SelectExact(p *Problem, b int, o Options) (*Result, error) {
+	relax, err := RelaxExact(p, b, o.Relax)
+	if err != nil {
+		return nil, err
+	}
+	runner := func(p *Problem, z []float64, b int, ro RoundOptions) (*RoundResult, error) {
+		ro.Naive = o.NaiveRound
+		return RoundExact(p, z, b, ro)
+	}
+	return roundWithTuning(p, relax, b, o, runner)
+}
+
+type roundRunner func(p *Problem, z []float64, b int, o RoundOptions) (*RoundResult, error)
+
+// roundWithTuning runs the ROUND step, optionally sweeping EtaGrid and
+// keeping the η that maximizes min_k λ_min((H)_k) (§ IV-A).
+func roundWithTuning(p *Problem, relax *RelaxResult, b int, o Options, run roundRunner) (*Result, error) {
+	etas := o.EtaGrid
+	if len(etas) == 0 {
+		eta := o.Eta
+		if eta <= 0 {
+			eta = p.DefaultEta()
+		}
+		etas = []float64{eta}
+	}
+	var best *RoundResult
+	bestEta := 0.0
+	bestCrit := math.Inf(-1)
+	for _, eta := range etas {
+		round, err := run(p, relax.Z, b, RoundOptions{Eta: eta})
+		if err != nil {
+			return nil, err
+		}
+		if round.MinEigH > bestCrit {
+			best, bestEta, bestCrit = round, eta, round.MinEigH
+		}
+	}
+	return &Result{
+		Selected: best.Selected,
+		Eta:      bestEta,
+		Relax:    relax,
+		Round:    best,
+	}, nil
+}

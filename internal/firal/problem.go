@@ -1,0 +1,125 @@
+// Package firal implements the paper's primary contribution: the FIRAL
+// active-learning algorithm (Fisher Information Ratio Active Learning) in
+// both its exact form (Algorithm 1) and the scalable Approx-FIRAL form
+// (Algorithms 2 and 3).
+//
+// Given an initial labeled set Xo and an unlabeled pool Xu under a
+// multinomial logistic-regression classifier, FIRAL selects a batch of b
+// pool points minimizing the Fisher Information Ratio
+//
+//	f(z) = (Ho + Hz)⁻¹ · Hp,   z ∈ {0,1}ⁿ, ‖z‖₁ = b        (Eq. 4)
+//
+// via a continuous RELAX step (entropic mirror descent) followed by a
+// regret-minimization ROUND step (Follow-The-Regularized-Leader).
+package firal
+
+import (
+	"math"
+
+	"repro/internal/hessian"
+	"repro/internal/mat"
+)
+
+// Problem is one batch-selection instance: the labeled set Xo and the
+// unlabeled pool Xu, each with class probabilities h(x) under the current
+// classifier.
+//
+// As in Eq. 1, probabilities use the reduced (c−1)-class parametrization:
+// build Sets from hessian.ReduceProbs of the classifier's full softmax
+// output. C() below therefore reports the number of Fisher blocks (c−1),
+// and ẽd = d·(c−1). The full-softmax parametrization would make every Σz
+// singular along the gauge directions 1 ⊗ u and stall the CG solves.
+type Problem struct {
+	Labeled *hessian.Set // Xo
+	Pool    *hessian.Set // Xu
+}
+
+// NewProblem validates dimensions and builds a Problem.
+func NewProblem(labeled, pool *hessian.Set) *Problem {
+	if labeled.D() != pool.D() || labeled.C() != pool.C() {
+		panic("firal: labeled/pool dimension mismatch")
+	}
+	return &Problem{Labeled: labeled, Pool: pool}
+}
+
+// D returns the feature dimension d.
+func (p *Problem) D() int { return p.Pool.D() }
+
+// C returns the class count c.
+func (p *Problem) C() int { return p.Pool.C() }
+
+// N returns the pool size n.
+func (p *Problem) N() int { return p.Pool.N() }
+
+// Ed returns the Fisher dimension ẽd = d·c.
+func (p *Problem) Ed() int { return p.Pool.Ed() }
+
+// DefaultEta returns the learning rate of Theorem 1, η = 8·√(ẽd)/ε, at
+// ε = 1.
+func (p *Problem) DefaultEta() float64 { return 8 * math.Sqrt(float64(p.Ed())) }
+
+// SigmaMatVec returns the matrix-free operator v ↦ (Ho + Hz)·v with pool
+// weights z (Σz of Eq. 7), built from the Lemma-2 fast matvec.
+func (p *Problem) SigmaMatVec(z []float64) func(dst, v []float64) {
+	buf := make([]float64, p.Ed())
+	return func(dst, v []float64) {
+		p.Labeled.MatVec(dst, v, nil)
+		p.Pool.MatVec(buf, v, z)
+		for i := range dst {
+			dst[i] += buf[i]
+		}
+	}
+}
+
+// PoolMatVec returns the operator v ↦ Hp·v (unweighted pool sum).
+func (p *Problem) PoolMatVec() func(dst, v []float64) {
+	return func(dst, v []float64) {
+		p.Pool.MatVec(dst, v, nil)
+	}
+}
+
+// SigmaBlocks returns the c diagonal d×d blocks of Σz = Ho + Hz (Eq. 14).
+func (p *Problem) SigmaBlocks(z []float64) []*mat.Dense {
+	blocks := p.Labeled.BlockDiagSum(nil)
+	poolBlocks := p.Pool.BlockDiagSum(z)
+	for k := range blocks {
+		blocks[k].AddScaled(1, poolBlocks[k])
+	}
+	return blocks
+}
+
+// DenseSigma assembles Σz densely (Exact-FIRAL only; O((dc)²) storage).
+func (p *Problem) DenseSigma(z []float64) *mat.Dense {
+	s := p.Labeled.DenseSum(nil)
+	s.AddScaled(1, p.Pool.DenseSum(z))
+	return s
+}
+
+// BlockPreconditioner builds the CG preconditioner B(Σz)⁻¹ of § III-A
+// from the diagonal blocks: each d×d block is factorized once and applied
+// per class. Rank-deficient blocks (a class with no effective weight yet)
+// are regularized with an automatic ridge.
+func BlockPreconditioner(blocks []*mat.Dense) (func(dst, v []float64), error) {
+	chols := make([]*mat.Cholesky, len(blocks))
+	for k, b := range blocks {
+		ch, _, err := mat.NewCholeskyRidge(b, 1e-10)
+		if err != nil {
+			return nil, err
+		}
+		chols[k] = ch
+	}
+	d := blocks[0].Rows
+	return func(dst, v []float64) {
+		for k, ch := range chols {
+			ch.SolveVec(dst[k*d:(k+1)*d], v[k*d:(k+1)*d])
+		}
+	}, nil
+}
+
+// uniformSimplex returns the initial mirror-descent iterate
+// z = (1/n, …, 1/n).
+func uniformSimplex(n int) []float64 {
+	z := make([]float64, n)
+	mat.Fill(z, 1/float64(n))
+	return z
+}

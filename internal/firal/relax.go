@@ -1,0 +1,250 @@
+package firal
+
+import (
+	"math"
+
+	"repro/internal/krylov"
+	"repro/internal/mat"
+	"repro/internal/rnd"
+	"repro/internal/sketch"
+	"repro/internal/timing"
+)
+
+// RelaxOptions configure the RELAX solvers (exact Algorithm 1 lines 1–9
+// and fast Algorithm 2).
+type RelaxOptions struct {
+	// MaxIter is the mirror-descent iteration cap T (default 100, the
+	// paper's bound for its convergence criterion).
+	MaxIter int
+	// Beta0 scales the mirror-descent learning-rate schedule
+	// β_t = Beta0 / (‖g_t‖∞ √t) (default 1).
+	Beta0 float64
+	// ObjTol stops when the relative change of the objective falls below
+	// it (default 1e-4, § IV-A).
+	ObjTol float64
+	// Probes is the number of Rademacher vectors s (default 10, § IV-A).
+	// Fast solver only.
+	Probes int
+	// CGTol is the CG relative-residual tolerance (default 0.1, § IV-A).
+	// Fast solver only.
+	CGTol float64
+	// CGMaxIter caps CG iterations per solve (default 400). Fast solver
+	// only.
+	CGMaxIter int
+	// Seed seeds the Rademacher probes. Fast solver only.
+	Seed int64
+	// RecordObjective stores the objective after every iteration,
+	// enabling the Fig. 4 sensitivity curves.
+	RecordObjective bool
+	// FixedIterations, when positive, disables the ObjTol stop and runs
+	// exactly this many mirror-descent iterations (used by the
+	// performance experiments, which time a fixed iteration count).
+	FixedIterations int
+}
+
+func (o *RelaxOptions) defaults() {
+	if o.MaxIter <= 0 {
+		o.MaxIter = 100
+	}
+	if o.Beta0 <= 0 {
+		o.Beta0 = 1
+	}
+	if o.ObjTol <= 0 {
+		o.ObjTol = 1e-4
+	}
+	if o.Probes <= 0 {
+		o.Probes = 10
+	}
+	if o.CGTol <= 0 {
+		o.CGTol = 0.1
+	}
+	if o.CGMaxIter <= 0 {
+		o.CGMaxIter = 400
+	}
+	if o.FixedIterations > 0 {
+		o.MaxIter = o.FixedIterations
+	}
+}
+
+// RelaxResult reports a RELAX solve.
+type RelaxResult struct {
+	// Z is the relaxed solution z⋄ = b·z (Algorithm 1 line 9 /
+	// Algorithm 2 line 12); it sums to b.
+	Z []float64
+	// Objectives holds the per-iteration objective estimates
+	// f = Trace(Σz⁻¹ Hp) when recording was requested.
+	Objectives []float64
+	// Iterations is the number of mirror-descent iterations executed.
+	Iterations int
+	// CGIterations is the total number of CG iterations across all solves
+	// (fast solver; zero for exact).
+	CGIterations int
+	// Timings attributes wall-clock time to phases: "precond", "cg",
+	// "gradient", "other" (fast), or "dense"/"gradient" (exact).
+	Timings *timing.Phases
+}
+
+// mirrorStep applies the entropic mirror-descent update of Algorithm 1
+// lines 7–8 (z_i ← z_i e^{−β g_i}, renormalized), with β_t scaled by the
+// gradient's ∞-norm for a scale-free schedule.
+func mirrorStep(z, g []float64, beta0 float64, t int) {
+	gmax := 0.0
+	for _, v := range g {
+		if a := math.Abs(v); a > gmax {
+			gmax = a
+		}
+	}
+	if gmax == 0 {
+		return
+	}
+	beta := beta0 / (gmax * math.Sqrt(float64(t)))
+	var sum float64
+	for i := range z {
+		z[i] *= math.Exp(-beta * g[i])
+		sum += z[i]
+	}
+	inv := 1 / sum
+	for i := range z {
+		z[i] *= inv
+	}
+}
+
+// relConv reports whether the objective change between prev and cur is
+// below tol, relative to |prev|. Used by the exact solver, whose
+// objective is deterministic.
+func relConv(prev, cur, tol float64) bool {
+	if math.IsInf(prev, 0) {
+		return false
+	}
+	return math.Abs(prev-cur) <= tol*math.Max(1e-300, math.Abs(prev))
+}
+
+// StochasticConverged is the windowed form of the paper's stopping rule
+// for the fast solver: the Hutchinson objective estimate is redrawn every
+// iteration, so a pointwise relative-change test never fires through the
+// estimator noise. We instead compare the means of two consecutive
+// 5-iteration windows and stop when the change is below tol relative to
+// the level, or below half the within-window standard deviation (the
+// trajectory has plateaued to within estimator noise).
+func StochasticConverged(f []float64, tol float64) bool {
+	const w = 5
+	if len(f) < 2*w {
+		return false
+	}
+	mean := func(v []float64) float64 {
+		var m float64
+		for _, x := range v {
+			m += x
+		}
+		return m / float64(len(v))
+	}
+	m1 := mean(f[len(f)-2*w : len(f)-w])
+	m2 := mean(f[len(f)-w:])
+	diff := math.Abs(m2 - m1)
+	if diff <= tol*math.Abs(m1) {
+		return true
+	}
+	last := f[len(f)-w:]
+	var sd float64
+	for _, x := range last {
+		sd += (x - m2) * (x - m2)
+	}
+	sd = math.Sqrt(sd / float64(w-1))
+	return diff <= 0.5*sd
+}
+
+// RelaxFast runs the fast RELAX solve of Algorithm 2: Hutchinson gradient
+// estimation with s Rademacher probes, matrix-free Σz and Hp matvecs
+// (Lemma 2), and CG preconditioned by the block-diagonal B(Σz)⁻¹.
+func RelaxFast(p *Problem, b int, o RelaxOptions) (*RelaxResult, error) {
+	o.defaults()
+	n, ed := p.N(), p.Ed()
+	s := o.Probes
+	rng := rnd.New(o.Seed)
+	z := uniformSimplex(n)
+	res := &RelaxResult{Timings: timing.New()}
+	ph := res.Timings
+
+	g := make([]float64, n)
+	vj := make([]float64, ed)
+	wj := make([]float64, ed)
+	var fHist []float64
+
+	cgOpt := krylov.Options{Tol: o.CGTol, MaxIter: o.CGMaxIter}
+	poolMV := p.PoolMatVec()
+
+	for t := 1; t <= o.MaxIter; t++ {
+		// Line 4: fresh Rademacher probe block V ∈ R^{dc×s}.
+		stop := ph.Start("other")
+		v := sketch.RademacherMatrix(rng, ed, s)
+		stop()
+
+		// Line 5: block-diagonal preconditioner for Σz.
+		stop = ph.Start("precond")
+		blocks := p.SigmaBlocks(z)
+		precond, err := BlockPreconditioner(blocks)
+		stop()
+		if err != nil {
+			return nil, err
+		}
+
+		sigmaMV := p.SigmaMatVec(z)
+
+		// Line 6: W ← Σz⁻¹ V by preconditioned CG.
+		stop = ph.Start("cg")
+		w := mat.NewDense(ed, s)
+		cgRes := krylov.SolveColumns(sigmaMV, precond, v, w, cgOpt)
+		res.CGIterations += krylov.TotalIterations(cgRes)
+		stop()
+
+		// Line 7: W ← Hp W (fast matvec); also yields the free objective
+		// estimate f ≈ (1/s) Σ_j v_jᵀ Σz⁻¹ Hp v_j = (1/s) Σ_j v_jᵀ (Hp w_j)
+		// by symmetry of Σz and Hp.
+		stop = ph.Start("gradient")
+		hpw := mat.NewDense(ed, s)
+		col := make([]float64, ed)
+		for j := 0; j < s; j++ {
+			w.Col(col, j)
+			poolMV(wj, col)
+			hpw.SetCol(j, wj)
+		}
+		f := sketch.TraceFromProbes(v, hpw)
+		stop()
+
+		// Line 8: W ← Σz⁻¹ W by preconditioned CG.
+		stop = ph.Start("cg")
+		w2 := mat.NewDense(ed, s)
+		cgRes = krylov.SolveColumns(sigmaMV, precond, hpw, w2, cgOpt)
+		res.CGIterations += krylov.TotalIterations(cgRes)
+		stop()
+
+		// Line 9: g_i ← −(1/s) Σ_j v_jᵀ H_i w_j over the pool.
+		stop = ph.Start("gradient")
+		mat.Fill(g, 0)
+		for j := 0; j < s; j++ {
+			v.Col(vj, j)
+			w2.Col(wj, j)
+			p.Pool.QuadAccum(g, vj, wj, -1/float64(s))
+		}
+		stop()
+
+		// Lines 10–11: entropic mirror-descent update.
+		stop = ph.Start("other")
+		mirrorStep(z, g, o.Beta0, t)
+		stop()
+
+		res.Iterations = t
+		fHist = append(fHist, f)
+		if o.RecordObjective {
+			res.Objectives = append(res.Objectives, f)
+		}
+		if o.FixedIterations == 0 && StochasticConverged(fHist, o.ObjTol) {
+			break
+		}
+	}
+
+	// Line 12: z⋄ ← b·z.
+	res.Z = z
+	mat.Scal(float64(b), res.Z)
+	return res, nil
+}

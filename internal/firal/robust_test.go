@@ -1,0 +1,181 @@
+package firal
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/hessian"
+	"repro/internal/mat"
+)
+
+// TestExactGradientFiniteDifference validates the exact RELAX gradient
+// g_i = ∂f/∂z_i = −Trace(H_i Σz⁻¹ Hp Σz⁻¹) against central differences of
+// f(z) = Trace(Σz⁻¹ Hp).
+func TestExactGradientFiniteDifference(t *testing.T) {
+	p := testProblem(30, 5, 8, 3, 3)
+	n := p.N()
+	z := uniformSimplex(n)
+
+	// Analytic gradient (the inner loop of RelaxExact, recomputed here
+	// explicitly from the dense operators).
+	hp := p.Pool.DenseSum(nil)
+	sigma := p.DenseSigma(z)
+	sigInv, err := mat.InvSPD(sigma)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := mat.Mul(nil, mat.Mul(nil, sigInv, hp), sigInv)
+	grad := make([]float64, n)
+	for i := 0; i < n; i++ {
+		hi := hessian.DensePoint(p.Pool.X.Row(i), p.Pool.H.Row(i))
+		grad[i] = -mat.FrobDot(hi, m)
+	}
+
+	f := func(z []float64) float64 {
+		s := p.DenseSigma(z)
+		inv, err := mat.InvSPD(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return mat.Mul(nil, inv, hp).Trace()
+	}
+	const h = 1e-6
+	for i := 0; i < n; i += 3 { // subsample for speed
+		zp := append([]float64(nil), z...)
+		zp[i] += h
+		zm := append([]float64(nil), z...)
+		zm[i] -= h
+		num := (f(zp) - f(zm)) / (2 * h)
+		if math.Abs(num-grad[i]) > 1e-4*(1+math.Abs(num)) {
+			t.Fatalf("grad[%d] = %g, numerical %g", i, grad[i], num)
+		}
+	}
+}
+
+// TestRelaxFastHandlesConfidentModel: when the classifier is extremely
+// confident, the Fisher curvature weights h(1−h) vanish and Σ blocks are
+// nearly singular; the ridge guards must keep the solver running.
+func TestRelaxFastHandlesConfidentModel(t *testing.T) {
+	p := testProblem(40, 8, 20, 3, 3)
+	// Push probabilities to near-one-hot.
+	for _, set := range []*hessian.Set{p.Labeled, p.Pool} {
+		for i := 0; i < set.N(); i++ {
+			row := set.H.Row(i)
+			for k := range row {
+				if row[k] > 0.5 {
+					row[k] = 1 - 1e-9
+				} else {
+					row[k] = 1e-9 / float64(len(row))
+				}
+			}
+		}
+	}
+	res, err := RelaxFast(p, 5, RelaxOptions{MaxIter: 5, Seed: 1})
+	if err != nil {
+		t.Fatalf("solver failed on near-singular problem: %v", err)
+	}
+	for _, v := range res.Z {
+		if math.IsNaN(v) || v < 0 {
+			t.Fatalf("invalid weight %g", v)
+		}
+	}
+}
+
+// TestRoundFastHandlesDegeneratePool: all pool points identical — scores
+// tie, selection must still return b distinct indices.
+func TestRoundFastHandlesDegeneratePool(t *testing.T) {
+	base := testProblem(41, 6, 1, 3, 3)
+	x := mat.NewDense(8, 3)
+	h := mat.NewDense(8, 2)
+	for i := 0; i < 8; i++ {
+		copy(x.Row(i), base.Pool.X.Row(0))
+		copy(h.Row(i), base.Pool.H.Row(0))
+	}
+	p := NewProblem(base.Labeled, hessian.NewSet(x, h))
+	z := uniformSimplex(8)
+	mat.Scal(4, z)
+	res, err := RoundFast(p, z, 4, RoundOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Selected) != 4 {
+		t.Fatalf("selected %d of identical points", len(res.Selected))
+	}
+	seen := map[int]bool{}
+	for _, i := range res.Selected {
+		if seen[i] {
+			t.Fatal("duplicate under ties")
+		}
+		seen[i] = true
+	}
+}
+
+// TestLowRankFeatures: pool features confined to a 1-D subspace make Σ
+// rank-deficient in feature space; the ridge path must still produce a
+// selection.
+func TestLowRankFeatures(t *testing.T) {
+	d, c := 4, 3
+	n := 12
+	x := mat.NewDense(n, d)
+	h := mat.NewDense(n, c-1)
+	for i := 0; i < n; i++ {
+		x.Set(i, 0, float64(i+1)) // only dimension 0 populated
+		h.Set(i, 0, 0.4)
+		h.Set(i, 1, 0.3)
+	}
+	xo := mat.NewDense(3, d)
+	hO := mat.NewDense(3, c-1)
+	for i := 0; i < 3; i++ {
+		xo.Set(i, 0, 1)
+		hO.Set(i, 0, 0.5)
+		hO.Set(i, 1, 0.2)
+	}
+	p := NewProblem(hessian.NewSet(xo, hO), hessian.NewSet(x, h))
+	res, err := SelectApprox(p, 3, Options{Relax: RelaxOptions{MaxIter: 3, Seed: 2, CGMaxIter: 30}})
+	if err != nil {
+		t.Fatalf("rank-deficient selection failed: %v", err)
+	}
+	if len(res.Selected) != 3 {
+		t.Fatalf("selected %d", len(res.Selected))
+	}
+}
+
+// TestStochasticConvergedBehaviour pins the windowed stopping rule.
+func TestStochasticConvergedBehaviour(t *testing.T) {
+	// Too short: never converged.
+	if StochasticConverged([]float64{1, 1, 1}, 1e-4) {
+		t.Fatal("converged with < 2 windows")
+	}
+	// Flat series: converged.
+	flat := make([]float64, 12)
+	for i := range flat {
+		flat[i] = 5
+	}
+	if !StochasticConverged(flat, 1e-4) {
+		t.Fatal("flat series should converge")
+	}
+	// Steep descent with tiny noise: not converged.
+	desc := make([]float64, 12)
+	for i := range desc {
+		desc[i] = 100 - 10*float64(i) + 0.001*float64(i%2)
+	}
+	if StochasticConverged(desc, 1e-4) {
+		t.Fatal("steep descent should not converge")
+	}
+	// Plateau within noise (both comparison windows flat): converged via
+	// the noise-floor criterion.
+	noisy := []float64{50, 30, 20, 15, 12,
+		10.2, 9.8, 10.1, 9.9, 10.0, // first window on the plateau
+		10.05, 9.95, 10.02, 9.98, 10.01} // second window
+	if !StochasticConverged(noisy, 1e-4) {
+		t.Fatal("noise-level plateau should converge")
+	}
+}
+
+func TestDefaultEta(t *testing.T) {
+	p := testProblem(50, 6, 10, 4, 3)
+	want := 8 * math.Sqrt(float64(4*2)) // d=4, c−1=2 blocks
+	if math.Abs(p.DefaultEta()-want) > 1e-12 {
+		t.Fatalf("DefaultEta %g want %g", p.DefaultEta(), want)
+	}
+}

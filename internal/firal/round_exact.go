@@ -1,0 +1,260 @@
+package firal
+
+import (
+	"math"
+
+	"repro/internal/hessian"
+	"repro/internal/mat"
+	"repro/internal/opt"
+	"repro/internal/timing"
+)
+
+// RoundOptions configure the ROUND solvers.
+type RoundOptions struct {
+	// Eta is the FTRL learning rate η (0 → Problem.DefaultEta()).
+	Eta float64
+	// Naive switches the exact solver to the O((dc)³)-per-candidate
+	// reference objective (tests and tiny problems only).
+	Naive bool
+}
+
+// RoundResult reports a ROUND solve.
+type RoundResult struct {
+	// Selected holds the b chosen pool indices in selection order.
+	Selected []int
+	// Nu holds the FTRL normalization constants ν_t found by bisection.
+	Nu []float64
+	// Objectives holds the winning objective value of each round.
+	Objectives []float64
+	// MinEigH is min_k λ_min((H)_k) for the accumulated Hessian sum of
+	// the selected points — the η-tuning criterion of § IV-A.
+	MinEigH float64
+	// Timings attributes wall-clock time to phases ("objective", "eig",
+	// "other").
+	Timings *timing.Phases
+}
+
+// RoundExact runs the exact ROUND step of Algorithm 1 (lines 10–19):
+// FTRL regret minimization over dense transformed Hessians
+// H̃ = Σ⋄^{-1/2} H Σ⋄^{-1/2}. The per-candidate objective
+// Trace[(A_t + (η/b)H̃o + ηH̃_i)⁻¹] is evaluated through the
+// Woodbury/push-through identity on the rank-c factorization
+// H̃_i = U S_i Uᵀ with U = Σ⋄^{-1/2}(I_c ⊗ x_i), costing O(c³) per
+// candidate after an O((dc)³) per-round setup; RoundOptions.Naive selects
+// the direct dense inverse per candidate instead.
+func RoundExact(p *Problem, z []float64, b int, o RoundOptions) (*RoundResult, error) {
+	if o.Eta <= 0 {
+		o.Eta = p.DefaultEta()
+	}
+	eta := o.Eta
+	n, d, c := p.N(), p.D(), p.C()
+	ed := p.Ed()
+	edF := float64(ed)
+	res := &RoundResult{Timings: timing.New()}
+	ph := res.Timings
+
+	// Σ⋄ = Ho + Hz⋄ and its ±1/2 powers (Eq. 8).
+	stop := ph.Start("other")
+	sigma := p.DenseSigma(z)
+	sf, err := mat.NewSPDFuncs(sigma, 1e-12)
+	if err != nil {
+		return nil, err
+	}
+	isqrt := sf.InvSqrt()
+	hoDense := p.Labeled.DenseSum(nil)
+	hoTilde := mat.Mul(nil, mat.Mul(nil, isqrt, hoDense), isqrt)
+	hoTilde.Symmetrize()
+
+	// A_1 = √ẽd · I (line 12).
+	a := mat.Eye(ed)
+	a.Scale(math.Sqrt(edF))
+	hTilde := mat.NewDense(ed, ed) // accumulated ηH̃ numerator (line 15)
+	stop()
+
+	selected := make(map[int]bool, b)
+	ri := make([]float64, n)
+	xm := mat.NewDense(n, d)
+
+	for t := 1; t <= b; t++ {
+		stop = ph.Start("objective")
+		// K = A_t + (η/b) H̃o, shared by all candidates this round.
+		k := a.Clone()
+		k.AddScaled(eta/float64(b), hoTilde)
+		k.Symmetrize()
+		kinv, err := mat.InvSPD(k)
+		if err != nil {
+			return nil, err
+		}
+		if o.Naive {
+			roundExactNaiveObjective(p, k, isqrt, eta, ri)
+		} else {
+			trK := kinv.Trace()
+			kinv2 := mat.Mul(nil, kinv, kinv)
+			// M1 = Σ^{-1/2} K⁻¹ Σ^{-1/2}, M2 = Σ^{-1/2} K⁻² Σ^{-1/2}:
+			// G_i[k,l] = x_iᵀ M1^{(k,l)} x_i, P_i[k,l] = x_iᵀ M2^{(k,l)} x_i.
+			m1 := mat.Mul(nil, mat.Mul(nil, isqrt, kinv), isqrt)
+			m2 := mat.Mul(nil, mat.Mul(nil, isqrt, kinv2), isqrt)
+			gAll := make([][]float64, c*c)
+			pAll := make([][]float64, c*c)
+			for kk := 0; kk < c; kk++ {
+				for ll := kk; ll < c; ll++ {
+					blk := mat.Block(m1, kk, ll, d)
+					mat.Mul(xm, p.Pool.X, blk)
+					buf := make([]float64, n)
+					mat.RowDots(buf, p.Pool.X, xm)
+					gAll[kk*c+ll] = buf
+					gAll[ll*c+kk] = buf
+					blk2 := mat.Block(m2, kk, ll, d)
+					mat.Mul(xm, p.Pool.X, blk2)
+					buf2 := make([]float64, n)
+					mat.RowDots(buf2, p.Pool.X, xm)
+					pAll[kk*c+ll] = buf2
+					pAll[ll*c+kk] = buf2
+				}
+			}
+			// Per candidate: r_i = Tr K⁻¹ − η·Tr[(I + ηS_iG_i)⁻¹ S_i P_i].
+			gi := mat.NewDense(c, c)
+			pi := mat.NewDense(c, c)
+			si := mat.NewDense(c, c)
+			for i := 0; i < n; i++ {
+				hi := p.Pool.H.Row(i)
+				for kk := 0; kk < c; kk++ {
+					for ll := 0; ll < c; ll++ {
+						gi.Set(kk, ll, gAll[kk*c+ll][i])
+						pi.Set(kk, ll, pAll[kk*c+ll][i])
+						v := -hi[kk] * hi[ll]
+						if kk == ll {
+							v += hi[kk]
+						}
+						si.Set(kk, ll, v)
+					}
+				}
+				sg := mat.Mul(nil, si, gi)
+				sg.Scale(eta)
+				sg.AddDiag(1) // E = I + ηS G
+				sp := mat.Mul(nil, si, pi)
+				lu, err := mat.NewLU(sg)
+				if err != nil {
+					ri[i] = math.Inf(1)
+					continue
+				}
+				sol := lu.Solve(nil, sp)
+				ri[i] = trK - eta*sol.Trace()
+			}
+		}
+		stop()
+
+		// Select the minimizer among unselected candidates (line 14).
+		stop = ph.Start("other")
+		best, bestV := -1, math.Inf(1)
+		for i := 0; i < n; i++ {
+			if selected[i] {
+				continue
+			}
+			if ri[i] < bestV {
+				best, bestV = i, ri[i]
+			}
+		}
+		if best < 0 {
+			break
+		}
+		selected[best] = true
+		res.Selected = append(res.Selected, best)
+		res.Objectives = append(res.Objectives, bestV)
+
+		// Line 15: H̃ ← H̃ + (1/b)H̃o + H̃_it.
+		hit := hessian.DensePoint(p.Pool.X.Row(best), p.Pool.H.Row(best))
+		hitT := mat.Mul(nil, mat.Mul(nil, isqrt, hit), isqrt)
+		hTilde.AddScaled(1/float64(b), hoTilde)
+		hTilde.AddScaled(1, hitT)
+		hTilde.Symmetrize()
+		stop()
+
+		// Lines 16–18: eigenvalues of ηH̃, bisection for ν_{t+1}, and
+		// A_{t+1} = ν_{t+1}I + ηH̃.
+		stop = ph.Start("eig")
+		scaled := hTilde.Clone()
+		scaled.Scale(eta)
+		lam, err := mat.SymEigvals(scaled)
+		if err != nil {
+			return nil, err
+		}
+		stop()
+		stop = ph.Start("other")
+		nu, err := solveNu(lam, edF)
+		if err != nil {
+			return nil, err
+		}
+		res.Nu = append(res.Nu, nu)
+		a.CopyFrom(scaled)
+		a.AddDiag(nu)
+		stop()
+	}
+
+	res.MinEigH = minEigSelectedBlocks(p, res.Selected, float64(b))
+	return res, nil
+}
+
+// roundExactNaiveObjective evaluates r_i = Trace[(K + ηH̃_i)⁻¹] by a dense
+// inverse per candidate — the literal line 14 of Algorithm 1, used as the
+// ground truth in tests.
+func roundExactNaiveObjective(p *Problem, k, isqrt *mat.Dense, eta float64, ri []float64) {
+	for i := 0; i < p.N(); i++ {
+		hit := hessian.DensePoint(p.Pool.X.Row(i), p.Pool.H.Row(i))
+		hitT := mat.Mul(nil, mat.Mul(nil, isqrt, hit), isqrt)
+		m := k.Clone()
+		m.AddScaled(eta, hitT)
+		m.Symmetrize()
+		inv, err := mat.InvSPD(m)
+		if err != nil {
+			ri[i] = math.Inf(1)
+			continue
+		}
+		ri[i] = inv.Trace()
+	}
+}
+
+// solveNu finds ν with Σ_j (ν + λ_j)⁻² = 1 by bisection on the provable
+// bracket ν ∈ [−λ_min + ẽd^{-1/2}, −λ_min + ẽd^{1/2}] (DESIGN.md § 5).
+func solveNu(lam []float64, edF float64) (float64, error) {
+	lmin := lam[0]
+	for _, l := range lam {
+		if l < lmin {
+			lmin = l
+		}
+	}
+	f := func(nu float64) float64 {
+		var s float64
+		for _, l := range lam {
+			d := nu + l
+			s += 1 / (d * d)
+		}
+		return s - 1
+	}
+	lo := -lmin + 1/math.Sqrt(edF)
+	hi := -lmin + math.Sqrt(edF)
+	return opt.Bisect(f, lo, hi, 1e-12*(1+math.Abs(hi)), 0)
+}
+
+// minEigSelectedBlocks computes min_k λ_min((H)_k) where H = Ho + Σ_t H_it
+// restricted to its diagonal blocks — the η-selection criterion (§ IV-A).
+func minEigSelectedBlocks(p *Problem, selected []int, b float64) float64 {
+	if len(selected) == 0 {
+		return 0
+	}
+	blocks := p.Labeled.BlockDiagSum(nil)
+	for _, i := range selected {
+		hessian.AddBlockDiagPoint(blocks, p.Pool.X.Row(i), p.Pool.H.Row(i), 1)
+	}
+	minEig := math.Inf(1)
+	for _, blk := range blocks {
+		vals, err := mat.SymEigvals(blk)
+		if err != nil || len(vals) == 0 {
+			return math.Inf(-1)
+		}
+		if vals[0] < minEig {
+			minEig = vals[0]
+		}
+	}
+	return minEig
+}

@@ -1,0 +1,146 @@
+package firal
+
+import (
+	"errors"
+	"math"
+
+	"repro/internal/krylov"
+	"repro/internal/mat"
+	"repro/internal/opt"
+)
+
+// This file implements the paper's future-work extension (§ V, limitation
+// 1): replacing the exact per-block eigensolves of the ROUND step with an
+// iterative, matvec-only estimate. The FTRL normalization of Algorithm 3
+// line 10,
+//
+//	g(ν) = Σ_k Σ_j (ν + ηλ_kj)⁻² = Σ_k Trace[(νI + ηH̃_k)⁻²],
+//
+// is a spectral sum, so stochastic Lanczos quadrature yields nodes and
+// weights per block once, after which g(ν) is evaluable for every
+// bisection candidate without another eigensolve.
+
+// IterativeNuOptions configure the SLQ-based ν solve.
+type IterativeNuOptions struct {
+	// Probes is the number of Rademacher probes per block (default 6).
+	Probes int
+	// Steps is the Lanczos subspace dimension per probe (default
+	// min(d, 24)).
+	Steps int
+	// Seed seeds the probe draws.
+	Seed int64
+}
+
+// EigQuadrature computes, for each block k in [kLo, kHi), the SLQ
+// quadrature of the transformed accumulator H̃_k = S_k^{-1/2} H_k
+// S_k^{-1/2} using only matvecs (no dense eigensolve). Nodes and weights
+// from all requested blocks are concatenated; Σ weights ≈ (kHi−kLo)·d.
+func (st *RoundState) EigQuadrature(kLo, kHi int, o IterativeNuOptions) (nodes, weights []float64, err error) {
+	if o.Probes <= 0 {
+		o.Probes = 6
+	}
+	if o.Steps <= 0 {
+		o.Steps = st.d
+		if o.Steps > 24 {
+			o.Steps = 24
+		}
+	}
+	tmp := make([]float64, st.d)
+	for k := kLo; k < kHi; k++ {
+		isq := st.isqrt[k]
+		hk := st.hacc[k]
+		op := krylov.Op(func(dst, v []float64) {
+			// dst = S^{-1/2} H S^{-1/2} v via three d×d matvecs.
+			mat.MatVec(tmp, isq, v)
+			dst2 := mat.MatVec(nil, hk, tmp)
+			mat.MatVec(dst, isq, dst2)
+		})
+		nk, wk, e := krylov.SLQNodes(op, st.d, o.Probes, o.Steps, o.Seed+int64(k)*131)
+		if e != nil {
+			return nil, nil, e
+		}
+		nodes = append(nodes, nk...)
+		weights = append(weights, wk...)
+	}
+	return nodes, weights, nil
+}
+
+// ErrNuBracket is returned when the weighted FTRL equation cannot be
+// bracketed (degenerate quadrature).
+var ErrNuBracket = errors.New("firal: iterative ν solve failed to bracket the FTRL equation")
+
+// SolveNuQuadrature solves Σ_i w_i (ν + ηθ_i)⁻² = 1 for ν by bisection on
+// the weighted quadrature. Negative nodes (roundoff) are clamped to zero,
+// exactly as FinishUpdate clamps exact eigenvalues.
+func (st *RoundState) SolveNuQuadrature(nodes, weights []float64) (float64, error) {
+	if len(nodes) == 0 || len(nodes) != len(weights) {
+		return 0, ErrNuBracket
+	}
+	mu := make([]float64, len(nodes))
+	muMin := math.Inf(1)
+	var wTotal float64
+	for i, th := range nodes {
+		if th < 0 {
+			th = 0
+		}
+		mu[i] = st.eta * th
+		if weights[i] > 0 && mu[i] < muMin {
+			muMin = mu[i]
+		}
+		wTotal += math.Max(0, weights[i])
+	}
+	if wTotal <= 0 || math.IsInf(muMin, 1) {
+		return 0, ErrNuBracket
+	}
+	g := func(nu float64) float64 {
+		var s float64
+		for i := range mu {
+			w := weights[i]
+			if w <= 0 {
+				continue
+			}
+			d := nu + mu[i]
+			s += w / (d * d)
+		}
+		return s - 1
+	}
+	// hi: each term ≤ w/(ν+μmin)² so g ≤ Wtotal/(ν+μmin)² − 1 ≤ 0 at
+	// ν = −μmin + √Wtotal.
+	hi := -muMin + math.Sqrt(wTotal)
+	// lo: expand toward −μmin until g ≥ 0.
+	lo := -muMin + math.Sqrt(wTotal)*1e-6
+	for iter := 0; g(lo) < 0 && iter < 60; iter++ {
+		lo = -muMin + (lo+muMin)/4
+	}
+	if g(lo) < 0 {
+		return 0, ErrNuBracket
+	}
+	return opt.Bisect(g, lo, hi, 1e-12*(1+math.Abs(hi)), 0)
+}
+
+// FinishUpdateIterative is the matvec-only counterpart of FinishUpdate:
+// it derives ν_{t+1} from SLQ quadratures instead of exact eigensolves
+// and rebuilds the block inverses. The ν it produces converges to the
+// exact one as Probes·Steps grow (tested against FinishUpdate).
+func (st *RoundState) FinishUpdateIterative(o IterativeNuOptions) (float64, error) {
+	nodes, weights, err := st.EigQuadrature(0, st.c, o)
+	if err != nil {
+		return 0, err
+	}
+	nu, err := st.SolveNuQuadrature(nodes, weights)
+	if err != nil {
+		return 0, err
+	}
+	for k := 0; k < st.c; k++ {
+		bt := st.sig[k].Clone()
+		bt.Scale(nu)
+		bt.AddScaled(st.eta, st.hacc[k])
+		bt.AddScaled(st.eta/float64(st.b), st.ho[k])
+		ch, _, err := mat.NewCholeskyRidge(bt, 1e-12)
+		if err != nil {
+			return 0, err
+		}
+		st.binv[k] = ch.Inverse()
+	}
+	return nu, nil
+}

@@ -1,0 +1,114 @@
+package firal
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/mat"
+	"repro/internal/timing"
+)
+
+// TestIterativeNuMatchesExact: with a full-dimension Lanczos subspace the
+// SLQ quadrature is exact, so the iterative ν must match the eigensolve ν
+// closely; with a reduced subspace it must still land within a few
+// percent (the extreme eigenvalues dominate the FTRL equation).
+func TestIterativeNuMatchesExact(t *testing.T) {
+	p := testProblem(60, 8, 20, 6, 4)
+	z := uniformSimplex(p.N())
+	mat.Scal(4, z)
+	eta := 5.0
+
+	mkState := func() *RoundState {
+		st, err := newRoundState(p, z, 4, eta, timing.New())
+		if err != nil {
+			t.Fatal(err)
+		}
+		st.AddPoint(p.Pool.X.Row(0), p.Pool.H.Row(0))
+		st.AddPoint(p.Pool.X.Row(1), p.Pool.H.Row(1))
+		return st
+	}
+
+	// Exact reference.
+	stExact := mkState()
+	lam, err := stExact.Eigvals(0, stExact.c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nuExact, err := stExact.FinishUpdate(lam, timing.New())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Full-subspace SLQ (Steps = d): quadrature nodes are the exact
+	// spectrum, so ν should agree tightly even with few probes.
+	stFull := mkState()
+	nuFull, err := stFull.FinishUpdateIterative(IterativeNuOptions{Probes: 8, Steps: 6, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := math.Abs(nuFull-nuExact) / (1 + math.Abs(nuExact)); rel > 0.05 {
+		t.Fatalf("full-subspace iterative ν %g vs exact %g (rel %g)", nuFull, nuExact, rel)
+	}
+
+	// Reduced subspace: still close.
+	stRed := mkState()
+	nuRed, err := stRed.FinishUpdateIterative(IterativeNuOptions{Probes: 12, Steps: 4, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := math.Abs(nuRed-nuExact) / (1 + math.Abs(nuExact)); rel > 0.15 {
+		t.Fatalf("reduced-subspace iterative ν %g vs exact %g (rel %g)", nuRed, nuExact, rel)
+	}
+}
+
+// TestIterativeQuadratureWeightSum: SLQ weights must sum to ≈ c·d (the
+// quadrature preserves Trace(I) per block).
+func TestIterativeQuadratureWeightSum(t *testing.T) {
+	p := testProblem(61, 8, 16, 5, 3)
+	z := uniformSimplex(p.N())
+	mat.Scal(3, z)
+	st, err := newRoundState(p, z, 3, 4, timing.New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.AddPoint(p.Pool.X.Row(2), p.Pool.H.Row(2))
+	_, weights, err := st.EigQuadrature(0, st.c, IterativeNuOptions{Probes: 4, Steps: 5, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, w := range weights {
+		sum += w
+	}
+	want := float64(st.c * st.d)
+	if math.Abs(sum-want) > 1e-6*want {
+		t.Fatalf("weight sum %g want %g", sum, want)
+	}
+}
+
+// TestSolveNuQuadratureDegenerate: empty or non-positive quadratures are
+// rejected, not mis-solved.
+func TestSolveNuQuadratureDegenerate(t *testing.T) {
+	p := testProblem(62, 6, 10, 4, 3)
+	z := uniformSimplex(p.N())
+	mat.Scal(2, z)
+	st, err := newRoundState(p, z, 2, 3, timing.New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.SolveNuQuadrature(nil, nil); err == nil {
+		t.Fatal("empty quadrature accepted")
+	}
+	if _, err := st.SolveNuQuadrature([]float64{1}, []float64{-1}); err == nil {
+		t.Fatal("non-positive weights accepted")
+	}
+	// A valid single-node quadrature: w(ν+ηθ)⁻² = 1 → ν = √w − ηθ.
+	nu, err := st.SolveNuQuadrature([]float64{2}, []float64{9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 3.0 - st.eta*2
+	if math.Abs(nu-want) > 1e-8 {
+		t.Fatalf("single-node ν %g want %g", nu, want)
+	}
+}

@@ -1,0 +1,272 @@
+// Package hessian implements the Fisher-information structure at the heart
+// of FIRAL. For a point x with class-probability vector h, the Fisher
+// information (Hessian of the negative log-likelihood) is
+//
+//	H = (diag(h) − h hᵀ) ⊗ (x xᵀ)   ∈ R^{dc×dc}          (Eq. 2)
+//
+// Package hessian provides:
+//   - dense assembly of single Hessians and weighted sums (Exact-FIRAL),
+//   - the matrix-free fast matvec of Lemma 2 with O(dc) work per point,
+//   - the block-diagonal extraction of Eq. 14–15 used by the CG
+//     preconditioner and the diagonal ROUND step.
+//
+// Vectors v ∈ R^{dc} use the vec(V) layout of the paper: v stacks the
+// columns of V ∈ R^{d×c}, so block k (length d) corresponds to class k.
+package hessian
+
+import (
+	"repro/internal/mat"
+	"repro/internal/parallel"
+)
+
+// Set is a collection of points with attached class probabilities — the
+// (x_i, h_i) pairs over which Hessian sums such as Ho, Hp, Hz (Eq. 3)
+// range. X is n×d and H is n×c; row i of H is h(x_i) under the current
+// classifier.
+//
+// FIRAL uses the reduced (c−1)-class parametrization of Eq. 1 (θ ∈
+// R^{d×(c−1)}, h ∈ R^{c−1} with class c as reference): pass probability
+// rows with the last class dropped (see ReduceProbs). Under the full
+// c-class parametrization every Fisher Hessian is singular along the
+// softmax gauge directions 1_c ⊗ u, which breaks the CG solves; the
+// algebra in this package is width-agnostic and works for either width.
+type Set struct {
+	X *mat.Dense
+	H *mat.Dense
+}
+
+// ReduceProbs drops the last class column of a full softmax probability
+// matrix (n×c → n×(c−1)), producing the reduced parametrization of Eq. 1
+// under which diag(h)−hhᵀ is nonsingular for interior probabilities.
+func ReduceProbs(h *mat.Dense) *mat.Dense {
+	out := mat.NewDense(h.Rows, h.Cols-1)
+	for i := 0; i < h.Rows; i++ {
+		copy(out.Row(i), h.Row(i)[:h.Cols-1])
+	}
+	return out
+}
+
+// NewSet validates shapes and builds a Set.
+func NewSet(x, h *mat.Dense) *Set {
+	if x.Rows != h.Rows {
+		panic("hessian: X and H row mismatch")
+	}
+	return &Set{X: x, H: h}
+}
+
+// N returns the number of points.
+func (s *Set) N() int { return s.X.Rows }
+
+// D returns the point dimension.
+func (s *Set) D() int { return s.X.Cols }
+
+// C returns the number of classes.
+func (s *Set) C() int { return s.H.Cols }
+
+// Ed returns the Fisher dimension ẽd = d·c.
+func (s *Set) Ed() int { return s.X.Cols * s.H.Cols }
+
+// Subset returns a Set view restricted to the given point indices
+// (data is copied).
+func (s *Set) Subset(idx []int) *Set {
+	x := mat.NewDense(len(idx), s.D())
+	h := mat.NewDense(len(idx), s.C())
+	for r, i := range idx {
+		copy(x.Row(r), s.X.Row(i))
+		copy(h.Row(r), s.H.Row(i))
+	}
+	return NewSet(x, h)
+}
+
+// DensePoint assembles the dense dc×dc Hessian of Eq. 2 for a single
+// (x, h) pair. Used by Exact-FIRAL and as the reference implementation in
+// property tests.
+func DensePoint(x, h []float64) *mat.Dense {
+	c := len(h)
+	s := mat.NewDense(c, c)
+	for k := 0; k < c; k++ {
+		for l := 0; l < c; l++ {
+			v := -h[k] * h[l]
+			if k == l {
+				v += h[k]
+			}
+			s.Set(k, l, v)
+		}
+	}
+	xx := mat.NewDense(len(x), len(x))
+	xx.AddOuter(1, x)
+	return mat.Kron(s, xx)
+}
+
+// DenseSum assembles Σ_i w_i H_i densely (dc×dc). A nil w means unit
+// weights. Block (k, l) equals Σ_i w_i h_ik (δ_kl − h_il) x_i x_iᵀ, which
+// is a weighted Gram matrix, so the assembly runs c² parallel Gram kernels
+// — this is the O(n c² d²) storage/compute bottleneck that motivates
+// Approx-FIRAL.
+func (s *Set) DenseSum(w []float64) *mat.Dense {
+	n, d, c := s.N(), s.D(), s.C()
+	out := mat.NewDense(d*c, d*c)
+	u := make([]float64, n)
+	for k := 0; k < c; k++ {
+		for l := 0; l < c; l++ {
+			for i := 0; i < n; i++ {
+				wi := 1.0
+				if w != nil {
+					wi = w[i]
+				}
+				hik := s.H.At(i, k)
+				hil := s.H.At(i, l)
+				v := -hik * hil
+				if k == l {
+					v += hik
+				}
+				u[i] = wi * v
+			}
+			blk := mat.WeightedGram(nil, s.X, u)
+			mat.SetBlock(out, k, l, d, blk)
+		}
+	}
+	return out
+}
+
+// vecView reinterprets v ∈ R^{dc} (vec layout, columns stacked) as a c×d
+// row-major matrix whose row k is block k. No copying.
+func vecView(v []float64, d, c int) *mat.Dense {
+	if len(v) != d*c {
+		panic("hessian: vector has wrong length")
+	}
+	return &mat.Dense{Rows: c, Cols: d, Stride: d, Data: v}
+}
+
+// MatVec computes dst = Σ_i w_i H_i v with the Lemma-2 fast matvec:
+//
+//	G = X Vmat           (n×c, G_ik = x_iᵀ v_k)
+//	α_i = Σ_k G_ik h_ik  (x_iᵀ V h_i)
+//	Γ_ik = w_i (G_ik − α_i) h_ik
+//	dst block k = Σ_i Γ_ik x_i = (Γᵀ X) row k
+//
+// A nil w means unit weights. dst is allocated when nil; dst must not
+// alias v. The cost is two n×d×c products — O(ndc) — versus O(n d²c²) for
+// the dense operator (Table III).
+func (s *Set) MatVec(dst, v, w []float64) []float64 {
+	n, d, c := s.N(), s.D(), s.C()
+	if dst == nil {
+		dst = make([]float64, d*c)
+	}
+	vt := vecView(v, d, c)
+	g := mat.MulTransB(nil, s.X, vt) // n×c
+	// Γ computed in place of G.
+	parallel.ForChunk(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			gr := g.Row(i)
+			hr := s.H.Row(i)
+			alpha := mat.Dot(gr, hr)
+			wi := 1.0
+			if w != nil {
+				wi = w[i]
+			}
+			for k := range gr {
+				gr[k] = wi * (gr[k] - alpha) * hr[k]
+			}
+		}
+	})
+	dt := vecView(dst, d, c)
+	mat.MulTransA(dt, g, s.X) // c×d: row k = Σ_i Γ_ik x_iᵀ
+	return dst
+}
+
+// PointMatVec computes dst = H_i v for a single point using the four-step
+// procedure after Lemma 2 (❶ γ ← Vᵀx, ❷ α ← γᵀh, ❸ γ ← (γ−α)⊙h,
+// ❹ dst ← vec(γ ⊗ x)).
+func PointMatVec(dst []float64, x, h, v []float64) []float64 {
+	d, c := len(x), len(h)
+	if dst == nil {
+		dst = make([]float64, d*c)
+	}
+	gamma := make([]float64, c)
+	for k := 0; k < c; k++ {
+		gamma[k] = mat.Dot(v[k*d:(k+1)*d], x)
+	}
+	alpha := mat.Dot(gamma, h)
+	for k := 0; k < c; k++ {
+		gk := (gamma[k] - alpha) * h[k]
+		out := dst[k*d : (k+1)*d]
+		for j, xj := range x {
+			out[j] = gk * xj
+		}
+	}
+	return dst
+}
+
+// QuadAccum adds scale · (uᵀ H_i v) to dst[i] for every point i. This is
+// the inner kernel of the gradient estimator (Eq. 12):
+// g_i ≈ −(1/s) Σ_j v_jᵀ H_i w_j accumulates with scale = −1/s.
+func (s *Set) QuadAccum(dst []float64, u, v []float64, scale float64) {
+	n, d, c := s.N(), s.D(), s.C()
+	if len(dst) != n {
+		panic("hessian: QuadAccum dst length mismatch")
+	}
+	ut := vecView(u, d, c)
+	vt := vecView(v, d, c)
+	gu := mat.MulTransB(nil, s.X, ut) // n×c: x_iᵀ u_k
+	gv := mat.MulTransB(nil, s.X, vt) // n×c: x_iᵀ v_k
+	parallel.ForChunk(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			hu := gu.Row(i)
+			hv := gv.Row(i)
+			hr := s.H.Row(i)
+			alpha := mat.Dot(hv, hr)
+			var q float64
+			for k := range hr {
+				q += (hv[k] - alpha) * hr[k] * hu[k]
+			}
+			dst[i] += scale * q
+		}
+	})
+}
+
+// GammaCol writes γ_i = h_ik (1 − h_ik) for class k into dst (allocated if
+// nil) — the per-class curvature weights of Eq. 15.
+func (s *Set) GammaCol(dst []float64, k int) []float64 {
+	n := s.N()
+	if dst == nil {
+		dst = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		h := s.H.At(i, k)
+		dst[i] = h * (1 - h)
+	}
+	return dst
+}
+
+// BlockDiagSum computes the c diagonal blocks of Σ_i w_i H_i (Eq. 14):
+// block k = Σ_i w_i h_ik(1−h_ik) x_i x_iᵀ. A nil w means unit weights.
+func (s *Set) BlockDiagSum(w []float64) []*mat.Dense {
+	n, c := s.N(), s.C()
+	blocks := make([]*mat.Dense, c)
+	u := make([]float64, n)
+	for k := 0; k < c; k++ {
+		for i := 0; i < n; i++ {
+			wi := 1.0
+			if w != nil {
+				wi = w[i]
+			}
+			h := s.H.At(i, k)
+			u[i] = wi * h * (1 - h)
+		}
+		blocks[k] = mat.WeightedGram(nil, s.X, u)
+	}
+	return blocks
+}
+
+// AddBlockDiagPoint adds γ_k x xᵀ to each block (γ_k = h_k(1−h_k)),
+// optionally scaled — the per-point block-diagonal update of Algorithm 3,
+// line 8.
+func AddBlockDiagPoint(blocks []*mat.Dense, x, h []float64, scale float64) {
+	for k, b := range blocks {
+		g := scale * h[k] * (1 - h[k])
+		if g != 0 {
+			b.AddOuter(g, x)
+		}
+	}
+}

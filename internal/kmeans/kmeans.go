@@ -1,0 +1,168 @@
+// Package kmeans implements k-means++ seeding and Lloyd iterations,
+// backing the K-Means active-learning baseline of § IV-A (k = b cluster
+// centers; the selected points are the pool points nearest each center).
+package kmeans
+
+import (
+	"math"
+
+	"repro/internal/mat"
+	"repro/internal/parallel"
+	"repro/internal/rnd"
+)
+
+// Options configure a clustering run.
+type Options struct {
+	// MaxIter caps Lloyd iterations (default 50).
+	MaxIter int
+	// Tol stops when the relative decrease of the objective is below Tol
+	// (default 1e-6).
+	Tol float64
+}
+
+// Result is a clustering.
+type Result struct {
+	Centers    *mat.Dense // k×d
+	Assign     []int      // n
+	Inertia    float64    // Σ_i ‖x_i − c_{a(i)}‖²
+	Iterations int
+}
+
+// Run clusters the rows of x into k clusters with k-means++ seeding.
+func Run(x *mat.Dense, k int, rng *rnd.Source, o Options) *Result {
+	n, d := x.Rows, x.Cols
+	if k <= 0 || n == 0 {
+		return &Result{Centers: mat.NewDense(0, d), Assign: make([]int, n)}
+	}
+	if k > n {
+		k = n
+	}
+	if o.MaxIter <= 0 {
+		o.MaxIter = 50
+	}
+	if o.Tol <= 0 {
+		o.Tol = 1e-6
+	}
+
+	centers := seedPlusPlus(x, k, rng)
+	assign := make([]int, n)
+	dist := make([]float64, n)
+	counts := make([]int, k)
+	prev := math.Inf(1)
+	res := &Result{Centers: centers, Assign: assign}
+
+	for iter := 0; iter < o.MaxIter; iter++ {
+		assignAll(x, centers, assign, dist)
+		var inertia float64
+		for _, v := range dist {
+			inertia += v
+		}
+		res.Inertia = inertia
+		res.Iterations = iter + 1
+
+		// Update step.
+		centers.Zero()
+		for i := range counts {
+			counts[i] = 0
+		}
+		for i := 0; i < n; i++ {
+			a := assign[i]
+			counts[a]++
+			mat.Axpy(1, x.Row(i), centers.Row(a))
+		}
+		for j := 0; j < k; j++ {
+			if counts[j] == 0 {
+				// Re-seed an empty cluster at the farthest point.
+				far, _ := mat.MaxIdx(dist)
+				copy(centers.Row(j), x.Row(far))
+				dist[far] = 0
+				continue
+			}
+			mat.Scal(1/float64(counts[j]), centers.Row(j))
+		}
+		if prev-inertia <= o.Tol*math.Max(1, prev) {
+			break
+		}
+		prev = inertia
+	}
+	assignAll(x, centers, assign, dist)
+	return res
+}
+
+// NearestToCenters returns, for each cluster center, the index of the
+// closest row of x, excluding indices already chosen (each point is used
+// at most once). This turns a clustering into a batch selection.
+func NearestToCenters(x *mat.Dense, centers *mat.Dense) []int {
+	k := centers.Rows
+	chosen := make([]int, 0, k)
+	used := make(map[int]bool, k)
+	for j := 0; j < k; j++ {
+		best, bestD := -1, math.Inf(1)
+		cj := centers.Row(j)
+		for i := 0; i < x.Rows; i++ {
+			if used[i] {
+				continue
+			}
+			d := sqDist(x.Row(i), cj)
+			if d < bestD {
+				best, bestD = i, d
+			}
+		}
+		if best >= 0 {
+			used[best] = true
+			chosen = append(chosen, best)
+		}
+	}
+	return chosen
+}
+
+func assignAll(x, centers *mat.Dense, assign []int, dist []float64) {
+	k := centers.Rows
+	parallel.ForChunk(x.Rows, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			xi := x.Row(i)
+			best, bestD := 0, math.Inf(1)
+			for j := 0; j < k; j++ {
+				d := sqDist(xi, centers.Row(j))
+				if d < bestD {
+					best, bestD = j, d
+				}
+			}
+			assign[i] = best
+			dist[i] = bestD
+		}
+	})
+}
+
+func seedPlusPlus(x *mat.Dense, k int, rng *rnd.Source) *mat.Dense {
+	n, d := x.Rows, x.Cols
+	centers := mat.NewDense(k, d)
+	first := rng.Intn(n)
+	copy(centers.Row(0), x.Row(first))
+	minDist := make([]float64, n)
+	for i := range minDist {
+		minDist[i] = sqDist(x.Row(i), centers.Row(0))
+	}
+	for j := 1; j < k; j++ {
+		idx := rng.WeightedChoice(minDist)
+		copy(centers.Row(j), x.Row(idx))
+		cj := centers.Row(j)
+		parallel.ForChunk(n, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				if dd := sqDist(x.Row(i), cj); dd < minDist[i] {
+					minDist[i] = dd
+				}
+			}
+		})
+	}
+	return centers
+}
+
+func sqDist(a, b []float64) float64 {
+	var s float64
+	for i, v := range a {
+		d := v - b[i]
+		s += d * d
+	}
+	return s
+}

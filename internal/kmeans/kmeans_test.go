@@ -1,0 +1,97 @@
+package kmeans
+
+import (
+	"testing"
+
+	"repro/internal/mat"
+	"repro/internal/rnd"
+)
+
+func clusters(rng *rnd.Source, perCluster, k, d int, sep float64) (*mat.Dense, []int) {
+	means := mat.NewDense(k, d)
+	for j := 0; j < k; j++ {
+		rng.UnitVector(means.Row(j))
+		mat.Scal(sep, means.Row(j))
+	}
+	x := mat.NewDense(perCluster*k, d)
+	truth := make([]int, x.Rows)
+	for i := 0; i < x.Rows; i++ {
+		j := i % k
+		truth[i] = j
+		rng.Normal(x.Row(i), 0, 0.1)
+		mat.Axpy(1, means.Row(j), x.Row(i))
+	}
+	return x, truth
+}
+
+func TestRunRecoversClusters(t *testing.T) {
+	rng := rnd.New(1)
+	x, truth := clusters(rng, 40, 4, 5, 5)
+	res := Run(x, 4, rng, Options{})
+	if res.Iterations == 0 {
+		t.Fatal("no iterations recorded")
+	}
+	// Same-truth points should share an assignment; different-truth points
+	// should not (well separated).
+	for i := 1; i < x.Rows; i++ {
+		same := truth[i] == truth[0]
+		got := res.Assign[i] == res.Assign[0]
+		if same != got {
+			t.Fatalf("clustering failed at point %d", i)
+		}
+	}
+}
+
+func TestInertiaDecreasesWithK(t *testing.T) {
+	rng := rnd.New(2)
+	x, _ := clusters(rng, 30, 3, 4, 4)
+	r1 := Run(x, 1, rnd.New(3), Options{})
+	r3 := Run(x, 3, rnd.New(3), Options{})
+	if r3.Inertia >= r1.Inertia {
+		t.Fatalf("inertia did not decrease: k=1 %g, k=3 %g", r1.Inertia, r3.Inertia)
+	}
+}
+
+func TestNearestToCentersDistinct(t *testing.T) {
+	rng := rnd.New(4)
+	x, _ := clusters(rng, 20, 5, 3, 5)
+	res := Run(x, 5, rng, Options{})
+	sel := NearestToCenters(x, res.Centers)
+	if len(sel) != 5 {
+		t.Fatalf("selected %d points", len(sel))
+	}
+	seen := map[int]bool{}
+	for _, i := range sel {
+		if seen[i] {
+			t.Fatal("duplicate selection")
+		}
+		seen[i] = true
+	}
+}
+
+func TestKGreaterThanN(t *testing.T) {
+	rng := rnd.New(5)
+	x := mat.NewDense(3, 2)
+	rng.Normal(x.Data, 0, 1)
+	res := Run(x, 10, rng, Options{})
+	if res.Centers.Rows != 3 {
+		t.Fatalf("expected k clamped to n, got %d centers", res.Centers.Rows)
+	}
+}
+
+func TestEmptyAndDegenerate(t *testing.T) {
+	rng := rnd.New(6)
+	res := Run(mat.NewDense(0, 2), 3, rng, Options{})
+	if len(res.Assign) != 0 {
+		t.Fatal("expected empty assignment")
+	}
+	// All-identical points: must terminate with zero inertia.
+	x := mat.NewDense(10, 2)
+	for i := 0; i < 10; i++ {
+		x.Set(i, 0, 1)
+	}
+	res2 := Run(x, 2, rng, Options{})
+	if res2.Inertia > 1e-12 {
+		t.Fatalf("inertia %g on identical points", res2.Inertia)
+	}
+}

@@ -1,0 +1,171 @@
+// Package krylov implements the (preconditioned) conjugate-gradient solver
+// used by the fast RELAX step (Algorithm 2, lines 6 and 8). Operators are
+// matrix-free: the caller supplies closures for A·v and M⁻¹·r, which in the
+// reproduction come from the Lemma-2 fast Hessian matvec and the
+// block-diagonal preconditioner of Eq. 14.
+package krylov
+
+import (
+	"math"
+
+	"repro/internal/mat"
+)
+
+// Op applies a linear operator: dst = A·v. dst and v never alias.
+type Op func(dst, v []float64)
+
+// Options configure a CG solve.
+type Options struct {
+	// Tol is the relative-residual termination tolerance ‖r‖/‖b‖ (the
+	// paper's cgtol; its accuracy experiments use 0.1).
+	Tol float64
+	// MaxIter caps the iteration count. Zero means 10·n.
+	MaxIter int
+	// RecordResiduals stores the relative residual after every iteration
+	// (including iteration 0), enabling the Fig. 1 convergence curves.
+	RecordResiduals bool
+}
+
+// Result reports a CG solve.
+type Result struct {
+	Iterations int
+	Converged  bool
+	// RelResidual is the final relative residual ‖b−Ax‖/‖b‖ (recurrence
+	// estimate).
+	RelResidual float64
+	// Residuals holds per-iteration relative residuals when requested.
+	Residuals []float64
+}
+
+// CG solves A x = b with plain conjugate gradients. x is both the initial
+// guess and the output.
+func CG(a Op, b, x []float64, opt Options) Result {
+	return PCG(a, nil, b, x, opt)
+}
+
+// PCG solves A x = b with preconditioned conjugate gradients. precond
+// applies M⁻¹ (pass nil for unpreconditioned CG). x is both the initial
+// guess and the output.
+func PCG(a Op, precond Op, b, x []float64, opt Options) Result {
+	n := len(b)
+	if len(x) != n {
+		panic("krylov: x/b length mismatch")
+	}
+	if opt.Tol <= 0 {
+		opt.Tol = 1e-8
+	}
+	maxIter := opt.MaxIter
+	if maxIter <= 0 {
+		maxIter = 10 * n
+	}
+
+	r := make([]float64, n)
+	av := make([]float64, n)
+	a(av, x)
+	for i := range r {
+		r[i] = b[i] - av[i]
+	}
+	bnorm := mat.Nrm2(b)
+	if bnorm == 0 {
+		for i := range x {
+			x[i] = 0
+		}
+		return Result{Converged: true, RelResidual: 0}
+	}
+
+	z := make([]float64, n)
+	applyPrec := func() {
+		if precond != nil {
+			precond(z, r)
+		} else {
+			copy(z, r)
+		}
+	}
+	applyPrec()
+	p := append([]float64(nil), z...)
+	rz := mat.Dot(r, z)
+
+	res := Result{}
+	rel := mat.Nrm2(r) / bnorm
+	if opt.RecordResiduals {
+		res.Residuals = append(res.Residuals, rel)
+	}
+	if rel <= opt.Tol {
+		res.Converged = true
+		res.RelResidual = rel
+		return res
+	}
+
+	for it := 0; it < maxIter; it++ {
+		a(av, p)
+		pap := mat.Dot(p, av)
+		if pap <= 0 || math.IsNaN(pap) {
+			// Operator lost positive definiteness numerically; stop with
+			// the best iterate so far.
+			res.Iterations = it
+			res.RelResidual = rel
+			return res
+		}
+		alpha := rz / pap
+		mat.Axpy(alpha, p, x)
+		mat.Axpy(-alpha, av, r)
+		rel = mat.Nrm2(r) / bnorm
+		res.Iterations = it + 1
+		if opt.RecordResiduals {
+			res.Residuals = append(res.Residuals, rel)
+		}
+		if rel <= opt.Tol {
+			res.Converged = true
+			break
+		}
+		applyPrec()
+		rzNew := mat.Dot(r, z)
+		beta := rzNew / rz
+		rz = rzNew
+		for i := range p {
+			p[i] = z[i] + beta*p[i]
+		}
+	}
+	res.RelResidual = rel
+	return res
+}
+
+// SolveColumns solves A X = B column-by-column with (preconditioned) CG,
+// writing solutions into x (same shape as b, used as initial guesses).
+// It returns per-column results. This is the W ← Σ⁻¹V pattern of
+// Algorithm 2, lines 6 and 8.
+func SolveColumns(a Op, precond Op, b, x *mat.Dense, opt Options) []Result {
+	if b.Rows != x.Rows || b.Cols != x.Cols {
+		panic("krylov: SolveColumns shape mismatch")
+	}
+	results := make([]Result, b.Cols)
+	bc := make([]float64, b.Rows)
+	xc := make([]float64, b.Rows)
+	for j := 0; j < b.Cols; j++ {
+		b.Col(bc, j)
+		x.Col(xc, j)
+		results[j] = PCG(a, precond, bc, xc, opt)
+		x.SetCol(j, xc)
+	}
+	return results
+}
+
+// TotalIterations sums the iteration counts of a batch of results.
+func TotalIterations(rs []Result) int {
+	var t int
+	for _, r := range rs {
+		t += r.Iterations
+	}
+	return t
+}
+
+// MaxIterations returns the largest iteration count in a batch.
+func MaxIterations(rs []Result) int {
+	var m int
+	for _, r := range rs {
+		if r.Iterations > m {
+			m = r.Iterations
+		}
+	}
+	return m
+}

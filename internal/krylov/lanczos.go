@@ -1,0 +1,217 @@
+package krylov
+
+import (
+	"math"
+
+	"repro/internal/mat"
+	"repro/internal/rnd"
+)
+
+// This file implements the paper's stated future-work direction
+// (§ V, limitation 1): replacing the exact eigenvalue solves of the ROUND
+// step with iterative methods. Lanczos tridiagonalization yields Ritz
+// values that approximate the spectrum of a symmetric operator using only
+// matvecs; the FTRL normalization Σ_j (ν + ηλ_j)⁻² = 1 is dominated by
+// the extreme eigenvalues, which Lanczos resolves first.
+
+// LanczosOptions configure a Lanczos run.
+type LanczosOptions struct {
+	// Steps is the Krylov subspace dimension m (default min(n, 40)).
+	Steps int
+	// Seed seeds the start vector.
+	Seed int64
+	// Reorthogonalize enables full reorthogonalization (default true;
+	// without it repeated Ritz values appear for clustered spectra).
+	NoReorthogonalize bool
+}
+
+// Lanczos runs m steps of the Lanczos iteration on the symmetric operator
+// a (dimension n) and returns the Ritz values (ascending), which
+// approximate eigenvalues of a. For m = n (and exact arithmetic with
+// reorthogonalization) the Ritz values are the exact spectrum.
+func Lanczos(a Op, n int, o LanczosOptions) ([]float64, error) {
+	m := o.Steps
+	if m <= 0 || m > n {
+		m = n
+		if m > 40 {
+			m = 40
+		}
+	}
+	rng := rnd.New(o.Seed)
+	v := make([]float64, n)
+	rng.Normal(v, 0, 1)
+	mat.Scal(1/mat.Nrm2(v), v)
+	alpha, beta := lanczosTridiag(a, v, m, !o.NoReorthogonalize)
+
+	// Eigenvalues of the tridiagonal (α, β) via the dense symmetric
+	// solver on the small m×m matrix.
+	k := len(alpha)
+	t := mat.NewDense(k, k)
+	for i := 0; i < k; i++ {
+		t.Set(i, i, alpha[i])
+		if i+1 < k && i < len(beta) {
+			t.Set(i, i+1, beta[i])
+			t.Set(i+1, i, beta[i])
+		}
+	}
+	return mat.SymEigvals(t)
+}
+
+// LanczosExtremes estimates (λ_min, λ_max) of the symmetric operator a.
+func LanczosExtremes(a Op, n int, o LanczosOptions) (float64, float64, error) {
+	vals, err := Lanczos(a, n, o)
+	if err != nil {
+		return 0, 0, err
+	}
+	if len(vals) == 0 {
+		return 0, 0, nil
+	}
+	return vals[0], vals[len(vals)-1], nil
+}
+
+// DenseOp wraps a dense symmetric matrix as an Op.
+func DenseOp(a *mat.Dense) Op {
+	return func(dst, v []float64) { mat.MatVec(dst, a, v) }
+}
+
+// lanczosTridiag runs m Lanczos steps from the given unit start vector
+// and returns the tridiagonal coefficients.
+func lanczosTridiag(a Op, start []float64, m int, reorth bool) (alpha, beta []float64) {
+	n := len(start)
+	if m > n {
+		m = n
+	}
+	q := make([][]float64, 0, m)
+	v := append([]float64(nil), start...)
+	w := make([]float64, n)
+	for j := 0; j < m; j++ {
+		q = append(q, append([]float64(nil), v...))
+		a(w, v)
+		aj := mat.Dot(v, w)
+		alpha = append(alpha, aj)
+		mat.Axpy(-aj, q[j], w)
+		if j > 0 {
+			mat.Axpy(-beta[j-1], q[j-1], w)
+		}
+		if reorth {
+			for pass := 0; pass < 2; pass++ {
+				for _, qi := range q {
+					mat.Axpy(-mat.Dot(qi, w), qi, w)
+				}
+			}
+		}
+		bj := mat.Nrm2(w)
+		if bj < 1e-13 || j == m-1 {
+			break
+		}
+		beta = append(beta, bj)
+		copy(v, w)
+		mat.Scal(1/bj, v)
+	}
+	return alpha, beta
+}
+
+// SLQNodes computes a spectral quadrature for the symmetric operator a of
+// dimension n: nodes θ_i (Ritz values) and weights w_i such that
+// Trace(f(A)) ≈ Σ_i w_i f(θ_i) for smooth f. The quadrature is computed
+// once and can then be evaluated for many functions f — e.g. the FTRL
+// normalization g(ν) = Trace[(νI + ηA)⁻²] for every bisection candidate
+// ν. Σ_i w_i = n (the quadrature preserves Trace(I)).
+func SLQNodes(a Op, n, probes, steps int, seed int64) (nodes, weights []float64, err error) {
+	if probes <= 0 {
+		probes = 8
+	}
+	if steps <= 0 {
+		steps = 30
+	}
+	rng := rnd.New(seed)
+	start := make([]float64, n)
+	for v := 0; v < probes; v++ {
+		rng.Rademacher(start)
+		mat.Scal(1/mat.Nrm2(start), start)
+		alpha, beta := lanczosTridiag(a, start, steps, true)
+		k := len(alpha)
+		t := mat.NewDense(k, k)
+		for i := 0; i < k; i++ {
+			t.Set(i, i, alpha[i])
+			if i+1 < k && i < len(beta) {
+				t.Set(i, i+1, beta[i])
+				t.Set(i+1, i, beta[i])
+			}
+		}
+		theta, y, eerr := mat.SymEig(t)
+		if eerr != nil {
+			return nil, nil, eerr
+		}
+		for i := 0; i < k; i++ {
+			tau := y.At(0, i)
+			nodes = append(nodes, theta[i])
+			weights = append(weights, float64(n)*tau*tau/float64(probes))
+		}
+	}
+	return nodes, weights, nil
+}
+
+// SLQTrace estimates Trace(f(A)) for a symmetric PSD operator a of
+// dimension n by stochastic Lanczos quadrature: for each Rademacher probe
+// the Lanczos tridiagonal yields Gauss quadrature nodes θ_i (Ritz values)
+// and weights τ_i² (squared first components of the tridiagonal
+// eigenvectors), and
+//
+//	Trace(f(A)) ≈ (n/n_v) Σ_v Σ_i τ_i² f(θ_i).
+//
+// This is the building block for the paper's future-work replacement of
+// the exact ROUND eigensolves (§ V): the FTRL normalization
+// Σ_j (ν + ηλ_j)⁻² = Trace[(νI + ηH̃)⁻²] is a spectral sum.
+func SLQTrace(a Op, n int, f func(float64) float64, probes, steps int, seed int64) (float64, error) {
+	if probes <= 0 {
+		probes = 8
+	}
+	if steps <= 0 {
+		steps = 30
+	}
+	rng := rnd.New(seed)
+	start := make([]float64, n)
+	var acc float64
+	for v := 0; v < probes; v++ {
+		rng.Rademacher(start)
+		mat.Scal(1/mat.Nrm2(start), start)
+		alpha, beta := lanczosTridiag(a, start, steps, true)
+		k := len(alpha)
+		t := mat.NewDense(k, k)
+		for i := 0; i < k; i++ {
+			t.Set(i, i, alpha[i])
+			if i+1 < k && i < len(beta) {
+				t.Set(i, i+1, beta[i])
+				t.Set(i+1, i, beta[i])
+			}
+		}
+		theta, y, err := mat.SymEig(t)
+		if err != nil {
+			return 0, err
+		}
+		for i := 0; i < k; i++ {
+			tau := y.At(0, i)
+			acc += tau * tau * f(theta[i])
+		}
+	}
+	return float64(n) * acc / float64(probes), nil
+}
+
+// RelativeSpectrumError measures max_i |got_i − want_i| / (1 + |want_i|)
+// after aligning lengths by padding the shorter tail — a test helper for
+// comparing Ritz values against exact spectra.
+func RelativeSpectrumError(got, want []float64) float64 {
+	var worst float64
+	n := len(got)
+	if len(want) < n {
+		n = len(want)
+	}
+	for i := 0; i < n; i++ {
+		e := math.Abs(got[i]-want[i]) / (1 + math.Abs(want[i]))
+		if e > worst {
+			worst = e
+		}
+	}
+	return worst
+}

@@ -1,0 +1,126 @@
+package krylov
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/mat"
+)
+
+func TestLanczosFullRecoverySmall(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{2, 5, 12} {
+		a := randSPD(rng, n, 50)
+		want, err := mat.SymEigvals(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := Lanczos(DenseOp(a), n, LanczosOptions{Steps: n, Seed: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != n {
+			t.Fatalf("n=%d: %d Ritz values", n, len(got))
+		}
+		if e := RelativeSpectrumError(got, want); e > 1e-8 {
+			t.Fatalf("n=%d: spectrum error %g", n, e)
+		}
+	}
+}
+
+func TestLanczosExtremesPartial(t *testing.T) {
+	// m ≪ n Lanczos must still resolve the extreme eigenvalues well.
+	rng := rand.New(rand.NewSource(2))
+	n := 120
+	a := randSPD(rng, n, 1000)
+	want, err := mat.SymEigvals(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi, err := LanczosExtremes(DenseOp(a), n, LanczosOptions{Steps: 30, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(hi-want[n-1]) > 0.02*want[n-1] {
+		t.Fatalf("λmax estimate %g want %g", hi, want[n-1])
+	}
+	// λmin estimate is an upper bound that should be within the spectrum.
+	if lo < want[0]-1e-8 || lo > want[n-1] {
+		t.Fatalf("λmin estimate %g outside [%g, %g]", lo, want[0], want[n-1])
+	}
+}
+
+func TestLanczosDiagonalExact(t *testing.T) {
+	n := 6
+	a := mat.NewDense(n, n)
+	for i := 0; i < n; i++ {
+		a.Set(i, i, float64(i+1))
+	}
+	got, err := Lanczos(DenseOp(a), n, LanczosOptions{Steps: n, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if math.Abs(v-float64(i+1)) > 1e-8 {
+			t.Fatalf("Ritz values %v", got)
+		}
+	}
+}
+
+// TestSLQTraceMatchesDense: SLQ estimates of Trace(f(A)) must agree with
+// the dense computation for several spectral functions, including the
+// FTRL kernel f(λ) = (ν + ηλ)⁻².
+func TestSLQTraceMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	n := 80
+	a := randSPD(rng, n, 100)
+	vals, err := mat.SymEigvals(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		f    func(float64) float64
+	}{
+		{"identity (trace)", func(l float64) float64 { return l }},
+		{"inverse-square (FTRL)", func(l float64) float64 { d := 2 + 0.5*l; return 1 / (d * d) }},
+		{"log", func(l float64) float64 { return math.Log(l) }},
+	}
+	for _, tc := range cases {
+		var want float64
+		for _, l := range vals {
+			want += tc.f(l)
+		}
+		got, err := SLQTrace(DenseOp(a), n, tc.f, 24, 40, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-want) > 0.08*math.Abs(want) {
+			t.Fatalf("%s: SLQ %g want %g", tc.name, got, want)
+		}
+	}
+}
+
+func TestSLQTraceIdentityExact(t *testing.T) {
+	// For A = c·I every probe gives the exact answer.
+	n := 30
+	a := mat.Eye(n)
+	a.Scale(3)
+	got, err := SLQTrace(DenseOp(a), n, func(l float64) float64 { return l }, 2, 5, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-90) > 1e-8 {
+		t.Fatalf("SLQ on scaled identity: %g", got)
+	}
+}
+
+func TestRelativeSpectrumError(t *testing.T) {
+	if e := RelativeSpectrumError([]float64{1, 2}, []float64{1, 2}); e != 0 {
+		t.Fatalf("zero error expected, got %g", e)
+	}
+	if e := RelativeSpectrumError([]float64{1, 3}, []float64{1, 2}); e <= 0 {
+		t.Fatal("nonzero error expected")
+	}
+}

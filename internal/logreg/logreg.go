@@ -1,0 +1,141 @@
+// Package logreg trains the multiclass logistic-regression classifier used
+// throughout the paper's accuracy experiments (§ IV-A). It replaces
+// scikit-learn's LogisticRegression (lbfgs solver, L2 penalty) with an
+// L-BFGS fit of the softmax model in internal/softmax. Hyperparameters are
+// held fixed across active-learning rounds, as in the paper.
+package logreg
+
+import (
+	"errors"
+
+	"repro/internal/mat"
+	"repro/internal/opt"
+	"repro/internal/softmax"
+)
+
+// Options configure training.
+type Options struct {
+	// Lambda is the L2 penalty weight λ (default 1e-3). scikit-learn's
+	// C=1 with mean loss corresponds to λ = 1/n; a small fixed λ keeps
+	// conditioning stable across the tiny label counts of early AL rounds.
+	Lambda float64
+	// MaxIter caps L-BFGS iterations (default 300).
+	MaxIter int
+	// GradTol is the L-BFGS gradient tolerance (default 1e-6).
+	GradTol float64
+}
+
+func (o *Options) defaults() {
+	if o.Lambda <= 0 {
+		o.Lambda = 1e-3
+	}
+	if o.MaxIter <= 0 {
+		o.MaxIter = 300
+	}
+	if o.GradTol <= 0 {
+		o.GradTol = 1e-6
+	}
+}
+
+// Model is a trained classifier with weights θ ∈ R^{d×c}.
+type Model struct {
+	Theta   *mat.Dense
+	Classes int
+}
+
+// ErrNoData is returned when the training set is empty.
+var ErrNoData = errors.New("logreg: empty training set")
+
+// Train fits a softmax classifier on (x, y) with labels in [0, c).
+// A warm start can be supplied via init (cloned, not mutated); pass nil to
+// start from zero.
+func Train(x *mat.Dense, y []int, c int, init *mat.Dense, o Options) (*Model, error) {
+	o.defaults()
+	if x.Rows == 0 || len(y) == 0 {
+		return nil, ErrNoData
+	}
+	if x.Rows != len(y) {
+		panic("logreg: feature/label count mismatch")
+	}
+	for _, yi := range y {
+		if yi < 0 || yi >= c {
+			panic("logreg: label out of range")
+		}
+	}
+	d := x.Cols
+	theta := make([]float64, d*c)
+	if init != nil {
+		if init.Rows != d || init.Cols != c {
+			panic("logreg: init shape mismatch")
+		}
+		copy(theta, init.Data)
+	}
+	gradBuf := mat.NewDense(d, c)
+	obj := func(t, g []float64) float64 {
+		tm := &mat.Dense{Rows: d, Cols: c, Stride: c, Data: t}
+		loss, _, _ := softmax.LossGrad(x, y, tm, o.Lambda, gradBuf)
+		copy(g, gradBuf.Data)
+		return loss
+	}
+	opt.Minimize(obj, theta, opt.LBFGSOptions{MaxIter: o.MaxIter, GradTol: o.GradTol})
+	return &Model{
+		Theta:   &mat.Dense{Rows: d, Cols: c, Stride: c, Data: theta},
+		Classes: c,
+	}, nil
+}
+
+// Probabilities returns the n×c matrix of class probabilities for the rows
+// of x.
+func (m *Model) Probabilities(x *mat.Dense) *mat.Dense {
+	return softmax.Probabilities(nil, x, m.Theta)
+}
+
+// Predict returns the argmax class for each row of x.
+func (m *Model) Predict(x *mat.Dense) []int {
+	return softmax.Predict(m.Probabilities(x))
+}
+
+// Accuracy returns the fraction of correct predictions on (x, y).
+func (m *Model) Accuracy(x *mat.Dense, y []int) float64 {
+	if x.Rows == 0 {
+		return 0
+	}
+	pred := m.Predict(x)
+	var correct int
+	for i, p := range pred {
+		if p == y[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(y))
+}
+
+// ClassBalancedAccuracy returns the accuracy averaged with each class
+// weighted equally — the metric of Fig. 3(B) for imbalanced Caltech-101.
+// Classes absent from y are skipped.
+func (m *Model) ClassBalancedAccuracy(x *mat.Dense, y []int) float64 {
+	if x.Rows == 0 {
+		return 0
+	}
+	pred := m.Predict(x)
+	correct := make([]int, m.Classes)
+	total := make([]int, m.Classes)
+	for i, p := range pred {
+		total[y[i]]++
+		if p == y[i] {
+			correct[y[i]]++
+		}
+	}
+	var sum float64
+	var seen int
+	for k := 0; k < m.Classes; k++ {
+		if total[k] > 0 {
+			sum += float64(correct[k]) / float64(total[k])
+			seen++
+		}
+	}
+	if seen == 0 {
+		return 0
+	}
+	return sum / float64(seen)
+}

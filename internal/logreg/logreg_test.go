@@ -1,0 +1,118 @@
+package logreg
+
+import (
+	"testing"
+
+	"repro/internal/mat"
+	"repro/internal/rnd"
+)
+
+// blobs generates an easily separable c-class Gaussian mixture.
+func blobs(rng *rnd.Source, n, d, c int, sep float64) (*mat.Dense, []int) {
+	means := mat.NewDense(c, d)
+	for k := 0; k < c; k++ {
+		rng.UnitVector(means.Row(k))
+		mat.Scal(sep, means.Row(k))
+	}
+	x := mat.NewDense(n, d)
+	y := make([]int, n)
+	for i := 0; i < n; i++ {
+		k := i % c
+		y[i] = k
+		rng.Normal(x.Row(i), 0, 0.3)
+		mat.Axpy(1, means.Row(k), x.Row(i))
+	}
+	return x, y
+}
+
+func TestTrainSeparable(t *testing.T) {
+	rng := rnd.New(1)
+	x, y := blobs(rng, 120, 6, 3, 3)
+	m, err := Train(x, y, 3, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := m.Accuracy(x, y); acc < 0.95 {
+		t.Fatalf("training accuracy %g on separable data", acc)
+	}
+}
+
+func TestTrainGeneralizes(t *testing.T) {
+	rng := rnd.New(2)
+	xTr, yTr := blobs(rng, 200, 5, 4, 4)
+	xTe, yTe := blobs(rng, 400, 5, 4, 4)
+	// Same means? blobs redraws means, so regenerate with one generator:
+	// instead train/test split from one pool.
+	x, y := blobs(rnd.New(3), 600, 5, 4, 4)
+	xTr, yTr = x.Clone(), append([]int(nil), y...)
+	xTr.Rows = 200
+	yTr = yTr[:200]
+	xTe = &mat.Dense{Rows: 400, Cols: x.Cols, Stride: x.Stride, Data: x.Data[200*x.Stride:]}
+	yTe = y[200:]
+	m, err := Train(xTr, yTr, 4, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := m.Accuracy(xTe, yTe); acc < 0.9 {
+		t.Fatalf("test accuracy %g", acc)
+	}
+}
+
+func TestWarmStart(t *testing.T) {
+	rng := rnd.New(4)
+	x, y := blobs(rng, 90, 4, 3, 3)
+	m1, err := Train(x, y, 3, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Train(x, y, 3, m1.Theta, Options{MaxIter: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := m2.Accuracy(x, y); acc < 0.95 {
+		t.Fatalf("warm-started accuracy %g", acc)
+	}
+}
+
+func TestEmptyTrainingSet(t *testing.T) {
+	if _, err := Train(mat.NewDense(0, 3), nil, 2, nil, Options{}); err != ErrNoData {
+		t.Fatalf("expected ErrNoData, got %v", err)
+	}
+}
+
+func TestClassBalancedAccuracy(t *testing.T) {
+	rng := rnd.New(5)
+	x, y := blobs(rng, 100, 4, 2, 5)
+	m, err := Train(x, y, 2, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain := m.Accuracy(x, y)
+	balanced := m.ClassBalancedAccuracy(x, y)
+	// Balanced classes: the two metrics should nearly agree.
+	if plain < 0.9 || balanced < 0.9 {
+		t.Fatalf("accuracies too low: %g %g", plain, balanced)
+	}
+	// Empty input edge cases.
+	if m.Accuracy(mat.NewDense(0, 4), nil) != 0 {
+		t.Fatal("empty accuracy should be 0")
+	}
+	if m.ClassBalancedAccuracy(mat.NewDense(0, 4), nil) != 0 {
+		t.Fatal("empty balanced accuracy should be 0")
+	}
+}
+
+func TestProbabilitiesRowsSumToOne(t *testing.T) {
+	rng := rnd.New(6)
+	x, y := blobs(rng, 50, 3, 3, 2)
+	m, err := Train(x, y, 3, nil, Options{MaxIter: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := m.Probabilities(x)
+	for i := 0; i < h.Rows; i++ {
+		if s := mat.Sum(h.Row(i)); s < 0.999 || s > 1.001 {
+			t.Fatalf("row %d sums to %g", i, s)
+		}
+	}
+}

@@ -1,0 +1,154 @@
+package mat
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrNotSPD is returned when a Cholesky factorization encounters a
+// non-positive pivot.
+var ErrNotSPD = errors.New("mat: matrix is not positive definite")
+
+// Cholesky holds the lower-triangular factor L with A = L Lᵀ.
+type Cholesky struct {
+	L *Dense
+}
+
+// NewCholesky factors the symmetric positive definite matrix a. Only the
+// lower triangle of a is read. It returns ErrNotSPD when a pivot is not
+// positive.
+func NewCholesky(a *Dense) (*Cholesky, error) {
+	n := a.Rows
+	if a.Cols != n {
+		panic("mat: Cholesky of non-square matrix")
+	}
+	l := NewDense(n, n)
+	for j := 0; j < n; j++ {
+		d := a.At(j, j)
+		lj := l.Row(j)
+		for k := 0; k < j; k++ {
+			d -= lj[k] * lj[k]
+		}
+		if d <= 0 || math.IsNaN(d) {
+			return nil, ErrNotSPD
+		}
+		d = math.Sqrt(d)
+		lj[j] = d
+		inv := 1 / d
+		for i := j + 1; i < n; i++ {
+			s := a.At(i, j)
+			li := l.Row(i)
+			for k := 0; k < j; k++ {
+				s -= li[k] * lj[k]
+			}
+			li[j] = s * inv
+		}
+	}
+	return &Cholesky{L: l}, nil
+}
+
+// NewCholeskyRidge factors a, retrying with geometrically increasing
+// diagonal ridge terms when a is numerically semidefinite. It returns the
+// factorization and the ridge that was finally applied. This backs the
+// preconditioner and block-inverse construction, which must survive
+// rank-deficient Σ blocks (e.g. a class with no weight yet).
+func NewCholeskyRidge(a *Dense, ridge0 float64) (*Cholesky, float64, error) {
+	if ch, err := NewCholesky(a); err == nil {
+		return ch, 0, nil
+	}
+	// Scale the ridge to the matrix magnitude so behaviour is unit-free.
+	scale := 0.0
+	for i := 0; i < a.Rows; i++ {
+		if v := math.Abs(a.At(i, i)); v > scale {
+			scale = v
+		}
+	}
+	if scale == 0 {
+		scale = 1
+	}
+	ridge := ridge0 * scale
+	for iter := 0; iter < 40; iter++ {
+		b := a.Clone()
+		b.AddDiag(ridge)
+		if ch, err := NewCholesky(b); err == nil {
+			return ch, ridge, nil
+		}
+		ridge *= 10
+	}
+	return nil, ridge, ErrNotSPD
+}
+
+// SolveVec solves A x = b in place of dst (dst may be b itself).
+func (c *Cholesky) SolveVec(dst, b []float64) []float64 {
+	n := c.L.Rows
+	if len(b) != n {
+		panic("mat: Cholesky SolveVec length mismatch")
+	}
+	if dst == nil {
+		dst = make([]float64, n)
+	}
+	if &dst[0] != &b[0] {
+		copy(dst, b)
+	}
+	// Forward solve L y = b.
+	for i := 0; i < n; i++ {
+		li := c.L.Row(i)
+		s := dst[i]
+		for k := 0; k < i; k++ {
+			s -= li[k] * dst[k]
+		}
+		dst[i] = s / li[i]
+	}
+	// Backward solve Lᵀ x = y.
+	for i := n - 1; i >= 0; i-- {
+		s := dst[i]
+		for k := i + 1; k < n; k++ {
+			s -= c.L.At(k, i) * dst[k]
+		}
+		dst[i] = s / c.L.At(i, i)
+	}
+	return dst
+}
+
+// Solve solves A X = B column-by-column; dst may be nil or B itself.
+func (c *Cholesky) Solve(dst, b *Dense) *Dense {
+	if dst == nil {
+		dst = b.Clone()
+	} else if dst != b {
+		dst.CopyFrom(b)
+	}
+	col := make([]float64, dst.Rows)
+	for j := 0; j < dst.Cols; j++ {
+		dst.Col(col, j)
+		c.SolveVec(col, col)
+		dst.SetCol(j, col)
+	}
+	return dst
+}
+
+// Inverse returns A⁻¹.
+func (c *Cholesky) Inverse() *Dense {
+	n := c.L.Rows
+	inv := Eye(n)
+	return c.Solve(inv, inv)
+}
+
+// LogDet returns log det A = 2 Σ log L_ii.
+func (c *Cholesky) LogDet() float64 {
+	var s float64
+	for i := 0; i < c.L.Rows; i++ {
+		s += math.Log(c.L.At(i, i))
+	}
+	return 2 * s
+}
+
+// InvSPD inverts a symmetric positive definite matrix, applying a ridge if
+// needed. It panics only on shape errors; numerically hopeless inputs
+// return an error.
+func InvSPD(a *Dense) (*Dense, error) {
+	ch, _, err := NewCholeskyRidge(a, 1e-12)
+	if err != nil {
+		return nil, err
+	}
+	return ch.Inverse(), nil
+}

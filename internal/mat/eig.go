@@ -1,0 +1,233 @@
+package mat
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// ErrEigNoConverge is returned when the implicit QL iteration fails to
+// converge. With the iteration cap used here this indicates NaN/Inf input.
+var ErrEigNoConverge = errors.New("mat: symmetric eigensolver did not converge")
+
+// SymEig computes the full eigendecomposition of the symmetric matrix a:
+// a = V diag(vals) Vᵀ with vals in ascending order and eigenvectors in the
+// columns of V. Only the lower triangle of a is trusted; a is not modified.
+//
+// This is the CPU substitute for the paper's batched
+// cupy.linalg.eigvalsh/eigh calls (Algorithm 3, line 9, and the Σ^{±1/2}
+// transforms of Eq. 8). It uses Householder tridiagonalization followed by
+// implicit-shift QL iteration.
+func SymEig(a *Dense) ([]float64, *Dense, error) {
+	n := a.Rows
+	if a.Cols != n {
+		panic("mat: SymEig of non-square matrix")
+	}
+	work := a.Clone()
+	work.Symmetrize()
+	d := make([]float64, n)
+	e := make([]float64, n)
+	tred2(work, d, e, true)
+	if err := tql(d, e, work, true); err != nil {
+		return nil, nil, err
+	}
+	sortEig(d, work)
+	return d, work, nil
+}
+
+// SymEigvals computes only the eigenvalues of symmetric a, in ascending
+// order (the cupy.linalg.eigvalsh analogue). It avoids accumulating the
+// orthogonal transform, roughly halving the work of SymEig.
+func SymEigvals(a *Dense) ([]float64, error) {
+	n := a.Rows
+	if a.Cols != n {
+		panic("mat: SymEigvals of non-square matrix")
+	}
+	work := a.Clone()
+	work.Symmetrize()
+	d := make([]float64, n)
+	e := make([]float64, n)
+	tred2(work, d, e, false)
+	if err := tql(d, e, nil, false); err != nil {
+		return nil, err
+	}
+	sort.Float64s(d)
+	return d, nil
+}
+
+// tred2 reduces the symmetric matrix stored in z to tridiagonal form with
+// diagonal d and sub-diagonal e (e[0] unused). When wantV is true, z is
+// overwritten with the accumulated orthogonal transformation Q such that
+// Qᵀ A Q = T; otherwise z holds scratch data on return.
+func tred2(z *Dense, d, e []float64, wantV bool) {
+	n := z.Rows
+	for i := n - 1; i >= 1; i-- {
+		l := i - 1
+		h, scale := 0.0, 0.0
+		if l > 0 {
+			for k := 0; k <= l; k++ {
+				scale += math.Abs(z.At(i, k))
+			}
+			if scale == 0 {
+				e[i] = z.At(i, l)
+			} else {
+				zi := z.Row(i)
+				for k := 0; k <= l; k++ {
+					zi[k] /= scale
+					h += zi[k] * zi[k]
+				}
+				f := zi[l]
+				g := math.Sqrt(h)
+				if f >= 0 {
+					g = -g
+				}
+				e[i] = scale * g
+				h -= f * g
+				zi[l] = f - g
+				f = 0
+				for j := 0; j <= l; j++ {
+					if wantV {
+						z.Set(j, i, zi[j]/h)
+					}
+					g := 0.0
+					for k := 0; k <= j; k++ {
+						g += z.At(j, k) * zi[k]
+					}
+					for k := j + 1; k <= l; k++ {
+						g += z.At(k, j) * zi[k]
+					}
+					e[j] = g / h
+					f += e[j] * zi[j]
+				}
+				hh := f / (h + h)
+				for j := 0; j <= l; j++ {
+					f := zi[j]
+					g := e[j] - hh*f
+					e[j] = g
+					zj := z.Row(j)
+					for k := 0; k <= j; k++ {
+						zj[k] -= f*e[k] + g*zi[k]
+					}
+				}
+			}
+		} else {
+			e[i] = z.At(i, l)
+		}
+		d[i] = h
+	}
+	d[0] = 0
+	e[0] = 0
+	if !wantV {
+		for i := 0; i < n; i++ {
+			d[i] = z.At(i, i)
+		}
+		return
+	}
+	for i := 0; i < n; i++ {
+		l := i - 1
+		if d[i] != 0 {
+			for j := 0; j <= l; j++ {
+				g := 0.0
+				for k := 0; k <= l; k++ {
+					g += z.At(i, k) * z.At(k, j)
+				}
+				for k := 0; k <= l; k++ {
+					z.Set(k, j, z.At(k, j)-g*z.At(k, i))
+				}
+			}
+		}
+		d[i] = z.At(i, i)
+		z.Set(i, i, 1)
+		for j := 0; j <= l; j++ {
+			z.Set(j, i, 0)
+			z.Set(i, j, 0)
+		}
+	}
+}
+
+// tql performs implicit-shift QL iteration on the tridiagonal matrix
+// (d, e). When wantV is true the rotations are accumulated into z.
+func tql(d, e []float64, z *Dense, wantV bool) error {
+	n := len(d)
+	for i := 1; i < n; i++ {
+		e[i-1] = e[i]
+	}
+	e[n-1] = 0
+	for l := 0; l < n; l++ {
+		iter := 0
+		for {
+			var m int
+			for m = l; m < n-1; m++ {
+				dd := math.Abs(d[m]) + math.Abs(d[m+1])
+				if math.Abs(e[m])+dd == dd {
+					break
+				}
+			}
+			if m == l {
+				break
+			}
+			iter++
+			if iter > 64 {
+				return ErrEigNoConverge
+			}
+			g := (d[l+1] - d[l]) / (2 * e[l])
+			r := math.Hypot(g, 1)
+			g = d[m] - d[l] + e[l]/(g+math.Copysign(r, g))
+			s, c := 1.0, 1.0
+			p := 0.0
+			broke := false
+			for i := m - 1; i >= l; i-- {
+				f := s * e[i]
+				b := c * e[i]
+				r = math.Hypot(f, g)
+				e[i+1] = r
+				if r == 0 {
+					d[i+1] -= p
+					e[m] = 0
+					broke = true
+					break
+				}
+				s = f / r
+				c = g / r
+				g = d[i+1] - p
+				r = (d[i]-g)*s + 2*c*b
+				p = s * r
+				d[i+1] = g + p
+				g = c*r - b
+				if wantV {
+					for k := 0; k < n; k++ {
+						f := z.At(k, i+1)
+						z.Set(k, i+1, s*z.At(k, i)+c*f)
+						z.Set(k, i, c*z.At(k, i)-s*f)
+					}
+				}
+			}
+			if broke {
+				continue
+			}
+			d[l] -= p
+			e[l] = g
+			e[m] = 0
+		}
+	}
+	return nil
+}
+
+// sortEig sorts eigenvalues ascending and permutes the eigenvector columns
+// of z to match.
+func sortEig(d []float64, z *Dense) {
+	n := len(d)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return d[idx[a]] < d[idx[b]] })
+	dOld := append([]float64(nil), d...)
+	zOld := z.Clone()
+	col := make([]float64, n)
+	for newPos, oldPos := range idx {
+		d[newPos] = dOld[oldPos]
+		zOld.Col(col, oldPos)
+		z.SetCol(newPos, col)
+	}
+}

@@ -1,0 +1,220 @@
+package mat
+
+import (
+	"repro/internal/parallel"
+)
+
+// Mul computes dst = a*b. dst must not alias a or b. If dst is nil a new
+// matrix is allocated. Rows of dst are computed in parallel.
+func Mul(dst, a, b *Dense) *Dense {
+	if a.Cols != b.Rows {
+		panic("mat: Mul inner dimension mismatch")
+	}
+	dst = prepDst(dst, a.Rows, b.Cols)
+	parallel.ForChunk(a.Rows, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			ar := a.Row(i)
+			dr := dst.Row(i)
+			for j := range dr {
+				dr[j] = 0
+			}
+			for k, av := range ar {
+				if av == 0 {
+					continue
+				}
+				br := b.Row(k)
+				for j, bv := range br {
+					dr[j] += av * bv
+				}
+			}
+		}
+	})
+	return dst
+}
+
+// MulTransA computes dst = aᵀ*b for a (n×r) and b (n×c), yielding r×c.
+// dst must not alias a or b.
+func MulTransA(dst, a, b *Dense) *Dense {
+	if a.Rows != b.Rows {
+		panic("mat: MulTransA row mismatch")
+	}
+	dst = prepDst(dst, a.Cols, b.Cols)
+	// Parallelize over output rows (columns of a): each worker scans all of
+	// a and b but writes a disjoint row range of dst.
+	parallel.ForChunk(a.Cols, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			dr := dst.Row(i)
+			for j := range dr {
+				dr[j] = 0
+			}
+			for k := 0; k < a.Rows; k++ {
+				av := a.At(k, i)
+				if av == 0 {
+					continue
+				}
+				br := b.Row(k)
+				for j, bv := range br {
+					dr[j] += av * bv
+				}
+			}
+		}
+	})
+	return dst
+}
+
+// MulTransB computes dst = a*bᵀ for a (m×k) and b (n×k), yielding m×n.
+// dst must not alias a or b.
+func MulTransB(dst, a, b *Dense) *Dense {
+	if a.Cols != b.Cols {
+		panic("mat: MulTransB column mismatch")
+	}
+	dst = prepDst(dst, a.Rows, b.Rows)
+	parallel.ForChunk(a.Rows, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			ar := a.Row(i)
+			dr := dst.Row(i)
+			for j := 0; j < b.Rows; j++ {
+				dr[j] = Dot(ar, b.Row(j))
+			}
+		}
+	})
+	return dst
+}
+
+// MatVec computes dst = a*x. If dst is nil it is allocated.
+func MatVec(dst []float64, a *Dense, x []float64) []float64 {
+	if a.Cols != len(x) {
+		panic("mat: MatVec dimension mismatch")
+	}
+	if dst == nil {
+		dst = make([]float64, a.Rows)
+	} else if len(dst) != a.Rows {
+		panic("mat: MatVec dst length mismatch")
+	}
+	parallel.ForChunk(a.Rows, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			dst[i] = Dot(a.Row(i), x)
+		}
+	})
+	return dst
+}
+
+// MatTVec computes dst = aᵀ*x. If dst is nil it is allocated. The serial
+// inner accumulation keeps this deterministic.
+func MatTVec(dst []float64, a *Dense, x []float64) []float64 {
+	if a.Rows != len(x) {
+		panic("mat: MatTVec dimension mismatch")
+	}
+	if dst == nil {
+		dst = make([]float64, a.Cols)
+	} else if len(dst) != a.Cols {
+		panic("mat: MatTVec dst length mismatch")
+	}
+	for j := range dst {
+		dst[j] = 0
+	}
+	for i := 0; i < a.Rows; i++ {
+		xi := x[i]
+		if xi == 0 {
+			continue
+		}
+		row := a.Row(i)
+		for j, v := range row {
+			dst[j] += xi * v
+		}
+	}
+	return dst
+}
+
+// WeightedGram computes dst = Xᵀ diag(w) X for X (n×d), yielding the d×d
+// symmetric matrix Σ_i w_i x_i x_iᵀ. This is the kernel behind the
+// block-diagonal preconditioner of Eq. 14: B_k(Σ) = Σ_i w_ik x_i x_iᵀ.
+// Entries of w may be any sign. If w is nil, unit weights are used.
+func WeightedGram(dst *Dense, x *Dense, w []float64) *Dense {
+	d := x.Cols
+	dst = prepDst(dst, d, d)
+	nw := parallel.Workers()
+	if nw > x.Rows {
+		nw = x.Rows
+	}
+	if nw <= 1 {
+		weightedGramRange(dst, x, w, 0, x.Rows)
+		return dst
+	}
+	// Each worker accumulates into a private d×d buffer; buffers are summed
+	// serially so the result is deterministic for a fixed worker count.
+	partials := make([]*Dense, nw)
+	chunk := (x.Rows + nw - 1) / nw
+	parallel.For(nw, func(widx int) {
+		lo := widx * chunk
+		hi := lo + chunk
+		if hi > x.Rows {
+			hi = x.Rows
+		}
+		if lo >= hi {
+			return
+		}
+		p := NewDense(d, d)
+		weightedGramRange(p, x, w, lo, hi)
+		partials[widx] = p
+	})
+	for _, p := range partials {
+		if p != nil {
+			dst.AddScaled(1, p)
+		}
+	}
+	return dst
+}
+
+func weightedGramRange(dst *Dense, x *Dense, w []float64, lo, hi int) {
+	d := x.Cols
+	for i := lo; i < hi; i++ {
+		wi := 1.0
+		if w != nil {
+			wi = w[i]
+		}
+		if wi == 0 {
+			continue
+		}
+		xi := x.Row(i)
+		for r := 0; r < d; r++ {
+			v := wi * xi[r]
+			if v == 0 {
+				continue
+			}
+			row := dst.Row(r)
+			for c := 0; c < d; c++ {
+				row[c] += v * xi[c]
+			}
+		}
+	}
+}
+
+// RowDots computes dst[i] = Σ_j a_ij * b_ij, i.e. the diagonal of a*bᵀ.
+// This implements the diag(X M Xᵀ) pattern of the ROUND objective (Eq. 17):
+// pass a = X and b = X*M. If dst is nil it is allocated.
+func RowDots(dst []float64, a, b *Dense) []float64 {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		panic("mat: RowDots shape mismatch")
+	}
+	if dst == nil {
+		dst = make([]float64, a.Rows)
+	}
+	parallel.ForChunk(a.Rows, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			dst[i] = Dot(a.Row(i), b.Row(i))
+		}
+	})
+	return dst
+}
+
+func prepDst(dst *Dense, r, c int) *Dense {
+	if dst == nil {
+		return NewDense(r, c)
+	}
+	if dst.Rows != r || dst.Cols != c {
+		panic("mat: destination has wrong shape")
+	}
+	dst.Zero()
+	return dst
+}

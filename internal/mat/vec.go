@@ -1,0 +1,110 @@
+package mat
+
+import "math"
+
+// Vector helpers operate on plain []float64 slices; they are the BLAS-1
+// layer under the CG solver and the mirror-descent updates.
+
+// Dot returns xᵀy.
+func Dot(x, y []float64) float64 {
+	if len(x) != len(y) {
+		panic("mat: Dot length mismatch")
+	}
+	var s float64
+	for i, v := range x {
+		s += v * y[i]
+	}
+	return s
+}
+
+// Nrm2 returns the Euclidean norm of x.
+func Nrm2(x []float64) float64 {
+	// Two-pass scaling keeps us safe from overflow for the magnitudes the
+	// solvers produce.
+	var maxAbs float64
+	for _, v := range x {
+		if a := math.Abs(v); a > maxAbs {
+			maxAbs = a
+		}
+	}
+	if maxAbs == 0 {
+		return 0
+	}
+	var s float64
+	for _, v := range x {
+		r := v / maxAbs
+		s += r * r
+	}
+	return maxAbs * math.Sqrt(s)
+}
+
+// Axpy performs y += alpha*x.
+func Axpy(alpha float64, x, y []float64) {
+	if len(x) != len(y) {
+		panic("mat: Axpy length mismatch")
+	}
+	for i, v := range x {
+		y[i] += alpha * v
+	}
+}
+
+// Scal performs x *= alpha.
+func Scal(alpha float64, x []float64) {
+	for i := range x {
+		x[i] *= alpha
+	}
+}
+
+// CopyVec copies src into dst (lengths must match).
+func CopyVec(dst, src []float64) {
+	if len(dst) != len(src) {
+		panic("mat: CopyVec length mismatch")
+	}
+	copy(dst, src)
+}
+
+// Fill sets every element of x to v.
+func Fill(x []float64, v float64) {
+	for i := range x {
+		x[i] = v
+	}
+}
+
+// Sum returns Σ x_i.
+func Sum(x []float64) float64 {
+	var s float64
+	for _, v := range x {
+		s += v
+	}
+	return s
+}
+
+// MaxIdx returns the index of the maximum element (first on ties) and its
+// value. It panics on empty input.
+func MaxIdx(x []float64) (int, float64) {
+	if len(x) == 0 {
+		panic("mat: MaxIdx of empty slice")
+	}
+	best, bv := 0, x[0]
+	for i, v := range x[1:] {
+		if v > bv {
+			best, bv = i+1, v
+		}
+	}
+	return best, bv
+}
+
+// MinIdx returns the index of the minimum element (first on ties) and its
+// value. It panics on empty input.
+func MinIdx(x []float64) (int, float64) {
+	if len(x) == 0 {
+		panic("mat: MinIdx of empty slice")
+	}
+	best, bv := 0, x[0]
+	for i, v := range x[1:] {
+		if v < bv {
+			best, bv = i+1, v
+		}
+	}
+	return best, bv
+}

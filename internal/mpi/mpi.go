@@ -1,0 +1,211 @@
+// Package mpi is an in-process message-passing runtime that stands in for
+// the paper's GPU-aware MPI (mpi4py over MVAPICH2-GDR, § III-C). Each rank
+// runs as a goroutine with a private data partition; ranks exchange data
+// only through explicit messages, which are deep-copied on send so no
+// memory is shared. The collectives implement the same algorithms the
+// paper's cost model assumes (Thakur et al. [17]): binomial-tree broadcast,
+// recursive-doubling allreduce/allgather for power-of-two rank counts, and
+// ring reduce-scatter/allgather otherwise (the paper's experiments use
+// p ∈ {1, 2, 3, 6, 12}, so non-power-of-two paths matter).
+//
+// Per-rank traffic counters feed internal/perfmodel's communication model
+// (ts + m·tw latency/bandwidth accounting).
+package mpi
+
+import (
+	"fmt"
+	"sync"
+)
+
+// message is a tagged payload between two ranks.
+type message struct {
+	tag  int
+	data []float64
+}
+
+// world owns the mailboxes of a communicator group.
+type world struct {
+	size  int
+	boxes [][]chan message // boxes[src][dst]
+}
+
+// Comm is one rank's handle on the communicator. A Comm is confined to its
+// rank's goroutine and is not safe for concurrent use.
+type Comm struct {
+	w       *world
+	rank    int
+	collSeq int // per-rank collective sequence number (SPMD ordering)
+	pending [][]message
+	stats   Stats
+}
+
+// Stats counts traffic originated by one rank.
+type Stats struct {
+	SentMessages int64
+	SentBytes    int64 // 8 bytes per float64 element
+	Collectives  int64
+}
+
+// Stats returns a copy of the rank's traffic counters.
+func (c *Comm) Stats() Stats { return c.stats }
+
+// Rank returns the caller's rank in [0, Size).
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the number of ranks.
+func (c *Comm) Size() int { return c.w.size }
+
+// Run executes fn on p ranks, one goroutine per rank, and blocks until all
+// complete. Panics inside a rank are re-raised in the caller annotated
+// with the rank. It returns the per-rank stats.
+func Run(p int, fn func(c *Comm)) []Stats {
+	if p <= 0 {
+		panic("mpi: non-positive rank count")
+	}
+	w := &world{size: p, boxes: make([][]chan message, p)}
+	for s := range w.boxes {
+		w.boxes[s] = make([]chan message, p)
+		for d := range w.boxes[s] {
+			w.boxes[s][d] = make(chan message, 1024)
+		}
+	}
+	comms := make([]*Comm, p)
+	errs := make([]any, p)
+	var wg sync.WaitGroup
+	for r := 0; r < p; r++ {
+		comms[r] = &Comm{w: w, rank: r, pending: make([][]message, p)}
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			defer func() {
+				if e := recover(); e != nil {
+					errs[r] = e
+				}
+			}()
+			fn(comms[r])
+		}(r)
+	}
+	wg.Wait()
+	for r, e := range errs {
+		if e != nil {
+			panic(fmt.Sprintf("mpi: rank %d panicked: %v", r, e))
+		}
+	}
+	stats := make([]Stats, p)
+	for r := range stats {
+		stats[r] = comms[r].stats
+	}
+	return stats
+}
+
+// Send transmits a copy of data to rank dst with the given tag
+// (user tags must be non-negative; negative tags are reserved for
+// collectives).
+func (c *Comm) Send(dst, tag int, data []float64) {
+	c.send(dst, tag, data)
+}
+
+func (c *Comm) send(dst, tag int, data []float64) {
+	if dst == c.rank {
+		panic("mpi: send to self")
+	}
+	cp := make([]float64, len(data))
+	copy(cp, data)
+	c.stats.SentMessages++
+	c.stats.SentBytes += int64(8 * len(data))
+	c.w.boxes[c.rank][dst] <- message{tag: tag, data: cp}
+}
+
+// Recv blocks until a message with the given tag arrives from src and
+// returns its payload.
+func (c *Comm) Recv(src, tag int) []float64 {
+	return c.recv(src, tag)
+}
+
+func (c *Comm) recv(src, tag int) []float64 {
+	// First check messages that arrived out of tag order.
+	pend := c.pending[src]
+	for i, m := range pend {
+		if m.tag == tag {
+			c.pending[src] = append(pend[:i], pend[i+1:]...)
+			return m.data
+		}
+	}
+	for {
+		m := <-c.w.boxes[src][c.rank]
+		if m.tag == tag {
+			return m.data
+		}
+		c.pending[src] = append(c.pending[src], m)
+	}
+}
+
+// nextCollTag returns the reserved tag for the next collective. All ranks
+// execute collectives in the same program order (SPMD), so sequence
+// numbers agree across ranks.
+func (c *Comm) nextCollTag() int {
+	c.collSeq++
+	c.stats.Collectives++
+	return -c.collSeq
+}
+
+// Barrier blocks until all ranks reach it (dissemination algorithm,
+// ⌈log₂ p⌉ rounds).
+func (c *Comm) Barrier() {
+	p := c.w.size
+	if p == 1 {
+		c.nextCollTag()
+		return
+	}
+	tag := c.nextCollTag()
+	for dist := 1; dist < p; dist *= 2 {
+		to := (c.rank + dist) % p
+		from := (c.rank - dist + p) % p
+		c.send(to, tag, nil)
+		c.recv(from, tag)
+	}
+}
+
+// Bcast distributes root's data to every rank using a binomial tree
+// (log p stages, as in the paper's MPI_Bcast cost model). data is
+// overwritten on non-root ranks; all ranks must pass slices of equal
+// length.
+func (c *Comm) Bcast(root int, data []float64) {
+	p := c.w.size
+	tag := c.nextCollTag()
+	if p == 1 {
+		return
+	}
+	// Work in a rotated rank space where root is 0.
+	vrank := (c.rank - root + p) % p
+	// Receive from parent.
+	if vrank != 0 {
+		// The parent is vrank with its lowest set bit cleared.
+		parent := ((vrank & (vrank - 1)) + root) % p
+		got := c.recv(parent, tag)
+		copy(data, got)
+	}
+	// Send to children: vrank | (1<<k) for k above vrank's lowest set bit.
+	low := lowestBitPos(vrank)
+	for k := low - 1; k >= 0; k-- {
+		child := vrank | (1 << k)
+		if child < p && child != vrank {
+			c.send((child+root)%p, tag, data)
+		}
+	}
+}
+
+// lowestBitPos returns the position of the lowest set bit of v, or the
+// number of bits needed for the tree when v is 0 (so the root sends to all
+// levels).
+func lowestBitPos(v int) int {
+	if v == 0 {
+		return 31
+	}
+	pos := 0
+	for v&1 == 0 {
+		v >>= 1
+		pos++
+	}
+	return pos
+}

@@ -1,0 +1,77 @@
+// Package parallel provides small helpers for data-parallel loops over the
+// local compute device. In the paper the device is a GPU driven by CuPy
+// kernels; here the device is the set of host cores, and every batched
+// kernel in internal/mat and internal/firal funnels through these helpers so
+// the degree of parallelism is controlled in one place.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+)
+
+// minWork is the smallest amount of per-worker work worth forking a
+// goroutine for. Loops smaller than this run serially.
+const minWork = 256
+
+// maxWorkers bounds the number of workers; 0 means GOMAXPROCS.
+var maxWorkers = 0
+
+// SetMaxWorkers overrides the worker count used by For and ForChunk.
+// n <= 0 restores the default (GOMAXPROCS). It returns the previous value.
+// It is intended for tests and for simulating single-threaded devices.
+func SetMaxWorkers(n int) int {
+	prev := maxWorkers
+	maxWorkers = n
+	return prev
+}
+
+// Workers reports the number of workers parallel loops will use.
+func Workers() int {
+	if maxWorkers > 0 {
+		return maxWorkers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// For runs fn(i) for every i in [0, n), distributing iterations across
+// workers in contiguous blocks. fn must be safe to call concurrently for
+// distinct i.
+func For(n int, fn func(i int)) {
+	ForChunk(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			fn(i)
+		}
+	})
+}
+
+// ForChunk splits [0, n) into at most Workers() contiguous chunks and runs
+// fn(lo, hi) on each chunk, possibly concurrently. fn must be safe to call
+// concurrently for disjoint ranges.
+func ForChunk(n int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	w := Workers()
+	if w <= 1 || n < minWork {
+		fn(0, n)
+		return
+	}
+	if w > n {
+		w = n
+	}
+	var wg sync.WaitGroup
+	chunk := (n + w - 1) / w
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,73 @@
+package parallel
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestForCoversAllIndices(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 255, 256, 10000} {
+		var count int64
+		seen := make([]int32, n)
+		For(n, func(i int) {
+			atomic.AddInt64(&count, 1)
+			atomic.AddInt32(&seen[i], 1)
+		})
+		if count != int64(n) {
+			t.Fatalf("n=%d: ran %d iterations", n, count)
+		}
+		for i, v := range seen {
+			if v != 1 {
+				t.Fatalf("n=%d: index %d visited %d times", n, i, v)
+			}
+		}
+	}
+}
+
+func TestForChunkDisjointCoverage(t *testing.T) {
+	n := 5000
+	seen := make([]int32, n)
+	ForChunk(n, func(lo, hi int) {
+		if lo < 0 || hi > n || lo > hi {
+			t.Errorf("bad chunk [%d,%d)", lo, hi)
+		}
+		for i := lo; i < hi; i++ {
+			atomic.AddInt32(&seen[i], 1)
+		}
+	})
+	for i, v := range seen {
+		if v != 1 {
+			t.Fatalf("index %d visited %d times", i, v)
+		}
+	}
+}
+
+func TestSetMaxWorkers(t *testing.T) {
+	prev := SetMaxWorkers(1)
+	defer SetMaxWorkers(prev)
+	if Workers() != 1 {
+		t.Fatalf("Workers() = %d after SetMaxWorkers(1)", Workers())
+	}
+	// Serial path must still cover everything.
+	var count int
+	For(1000, func(i int) { count++ }) // safe: single worker
+	if count != 1000 {
+		t.Fatalf("serial run covered %d", count)
+	}
+	SetMaxWorkers(0)
+	if Workers() < 1 {
+		t.Fatal("default workers < 1")
+	}
+}
+
+func TestForChunkEmpty(t *testing.T) {
+	called := false
+	ForChunk(0, func(lo, hi int) { called = true })
+	if called {
+		t.Fatal("ForChunk(0) should not call fn")
+	}
+	ForChunk(-5, func(lo, hi int) { called = true })
+	if called {
+		t.Fatal("negative n should not call fn")
+	}
+}

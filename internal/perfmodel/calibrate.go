@@ -1,0 +1,37 @@
+package perfmodel
+
+import (
+	"time"
+
+	"repro/internal/mat"
+)
+
+// CalibrateHost measures the effective FLOP rate of the Go dense kernels
+// on this host (a square GEMM, the dominant kernel class) and returns a
+// matching Machine model. This plays the role of the paper's "ideal peak
+// performance of 19.5 TFLOPS" anchor: theoretical bars in the Fig. 5–7
+// reproductions are computed against this rate so theory and measurement
+// are in the same units on any machine.
+func CalibrateHost() Machine {
+	const n = 160
+	a := mat.NewDense(n, n)
+	b := mat.NewDense(n, n)
+	for i := range a.Data {
+		a.Data[i] = float64(i%7) * 0.25
+		b.Data[i] = float64(i%5) * 0.5
+	}
+	dst := mat.NewDense(n, n)
+	// Warm up, then time a few repetitions.
+	mat.Mul(dst, a, b)
+	const reps = 6
+	t0 := time.Now()
+	for r := 0; r < reps; r++ {
+		mat.Mul(dst, a, b)
+	}
+	el := time.Since(t0).Seconds()
+	flops := float64(reps) * 2 * float64(n) * float64(n) * float64(n) / el
+	if flops <= 0 {
+		flops = 1e9
+	}
+	return Host(flops)
+}

@@ -1,0 +1,60 @@
+// Package sketch implements the randomized trace estimation used by the
+// fast RELAX solver (§ III-A): Hutchinson's estimator with Rademacher
+// probes [15]. Trace(A) ≈ (1/s) Σ_j v_jᵀ A v_j for ±1 probe vectors v_j.
+package sketch
+
+import (
+	"repro/internal/mat"
+	"repro/internal/rnd"
+)
+
+// RademacherMatrix returns an n×s matrix whose columns are independent
+// Rademacher probe vectors (the matrix V of Algorithm 2, line 4).
+func RademacherMatrix(rng *rnd.Source, n, s int) *mat.Dense {
+	v := mat.NewDense(n, s)
+	rng.Rademacher(v.Data)
+	return v
+}
+
+// Probes returns s independent length-n Rademacher vectors as slices.
+func Probes(rng *rnd.Source, n, s int) [][]float64 {
+	out := make([][]float64, s)
+	for j := range out {
+		out[j] = make([]float64, n)
+		rng.Rademacher(out[j])
+	}
+	return out
+}
+
+// HutchinsonTrace estimates Trace(A) for the linear operator apply
+// (dst = A·v) acting on R^n using s Rademacher probes.
+func HutchinsonTrace(apply func(dst, v []float64), n, s int, rng *rnd.Source) float64 {
+	v := make([]float64, n)
+	av := make([]float64, n)
+	var acc float64
+	for j := 0; j < s; j++ {
+		rng.Rademacher(v)
+		apply(av, v)
+		acc += mat.Dot(v, av)
+	}
+	return acc / float64(s)
+}
+
+// TraceFromProbes estimates Trace(A) from precomputed probe columns V and
+// their images AV = A·V (both n×s). This matches how Algorithm 2 reuses
+// the CG solutions: the same probe block serves the trace estimates of all
+// n gradient entries.
+func TraceFromProbes(v, av *mat.Dense) float64 {
+	if v.Rows != av.Rows || v.Cols != av.Cols {
+		panic("sketch: probe shape mismatch")
+	}
+	var acc float64
+	col1 := make([]float64, v.Rows)
+	col2 := make([]float64, v.Rows)
+	for j := 0; j < v.Cols; j++ {
+		v.Col(col1, j)
+		av.Col(col2, j)
+		acc += mat.Dot(col1, col2)
+	}
+	return acc / float64(v.Cols)
+}

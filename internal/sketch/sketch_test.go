@@ -1,0 +1,71 @@
+package sketch
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/mat"
+	"repro/internal/rnd"
+)
+
+func TestRademacherMatrixEntries(t *testing.T) {
+	rng := rnd.New(1)
+	v := RademacherMatrix(rng, 20, 5)
+	if v.Rows != 20 || v.Cols != 5 {
+		t.Fatalf("shape %dx%d", v.Rows, v.Cols)
+	}
+	for _, e := range v.Data {
+		if e != 1 && e != -1 {
+			t.Fatalf("non-Rademacher entry %g", e)
+		}
+	}
+}
+
+func TestHutchinsonUnbiasedOnDiagonal(t *testing.T) {
+	// For diagonal A, vᵀAv = Σ a_ii v_i² = Trace(A) exactly for Rademacher
+	// probes, so even one probe is exact.
+	n := 10
+	a := mat.NewDense(n, n)
+	var trace float64
+	for i := 0; i < n; i++ {
+		a.Set(i, i, float64(i+1))
+		trace += float64(i + 1)
+	}
+	got := HutchinsonTrace(func(dst, v []float64) { mat.MatVec(dst, a, v) }, n, 1, rnd.New(2))
+	if math.Abs(got-trace) > 1e-10 {
+		t.Fatalf("diagonal trace %g want %g", got, trace)
+	}
+}
+
+func TestHutchinsonConvergesOnDense(t *testing.T) {
+	rng := rnd.New(3)
+	n := 30
+	x := mat.NewDense(n+2, n)
+	rng.Normal(x.Data, 0, 1)
+	a := mat.MulTransA(nil, x, x)
+	trace := a.Trace()
+	est := HutchinsonTrace(func(dst, v []float64) { mat.MatVec(dst, a, v) }, n, 4000, rnd.New(4))
+	if math.Abs(est-trace) > 0.1*math.Abs(trace) {
+		t.Fatalf("Hutchinson estimate %g too far from %g", est, trace)
+	}
+}
+
+func TestTraceFromProbes(t *testing.T) {
+	rng := rnd.New(5)
+	n, s := 12, 64
+	a := mat.Eye(n)
+	a.Scale(3)
+	v := RademacherMatrix(rng, n, s)
+	av := mat.Mul(nil, a, v)
+	got := TraceFromProbes(v, av)
+	if math.Abs(got-3*float64(n)) > 1e-9 {
+		t.Fatalf("TraceFromProbes %g want %g", got, 3*float64(n))
+	}
+}
+
+func TestProbes(t *testing.T) {
+	ps := Probes(rnd.New(6), 8, 3)
+	if len(ps) != 3 || len(ps[0]) != 8 {
+		t.Fatal("Probes shape wrong")
+	}
+}

@@ -1,0 +1,130 @@
+// Package softmax implements the multiclass logistic-regression model of
+// Eq. 1: given weights θ ∈ R^{d×c}, p(y = k | x, θ) ∝ exp(θ_kᵀ x).
+//
+// The reproduction uses the full c-column softmax parametrization (so the
+// Fisher blocks run over k ∈ [c] and ẽd = dc), matching Lemma 2 and
+// Algorithm 3 of the paper; an L2 penalty fixes the gauge freedom when
+// training.
+package softmax
+
+import (
+	"math"
+
+	"repro/internal/mat"
+	"repro/internal/parallel"
+)
+
+// Probabilities computes the n×c matrix of class probabilities
+// h_i = softmax(θᵀ x_i) for the rows x_i of x (n×d) and θ (d×c). If dst is
+// nil it is allocated.
+func Probabilities(dst *mat.Dense, x, theta *mat.Dense) *mat.Dense {
+	if x.Cols != theta.Rows {
+		panic("softmax: dimension mismatch")
+	}
+	logits := mat.Mul(dst, x, theta)
+	parallel.ForChunk(logits.Rows, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			SoftmaxInPlace(logits.Row(i))
+		}
+	})
+	return logits
+}
+
+// SoftmaxInPlace replaces the logits z with softmax(z), numerically
+// stabilized by max subtraction.
+func SoftmaxInPlace(z []float64) {
+	m := z[0]
+	for _, v := range z[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	var sum float64
+	for i, v := range z {
+		e := math.Exp(v - m)
+		z[i] = e
+		sum += e
+	}
+	inv := 1 / sum
+	for i := range z {
+		z[i] *= inv
+	}
+}
+
+// NLL returns the average negative log-likelihood of labels y under
+// probability rows h (n×c), i.e. (1/n) Σ_i -log h_i[y_i].
+func NLL(h *mat.Dense, y []int) float64 {
+	if len(y) != h.Rows {
+		panic("softmax: label length mismatch")
+	}
+	var loss float64
+	for i, yi := range y {
+		p := h.At(i, yi)
+		if p < 1e-300 {
+			p = 1e-300
+		}
+		loss -= math.Log(p)
+	}
+	return loss / float64(len(y))
+}
+
+// LossGrad evaluates the L2-regularized mean negative log-likelihood
+//
+//	f(θ) = (1/n) Σ_i −log p(y_i | x_i, θ) + (λ/2)‖θ‖²_F
+//
+// and writes ∇f into grad (d×c, allocated if nil). It returns f and the
+// probability matrix h (n×c) as a by-product, since active-learning
+// selectors need h for every pool point.
+func LossGrad(x *mat.Dense, y []int, theta *mat.Dense, lambda float64, grad *mat.Dense) (float64, *mat.Dense, *mat.Dense) {
+	n := x.Rows
+	h := Probabilities(nil, x, theta)
+	loss := NLL(h, y)
+
+	// Residual R = (h − onehot(y))/n; grad = XᵀR + λθ.
+	r := h.Clone()
+	invN := 1 / float64(n)
+	for i := 0; i < n; i++ {
+		row := r.Row(i)
+		row[y[i]] -= 1
+		for j := range row {
+			row[j] *= invN
+		}
+	}
+	grad = mat.MulTransA(grad, x, r)
+	if lambda != 0 {
+		grad.AddScaled(lambda, theta)
+		loss += 0.5 * lambda * mat.FrobDot(theta, theta)
+	}
+	return loss, grad, h
+}
+
+// Predict returns argmax_k h_ik for every row of h.
+func Predict(h *mat.Dense) []int {
+	out := make([]int, h.Rows)
+	parallel.ForChunk(h.Rows, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			k, _ := mat.MaxIdx(h.Row(i))
+			out[i] = k
+		}
+	})
+	return out
+}
+
+// Entropy returns the Shannon entropy of each probability row, the score
+// used by the Entropy baseline selector (§ IV-A): points with the highest
+// predictive entropy are the most uncertain.
+func Entropy(h *mat.Dense) []float64 {
+	out := make([]float64, h.Rows)
+	parallel.ForChunk(h.Rows, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			var e float64
+			for _, p := range h.Row(i) {
+				if p > 0 {
+					e -= p * math.Log(p)
+				}
+			}
+			out[i] = e
+		}
+	})
+	return out
+}

@@ -1,0 +1,110 @@
+package softmax
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mat"
+)
+
+func TestSoftmaxInPlaceProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(8)
+		z := make([]float64, n)
+		for i := range z {
+			z[i] = 100 * rng.NormFloat64() // stress stability
+		}
+		SoftmaxInPlace(z)
+		var sum float64
+		for _, p := range z {
+			if p < 0 || p > 1 || math.IsNaN(p) {
+				return false
+			}
+			sum += p
+		}
+		return math.Abs(sum-1) < 1e-10
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProbabilitiesUniformAtZeroTheta(t *testing.T) {
+	x := mat.NewDense(3, 2)
+	x.Set(0, 0, 1)
+	theta := mat.NewDense(2, 4)
+	h := Probabilities(nil, x, theta)
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 4; j++ {
+			if math.Abs(h.At(i, j)-0.25) > 1e-12 {
+				t.Fatalf("expected uniform probabilities, got %g", h.At(i, j))
+			}
+		}
+	}
+}
+
+func TestLossGradNumerical(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	n, d, c := 8, 3, 4
+	x := mat.NewDense(n, d)
+	for i := range x.Data {
+		x.Data[i] = rng.NormFloat64()
+	}
+	y := make([]int, n)
+	for i := range y {
+		y[i] = rng.Intn(c)
+	}
+	theta := mat.NewDense(d, c)
+	for i := range theta.Data {
+		theta.Data[i] = 0.3 * rng.NormFloat64()
+	}
+	lambda := 0.05
+	_, grad, _ := LossGrad(x, y, theta, lambda, nil)
+
+	// Finite-difference check.
+	const h = 1e-6
+	for idx := 0; idx < d*c; idx++ {
+		tp := theta.Clone()
+		tp.Data[idx] += h
+		fp, _, _ := LossGrad(x, y, tp, lambda, nil)
+		tm := theta.Clone()
+		tm.Data[idx] -= h
+		fm, _, _ := LossGrad(x, y, tm, lambda, nil)
+		num := (fp - fm) / (2 * h)
+		if math.Abs(num-grad.Data[idx]) > 1e-5 {
+			t.Fatalf("grad[%d] = %g, numerical %g", idx, grad.Data[idx], num)
+		}
+	}
+}
+
+func TestPredictAndEntropy(t *testing.T) {
+	h := mat.FromRows([][]float64{
+		{0.7, 0.2, 0.1},
+		{0.1, 0.1, 0.8},
+		{1.0 / 3, 1.0 / 3, 1.0 / 3},
+	})
+	pred := Predict(h)
+	if pred[0] != 0 || pred[1] != 2 {
+		t.Fatalf("predictions %v", pred)
+	}
+	ent := Entropy(h)
+	// Uniform row has maximal entropy log(3).
+	if math.Abs(ent[2]-math.Log(3)) > 1e-12 {
+		t.Fatalf("uniform entropy %g", ent[2])
+	}
+	if ent[0] >= ent[2] || ent[1] >= ent[2] {
+		t.Fatal("confident rows should have lower entropy than uniform")
+	}
+}
+
+func TestNLLMatchesManual(t *testing.T) {
+	h := mat.FromRows([][]float64{{0.5, 0.5}, {0.9, 0.1}})
+	y := []int{0, 1}
+	want := -(math.Log(0.5) + math.Log(0.1)) / 2
+	if got := NLL(h, y); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("NLL %g want %g", got, want)
+	}
+}

@@ -1,0 +1,97 @@
+// Package timing provides the phase timers behind the paper's wall-clock
+// breakdowns (Figs. 5–7): each solver attributes elapsed time to named
+// phases ("precond", "cg", "gradient", "eig", "objective", "comm",
+// "other"), which the experiment harnesses print next to the theoretical
+// peak-time estimates from internal/perfmodel.
+package timing
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Phases accumulates elapsed time per named phase. It is not safe for
+// concurrent use; distributed solvers keep one Phases per rank and merge.
+type Phases struct {
+	durations map[string]time.Duration
+	order     []string
+}
+
+// New returns an empty phase accumulator.
+func New() *Phases {
+	return &Phases{durations: make(map[string]time.Duration)}
+}
+
+// Start begins timing a phase; call the returned stop function to
+// accumulate. Typical use: defer p.Start("cg")().
+func (p *Phases) Start(name string) func() {
+	t0 := time.Now()
+	return func() { p.Add(name, time.Since(t0)) }
+}
+
+// Add accumulates d into the named phase.
+func (p *Phases) Add(name string, d time.Duration) {
+	if _, ok := p.durations[name]; !ok {
+		p.order = append(p.order, name)
+	}
+	p.durations[name] += d
+}
+
+// Get returns the accumulated duration of a phase (zero if unknown).
+func (p *Phases) Get(name string) time.Duration { return p.durations[name] }
+
+// Seconds returns the accumulated duration of a phase in seconds.
+func (p *Phases) Seconds(name string) float64 { return p.durations[name].Seconds() }
+
+// Total returns the sum over all phases.
+func (p *Phases) Total() time.Duration {
+	var t time.Duration
+	for _, d := range p.durations {
+		t += d
+	}
+	return t
+}
+
+// Names returns phase names in first-recorded order.
+func (p *Phases) Names() []string {
+	return append([]string(nil), p.order...)
+}
+
+// Merge adds all phases of q into p.
+func (p *Phases) Merge(q *Phases) {
+	for _, name := range q.order {
+		p.Add(name, q.durations[name])
+	}
+}
+
+// MaxMerge keeps, per phase, the maximum of p's and q's durations. This is
+// how per-rank breakdowns aggregate into a parallel region's critical-path
+// time.
+func (p *Phases) MaxMerge(q *Phases) {
+	for _, name := range q.order {
+		if q.durations[name] > p.durations[name] {
+			if _, ok := p.durations[name]; !ok {
+				p.order = append(p.order, name)
+			}
+			p.durations[name] = q.durations[name]
+		}
+	}
+}
+
+// String renders phases sorted by descending duration.
+func (p *Phases) String() string {
+	names := p.Names()
+	sort.Slice(names, func(i, j int) bool {
+		return p.durations[names[i]] > p.durations[names[j]]
+	})
+	var b strings.Builder
+	for i, n := range names {
+		if i > 0 {
+			b.WriteString(" ")
+		}
+		fmt.Fprintf(&b, "%s=%.4fs", n, p.durations[n].Seconds())
+	}
+	return b.String()
+}
