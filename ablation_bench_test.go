@@ -6,6 +6,7 @@ package firal_test
 // batching, and the recursive-doubling vs ring allreduce paths.
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/firal"
@@ -38,7 +39,7 @@ func benchmarkRelaxPrecondAblation(b *testing.B, cgTol float64, iters int) {
 	p := benchProblem(1500, 24, 9, 22)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res, err := firal.RelaxFast(p, 10, firal.RelaxOptions{
+		res, err := firal.RelaxFast(context.Background(), p, 10, firal.RelaxOptions{
 			FixedIterations: iters, Probes: 10, CGTol: cgTol, Seed: 1,
 		})
 		if err != nil {
@@ -57,7 +58,7 @@ func benchmarkRelaxProbes(b *testing.B, s int) {
 	p := benchProblem(1500, 24, 9, 23)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		_, err := firal.RelaxFast(p, 10, firal.RelaxOptions{
+		_, err := firal.RelaxFast(context.Background(), p, 10, firal.RelaxOptions{
 			FixedIterations: 1, Probes: s, CGTol: 1e-30, CGMaxIter: 8, Seed: 1,
 		})
 		if err != nil {

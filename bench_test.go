@@ -9,6 +9,7 @@ package firal_test
 // Naming: Benchmark<ID>_<variant> where ID is the paper table/figure.
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -53,7 +54,7 @@ func benchmarkFig1(b *testing.B, precond bool) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		mat.Fill(x, 0)
-		res := krylov.PCG(sig, pc, rhs, x, krylov.Options{Tol: 1e-3, MaxIter: 600})
+		res := krylov.PCG(context.Background(), sig, pc, rhs, x, krylov.Options{Tol: 1e-3, MaxIter: 600})
 		b.ReportMetric(float64(res.Iterations), "cg-iters")
 	}
 }
@@ -126,7 +127,7 @@ func benchmarkFig4(b *testing.B, s int) {
 	p := benchProblem(600, 20, 9, 3)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res, err := firal.RelaxFast(p, 10, firal.RelaxOptions{
+		res, err := firal.RelaxFast(context.Background(), p, 10, firal.RelaxOptions{
 			FixedIterations: 5, Probes: s, Seed: int64(i), RecordObjective: true,
 		})
 		if err != nil {
@@ -190,7 +191,7 @@ func tableVIProblem() *firal.Problem { return benchProblem(250, 20, 19, 6) }
 func BenchmarkTableVI_RelaxExact(b *testing.B) {
 	p := tableVIProblem()
 	for i := 0; i < b.N; i++ {
-		if _, err := firal.RelaxExact(p, 5, firal.RelaxOptions{FixedIterations: 2}); err != nil {
+		if _, err := firal.RelaxExact(context.Background(), p, 5, firal.RelaxOptions{FixedIterations: 2}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -199,7 +200,7 @@ func BenchmarkTableVI_RelaxExact(b *testing.B) {
 func BenchmarkTableVI_RelaxApprox(b *testing.B) {
 	p := tableVIProblem()
 	for i := 0; i < b.N; i++ {
-		if _, err := firal.RelaxFast(p, 5, firal.RelaxOptions{FixedIterations: 2, Seed: 1}); err != nil {
+		if _, err := firal.RelaxFast(context.Background(), p, 5, firal.RelaxOptions{FixedIterations: 2, Seed: 1}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -235,7 +236,7 @@ func benchmarkFig5Relax(b *testing.B, d, c int) {
 	p := benchProblem(2000, d, c, 7)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		_, err := firal.RelaxFast(p, 10, firal.RelaxOptions{
+		_, err := firal.RelaxFast(context.Background(), p, 10, firal.RelaxOptions{
 			FixedIterations: 1, Probes: 10, CGTol: 1e-30, CGMaxIter: 10, Seed: 1,
 		})
 		if err != nil {
@@ -278,7 +279,7 @@ func benchmarkFig6Relax(b *testing.B, ranks int) {
 	for i := 0; i < b.N; i++ {
 		mpi.Run(ranks, func(c *mpi.Comm) {
 			sh := distfiral.MakeShard(labeled, pool, ranks, c.Rank())
-			_, err := distfiral.Relax(c, sh, 10, firal.RelaxOptions{
+			_, err := distfiral.Relax(context.Background(), c, sh, 10, firal.RelaxOptions{
 				FixedIterations: 1, Probes: 10, CGTol: 1e-30, CGMaxIter: 10, Seed: 1,
 			})
 			if err != nil {
@@ -302,7 +303,7 @@ func benchmarkFig7Round(b *testing.B, ranks int) {
 			sh := distfiral.MakeShard(labeled, pool, ranks, c.Rank())
 			z := make([]float64, sh.PoolLocal.N())
 			mat.Fill(z, 1.0/3000)
-			if _, err := distfiral.Round(c, sh, z, 1, 0); err != nil {
+			if _, err := distfiral.Round(context.Background(), c, sh, z, 1, 0); err != nil {
 				b.Error(err)
 			}
 		})

@@ -18,6 +18,7 @@ import (
 	"strings"
 
 	pub "repro"
+	"repro/internal/cli"
 	"repro/internal/dataset"
 	"repro/internal/experiments"
 )
@@ -45,6 +46,9 @@ func main() {
 		rOver = flag.Int("rounds", 0, "override round count")
 	)
 	flag.Parse()
+
+	ctx, cancel := cli.InterruptContext()
+	defer cancel()
 
 	if *table5 {
 		printTableV()
@@ -102,7 +106,7 @@ func main() {
 	}
 
 	for _, cfg := range cfgs {
-		curves, err := experiments.RunAccuracy(cfg, opts)
+		curves, err := experiments.RunAccuracy(ctx, cfg, opts)
 		if err != nil {
 			log.Fatalf("%s: %v", cfg.Name, err)
 		}

@@ -16,6 +16,7 @@ import (
 	"os"
 	"strings"
 
+	"repro/internal/cli"
 	"repro/internal/dataset"
 	"repro/internal/experiments"
 )
@@ -33,6 +34,9 @@ func main() {
 	)
 	flag.Parse()
 
+	ctx, cancel := cli.InterruptContext()
+	defer cancel()
+
 	var cfgs []dataset.Config
 	if *name != "" {
 		for _, c := range dataset.TableV() {
@@ -48,7 +52,7 @@ func main() {
 	}
 
 	for _, cfg := range cfgs {
-		res, err := experiments.RunCGConvergence(cfg, *scale, *seed, *tol, *maxIter, *condEd)
+		res, err := experiments.RunCGConvergence(ctx, cfg, *scale, *seed, *tol, *maxIter, *condEd)
 		if err != nil {
 			log.Fatalf("%s: %v", cfg.Name, err)
 		}

@@ -21,6 +21,7 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/cli"
 	"repro/internal/experiments"
 )
 
@@ -42,6 +43,9 @@ func main() {
 	)
 	flag.Parse()
 
+	ctx, cancel := cli.InterruptContext()
+	defer cancel()
+
 	var ranks []int
 	for _, p := range strings.Split(*ranksStr, ",") {
 		v, err := strconv.Atoi(strings.TrimSpace(p))
@@ -59,7 +63,7 @@ func main() {
 
 	switch *step {
 	case "relax":
-		points, err := experiments.RunRelaxScaling(opts)
+		points, err := experiments.RunRelaxScaling(ctx, opts)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -67,7 +71,7 @@ func main() {
 		experiments.PrintScaling(os.Stdout, title,
 			[]string{"precond", "cg", "gradient", "comm"}, points)
 	case "round":
-		points, err := experiments.RunRoundScaling(opts)
+		points, err := experiments.RunRoundScaling(ctx, opts)
 		if err != nil {
 			log.Fatal(err)
 		}

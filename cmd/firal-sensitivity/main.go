@@ -15,6 +15,7 @@ import (
 	"os"
 	"strings"
 
+	"repro/internal/cli"
 	"repro/internal/dataset"
 	"repro/internal/experiments"
 )
@@ -31,6 +32,9 @@ func main() {
 	)
 	flag.Parse()
 
+	ctx, cancel := cli.InterruptContext()
+	defer cancel()
+
 	var cfgs []dataset.Config
 	if *name != "" {
 		for _, c := range dataset.TableV() {
@@ -46,7 +50,7 @@ func main() {
 	}
 
 	for _, cfg := range cfgs {
-		curves, err := experiments.RunSensitivity(cfg, experiments.SensitivityOptions{
+		curves, err := experiments.RunSensitivity(ctx, cfg, experiments.SensitivityOptions{
 			Scale: *scale, Seed: *seed, Iterations: *iters, IncludeExact: *exact,
 		})
 		if err != nil {

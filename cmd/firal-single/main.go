@@ -17,6 +17,7 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/cli"
 	"repro/internal/experiments"
 )
 
@@ -49,6 +50,9 @@ func main() {
 	)
 	flag.Parse()
 
+	ctx, cancel := cli.InterruptContext()
+	defer cancel()
+
 	if *values == "" {
 		if *sweep == "d" {
 			*values = "24,48,64"
@@ -68,7 +72,7 @@ func main() {
 
 	switch *step {
 	case "relax":
-		rows, err := experiments.RunRelaxSweep(*sweep, vals, fixed, opts)
+		rows, err := experiments.RunRelaxSweep(ctx, *sweep, vals, fixed, opts)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -76,7 +80,7 @@ func main() {
 		experiments.PrintBreakdown(os.Stdout, title, *sweep,
 			[]string{"precond", "cg", "gradient", "other"}, rows)
 	case "round":
-		rows, err := experiments.RunRoundSweep(*sweep, vals, fixed, opts)
+		rows, err := experiments.RunRoundSweep(ctx, *sweep, vals, fixed, opts)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -16,6 +16,7 @@ import (
 	"os"
 	"strings"
 
+	"repro/internal/cli"
 	"repro/internal/dataset"
 	"repro/internal/experiments"
 	"repro/internal/perfmodel"
@@ -37,6 +38,9 @@ func main() {
 		bOver = flag.Int("budget", 0, "override budget")
 	)
 	flag.Parse()
+
+	ctx, cancel := cli.InterruptContext()
+	defer cancel()
 
 	if *tables {
 		fmt.Print(perfmodel.FormatTableII(100, 50, 5000, 50, 50, 50, 10))
@@ -74,7 +78,7 @@ func main() {
 
 	var comparisons []*experiments.TimeComparison
 	for _, cfg := range cfgs {
-		tc, err := experiments.RunTableVI(cfg, *scale, *seed, *relaxIters)
+		tc, err := experiments.RunTableVI(ctx, cfg, *scale, *seed, *relaxIters)
 		if err != nil {
 			log.Fatalf("%s: %v", cfg.Name, err)
 		}

@@ -4,6 +4,12 @@
 // plus per-round accuracies are reported. This is the downstream-user
 // entry point; the firal-* commands reproduce the paper's experiments.
 //
+// Strategies are resolved through the package's selector registry
+// (firal.New); `firal -select help` lists everything registered.
+// Per-round results stream as each round completes, and Ctrl-C cancels
+// the run mid-selection via context cancellation — already-completed
+// rounds are still reported.
+//
 // CSV format: one point per row. With -labelcol -1 (default) the last
 // column is the integer class label; any other value selects that column.
 // Rows must be numeric; a non-numeric first row is treated as a header
@@ -13,17 +19,21 @@
 //
 //	firal -pool pool.csv -labeled seed.csv -select approx-firal -rounds 3 -budget 10
 //	firal -demo                       # run on a built-in synthetic dataset
+//	firal -select help                # list registered strategies
+//	firal -demo -target-acc 0.9      # stop once eval accuracy reaches 0.9
 //	firal -pool pool.csv -labeled seed.csv -select random -csv
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
-	"os"
 	"strings"
 
 	pub "repro"
+	"repro/internal/cli"
 	"repro/internal/csvdata"
 )
 
@@ -31,22 +41,33 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("firal: ")
 	var (
-		poolPath = flag.String("pool", "", "CSV of pool points (features + label column)")
-		labPath  = flag.String("labeled", "", "CSV of initially labeled points")
-		evalPath = flag.String("eval", "", "optional CSV of evaluation points")
-		labelCol = flag.Int("labelcol", -1, "label column index (-1 = last)")
-		selName  = flag.String("select", "approx-firal", "strategy: random, kmeans, entropy, margin, least-confidence, exact-firal, approx-firal, dist-firal")
-		ranks    = flag.Int("ranks", 3, "ranks for dist-firal")
-		rounds   = flag.Int("rounds", 3, "active-learning rounds")
-		budget   = flag.Int("budget", 10, "points labeled per round")
-		seed     = flag.Int64("seed", 1, "seed for stochastic strategies")
-		probes   = flag.Int("probes", 10, "Rademacher probes for FIRAL")
-		cgtol    = flag.Float64("cgtol", 0.1, "CG tolerance for FIRAL")
-		relaxIt  = flag.Int("relaxiters", 0, "mirror-descent cap (0 = default 100)")
-		asCSV    = flag.Bool("csv", false, "emit per-round results as CSV")
-		demo     = flag.Bool("demo", false, "ignore -pool/-labeled and run a built-in synthetic demo")
+		poolPath  = flag.String("pool", "", "CSV of pool points (features + label column)")
+		labPath   = flag.String("labeled", "", "CSV of initially labeled points")
+		evalPath  = flag.String("eval", "", "optional CSV of evaluation points")
+		labelCol  = flag.Int("labelcol", -1, "label column index (-1 = last)")
+		selName   = flag.String("select", "approx-firal", "strategy name from the selector registry; 'help' lists them")
+		ranks     = flag.Int("ranks", 3, "ranks for dist-firal")
+		rounds    = flag.Int("rounds", 3, "active-learning rounds (0 = until pool exhausted or a stop criterion fires)")
+		budget    = flag.Int("budget", 10, "points labeled per round")
+		seed      = flag.Int64("seed", 1, "seed for stochastic strategies")
+		probes    = flag.Int("probes", 10, "Rademacher probes for FIRAL")
+		cgtol     = flag.Float64("cgtol", 0.1, "CG tolerance for FIRAL")
+		relaxIt   = flag.Int("relaxiters", 0, "mirror-descent cap (0 = default 100)")
+		workers   = flag.Int("workers", 0, "data-parallel workers (0 = all cores)")
+		targetAcc = flag.Float64("target-acc", 0, "stop once accuracy reaches this (0 = off)")
+		maxTime   = flag.Duration("max-time", 0, "wall-clock budget, e.g. 30s (0 = off)")
+		asCSV     = flag.Bool("csv", false, "emit per-round results as CSV")
+		demo      = flag.Bool("demo", false, "ignore -pool/-labeled and run a built-in synthetic demo")
 	)
 	flag.Parse()
+
+	if strings.EqualFold(*selName, "help") || strings.EqualFold(*selName, "list") {
+		fmt.Println("registered strategies:")
+		for _, name := range pub.Names() {
+			fmt.Printf("  %s\n", name)
+		}
+		return
+	}
 
 	var cfg pub.Config
 	if *demo {
@@ -77,9 +98,12 @@ func main() {
 			cfg.EvalX, cfg.EvalY = evalX, evalY
 		}
 	}
+	hasEval := len(cfg.EvalX) > 0
 
-	opts := pub.FIRALOptions{Probes: *probes, CGTol: *cgtol, MaxRelaxIterations: *relaxIt}
-	sel, err := strategy(*selName, *ranks, opts)
+	sel, err := pub.New(*selName, pub.SelectorOptions{
+		FIRAL: pub.FIRALOptions{Probes: *probes, CGTol: *cgtol, MaxRelaxIterations: *relaxIt},
+		Ranks: *ranks,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -88,52 +112,67 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	reports, err := learner.Run(sel, *rounds, *budget)
-	if err != nil {
+
+	// Ctrl-C cancels the session mid-selection; completed rounds were
+	// already streamed by the observer below.
+	ctx, cancel := cli.InterruptContext()
+	defer cancel()
+
+	opts := []pub.RunOption{
+		pub.WithRounds(*rounds),
+		pub.WithBudget(*budget),
+	}
+	if *workers > 0 {
+		opts = append(opts, pub.WithParallelism(*workers))
+	}
+	if *targetAcc > 0 {
+		opts = append(opts, pub.WithStopCriterion(announcing(pub.TargetAccuracy(*targetAcc))))
+	}
+	if *maxTime > 0 {
+		opts = append(opts, pub.WithStopCriterion(announcing(pub.MaxDuration(*maxTime))))
+	}
+	if *asCSV {
+		fmt.Println("round,labels,pool_accuracy,eval_accuracy,balanced_eval_accuracy,select_seconds,train_seconds,selected")
+		opts = append(opts, pub.WithObserver(func(r *pub.RoundReport) {
+			fmt.Printf("%d,%d,%.4f,%.4f,%.4f,%.3f,%.3f,%s\n",
+				r.Round, r.LabeledCount, r.PoolAccuracy, r.EvalAccuracy,
+				r.BalancedEvalAccuracy, r.SelectSeconds, r.TrainSeconds,
+				joinInts(r.Selected, ";"))
+		}))
+	} else {
+		if *rounds > 0 {
+			fmt.Printf("strategy: %s, %d rounds × %d points\n", sel.Name(), *rounds, *budget)
+		} else {
+			fmt.Printf("strategy: %s, unbounded rounds × %d points\n", sel.Name(), *budget)
+		}
+		opts = append(opts, pub.WithObserver(func(r *pub.RoundReport) {
+			fmt.Printf("round %d: labels=%-4d pool acc=%.3f", r.Round, r.LabeledCount, r.PoolAccuracy)
+			if hasEval {
+				fmt.Printf(" eval acc=%.3f", r.EvalAccuracy)
+			}
+			fmt.Printf(" (select %.2fs, train %.2fs)\n", r.SelectSeconds, r.TrainSeconds)
+			fmt.Printf("  selected: %s\n", joinInts(r.Selected, " "))
+		}))
+	}
+
+	reports, err := learner.RunContext(ctx, sel, opts...)
+	switch {
+	case errors.Is(err, context.Canceled):
+		log.Printf("interrupted after %d completed rounds", len(reports))
+	case err != nil:
 		log.Fatal(err)
 	}
-
-	if *asCSV {
-		fmt.Println("round,labels,pool_accuracy,eval_accuracy,select_seconds,selected")
-		for _, r := range reports {
-			fmt.Printf("%d,%d,%.4f,%.4f,%.3f,%s\n",
-				r.Round, r.LabeledCount, r.PoolAccuracy, r.EvalAccuracy,
-				r.SelectSeconds, joinInts(r.Selected, ";"))
-		}
-		return
-	}
-	fmt.Printf("strategy: %s, %d rounds × %d points\n", sel.Name(), *rounds, *budget)
-	for _, r := range reports {
-		fmt.Printf("round %d: labels=%-4d pool acc=%.3f", r.Round, r.LabeledCount, r.PoolAccuracy)
-		if len(cfg.EvalX) > 0 {
-			fmt.Printf(" eval acc=%.3f", r.EvalAccuracy)
-		}
-		fmt.Printf(" (select %.2fs)\n", r.SelectSeconds)
-		fmt.Printf("  selected: %s\n", joinInts(r.Selected, " "))
-	}
-	_ = os.Stdout.Sync()
 }
 
-func strategy(name string, ranks int, o pub.FIRALOptions) (pub.Selector, error) {
-	switch strings.ToLower(name) {
-	case "random":
-		return pub.Random(), nil
-	case "kmeans", "k-means":
-		return pub.KMeans(), nil
-	case "entropy":
-		return pub.Entropy(), nil
-	case "margin":
-		return pub.Margin(), nil
-	case "least-confidence", "leastconfidence":
-		return pub.LeastConfidence(), nil
-	case "exact-firal":
-		return pub.ExactFIRAL(o), nil
-	case "approx-firal", "firal":
-		return pub.ApproxFIRAL(o), nil
-	case "dist-firal", "distributed-firal":
-		return pub.DistributedFIRAL(ranks, o), nil
-	default:
-		return nil, fmt.Errorf("unknown strategy %q", name)
+// announcing wraps a stop criterion so the reason is printed when it
+// fires.
+func announcing(c pub.StopCriterion) pub.StopCriterion {
+	return func(r *pub.RoundReport) (bool, string) {
+		stop, reason := c(r)
+		if stop {
+			log.Printf("stopping after round %d: %s", r.Round, reason)
+		}
+		return stop, reason
 	}
 }
 

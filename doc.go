@@ -10,18 +10,41 @@
 //
 // # Quick start
 //
+// Sessions are driven through the context-aware API: selectors come from
+// the registry by name, the schedule and policies from functional run
+// options, and per-round results stream through an observer while the
+// session runs:
+//
 //	cfg := firal.CIFAR10Like().Scale(0.1).Generate(42)
 //	learner, _ := firal.NewLearner(cfg)
-//	reports, _ := learner.Run(firal.ApproxFIRAL(firal.FIRALOptions{}),
-//	    cfg.Rounds, cfg.Budget)
-//	for _, r := range reports {
-//	    fmt.Printf("labels=%d eval accuracy=%.3f\n", r.LabeledCount, r.EvalAccuracy)
-//	}
+//	selector, _ := firal.New("approx-firal", firal.SelectorOptions{})
+//	reports, err := learner.RunContext(ctx, selector,
+//	    firal.WithRounds(cfg.Rounds),
+//	    firal.WithBudget(cfg.Budget),
+//	    firal.WithObserver(func(r *firal.RoundReport) {
+//	        fmt.Printf("labels=%d eval accuracy=%.3f\n", r.LabeledCount, r.EvalAccuracy)
+//	    }),
+//	    firal.WithStopCriterion(firal.TargetAccuracy(0.95)),
+//	)
 //
-// The five built-in selection strategies are Random, KMeans, Entropy,
-// ExactFIRAL and ApproxFIRAL; DistributedFIRAL runs Approx-FIRAL sharded
-// over simulated distributed-memory ranks. Custom strategies implement the
-// Selector interface.
+// Cancelling ctx aborts the session mid-selection — the FIRAL selectors
+// poll the context inside the RELAX mirror-descent loop and the inner CG
+// solves — and RunContext returns the reports of the rounds completed so
+// far together with the context's error. Stop criteria (TargetAccuracy,
+// MaxDuration, PoolExhausted, or any custom StopCriterion) end long runs
+// on policy instead of a fixed round count.
+//
+// # Selector registry
+//
+// The eight built-in strategies — Random, K-Means, Entropy, Margin,
+// Least-Confidence, Exact-FIRAL, Approx-FIRAL and Dist-FIRAL — register
+// themselves at init; Names lists them and New instantiates one by
+// case-insensitive name. Custom strategies implement the Selector
+// interface (or wrap a function with SelectorFunc) and may Register a
+// factory to become name-addressable alongside the built-ins.
+//
+// The previous Run/Step entry points remain as deprecated wrappers over
+// RunContext/StepContext for one release.
 //
 // Implementation packages live under internal/: internal/firal holds the
 // RELAX/ROUND solvers, internal/mat the dense linear algebra,

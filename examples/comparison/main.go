@@ -1,10 +1,12 @@
 // Comparison: run all five selection strategies of the paper's § IV-A on
 // the same dataset and print the accuracy table — a miniature Fig. 2.
+// Strategies are resolved by name through the selector registry.
 //
 //	go run ./examples/comparison
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -13,14 +15,8 @@ import (
 
 func main() {
 	bench := firal.MNISTLike().Scale(0.1)
-	opts := firal.FIRALOptions{Probes: 10, CGTol: 0.1}
-	selectors := []firal.Selector{
-		firal.Random(),
-		firal.KMeans(),
-		firal.Entropy(),
-		firal.ExactFIRAL(opts),
-		firal.ApproxFIRAL(opts),
-	}
+	opts := firal.SelectorOptions{FIRAL: firal.FIRALOptions{Probes: 10, CGTol: 0.1}}
+	names := []string{"Random", "K-Means", "Entropy", "Exact-FIRAL", "Approx-FIRAL"}
 
 	fmt.Printf("%-14s", "selector")
 	cfgProbe := bench.Generate(7)
@@ -31,14 +27,20 @@ func main() {
 	}
 	fmt.Println()
 
-	for _, sel := range selectors {
+	for _, name := range names {
+		sel, err := firal.New(name, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
 		// Every selector sees the identical dataset realization.
 		cfg := bench.Generate(7)
 		learner, err := firal.NewLearner(cfg)
 		if err != nil {
 			log.Fatal(err)
 		}
-		reports, err := learner.Run(sel, bench.Rounds, bench.Budget)
+		// Config.Rounds/Budget carry the bench schedule, so the session
+		// needs no explicit WithRounds/WithBudget.
+		reports, err := learner.RunContext(context.Background(), sel)
 		if err != nil {
 			log.Fatalf("%s: %v", sel.Name(), err)
 		}

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -21,7 +22,8 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	repS, err := serial.Step(firal.ApproxFIRAL(opts), bench.Budget)
+	ctx := context.Background()
+	repS, err := serial.StepContext(ctx, firal.ApproxFIRAL(opts), bench.Budget)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -34,7 +36,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		rep, err := learner.Step(firal.DistributedFIRAL(ranks, opts), bench.Budget)
+		rep, err := learner.StepContext(ctx, firal.DistributedFIRAL(ranks, opts), bench.Budget)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -3,12 +3,15 @@
 // under-sample minority classes, while FIRAL's Fisher-information
 // objective keeps selecting them. This example runs the imb-CIFAR-10-like
 // benchmark (10:1 pool imbalance) and reports both the final accuracy and
-// how many selections came from the five smallest classes.
+// how many selections came from the five smallest classes. Selectors are
+// resolved by registry name; the per-round selections are consumed
+// through a streaming RoundObserver rather than the returned slice.
 //
 //	go run ./examples/imbalanced
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -23,7 +26,7 @@ type outcome struct {
 	total    int
 }
 
-func run(bench firal.Synthetic, mk func() firal.Selector) outcome {
+func run(bench firal.Synthetic, name string) outcome {
 	var out outcome
 	for s := int64(0); s < trials; s++ {
 		cfg := bench.Generate(300 + s)
@@ -42,17 +45,24 @@ func run(bench firal.Synthetic, mk func() firal.Selector) outcome {
 		if err != nil {
 			log.Fatal(err)
 		}
-		reports, err := learner.Run(mk(), bench.Rounds, bench.Budget)
+		sel, err := firal.New(name, firal.SelectorOptions{})
 		if err != nil {
 			log.Fatal(err)
 		}
-		for _, r := range reports {
-			for _, i := range r.Selected {
-				out.total++
-				if small[cfg.PoolY[i]] {
-					out.minority++
+		reports, err := learner.RunContext(context.Background(), sel,
+			firal.WithRounds(bench.Rounds),
+			firal.WithBudget(bench.Budget),
+			firal.WithObserver(func(r *firal.RoundReport) {
+				for _, i := range r.Selected {
+					out.total++
+					if small[cfg.PoolY[i]] {
+						out.minority++
+					}
 				}
-			}
+			}),
+		)
+		if err != nil {
+			log.Fatal(err)
 		}
 		out.acc += reports[len(reports)-1].EvalAccuracy / trials
 	}
@@ -64,14 +74,9 @@ func main() {
 	fmt.Printf("imb-CIFAR-10-like pool (%d points, 10:1 class imbalance), %d trials\n\n",
 		bench.PoolSize, trials)
 	fmt.Printf("%-14s  %-10s  %s\n", "selector", "eval acc", "minority-class selections")
-	for _, mk := range []func() firal.Selector{
-		func() firal.Selector { return firal.Random() },
-		func() firal.Selector { return firal.Entropy() },
-		func() firal.Selector { return firal.ApproxFIRAL(firal.FIRALOptions{}) },
-	} {
-		sel := mk()
-		out := run(bench, mk)
-		fmt.Printf("%-14s  %-10.3f  %d/%d\n", sel.Name(), out.acc, out.minority, out.total)
+	for _, name := range []string{"Random", "Entropy", "Approx-FIRAL"} {
+		out := run(bench, name)
+		fmt.Printf("%-14s  %-10.3f  %d/%d\n", name, out.acc, out.minority, out.total)
 	}
 	fmt.Println("\nexpected shape (paper Fig. 2 (H)): FIRAL selects minority classes at a")
 	fmt.Println("higher rate than density-following baselines and ends with the best")

@@ -1,10 +1,15 @@
 // Quickstart: run Approx-FIRAL active learning end to end on a small
 // CIFAR-10-like synthetic embedding and watch accuracy grow per round.
+// The session API used here is registry + options + observer: the
+// strategy comes from the selector registry by name, the schedule from
+// functional run options, and each round's report streams through a
+// RoundObserver the moment the round finishes.
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -24,14 +29,24 @@ func main() {
 	fmt.Printf("dataset=%s classes=%d dim=%d pool=%d initial labels=%d\n",
 		bench.Name, bench.Classes, bench.Dim, len(cfg.PoolX), len(cfg.LabeledX))
 
-	selector := firal.ApproxFIRAL(firal.FIRALOptions{}) // paper defaults: s=10, cgtol=0.1
-	reports, err := learner.Run(selector, bench.Rounds, bench.Budget)
+	// Paper defaults: s=10, cgtol=0.1. Any name from firal.Names() works.
+	selector, err := firal.New("approx-firal", firal.SelectorOptions{})
 	if err != nil {
 		log.Fatal(err)
 	}
-	for _, r := range reports {
-		fmt.Printf("round %d: labels=%-3d pool acc=%.3f eval acc=%.3f (select %.2fs, train %.2fs)\n",
-			r.Round, r.LabeledCount, r.PoolAccuracy, r.EvalAccuracy,
-			r.SelectSeconds, r.TrainSeconds)
+
+	_, err = learner.RunContext(context.Background(), selector,
+		firal.WithRounds(bench.Rounds),
+		firal.WithBudget(bench.Budget),
+		firal.WithObserver(func(r *firal.RoundReport) {
+			fmt.Printf("round %d: labels=%-3d pool acc=%.3f eval acc=%.3f (select %.2fs, train %.2fs)\n",
+				r.Round, r.LabeledCount, r.PoolAccuracy, r.EvalAccuracy,
+				r.SelectSeconds, r.TrainSeconds)
+		}),
+		// Don't keep labeling once the model is already this good.
+		firal.WithStopCriterion(firal.TargetAccuracy(0.99)),
+	)
+	if err != nil {
+		log.Fatal(err)
 	}
 }

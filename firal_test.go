@@ -1,6 +1,7 @@
 package firal_test
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -212,13 +213,13 @@ func TestSelectorFuncValidation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	dup := firal.SelectorFunc("dup", func(s *firal.State, b int) ([]int, error) {
+	dup := firal.SelectorFunc("dup", func(ctx context.Context, s *firal.State, b int) ([]int, error) {
 		return []int{0, 0}, nil
 	})
 	if _, err := l.Step(dup, 2); err == nil {
 		t.Fatal("duplicate selection not rejected")
 	}
-	oob := firal.SelectorFunc("oob", func(s *firal.State, b int) ([]int, error) {
+	oob := firal.SelectorFunc("oob", func(ctx context.Context, s *firal.State, b int) ([]int, error) {
 		return []int{s.NumPool()}, nil
 	})
 	if _, err := l.Step(oob, 1); err == nil {
@@ -232,7 +233,7 @@ func TestStateAccessors(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	probe := firal.SelectorFunc("probe", func(s *firal.State, b int) ([]int, error) {
+	probe := firal.SelectorFunc("probe", func(ctx context.Context, s *firal.State, b int) ([]int, error) {
 		if s.NumPool() != len(cfg.PoolX) {
 			t.Errorf("NumPool %d", s.NumPool())
 		}

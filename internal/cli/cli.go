@@ -1,0 +1,19 @@
+// Package cli holds small helpers shared by the cmd/ binaries.
+package cli
+
+import (
+	"context"
+	"os"
+	"os/signal"
+)
+
+// InterruptContext returns a context cancelled by the first Ctrl-C
+// (SIGINT). Once that first signal cancels the context the default signal
+// disposition is restored, so a second Ctrl-C terminates the process
+// immediately even if the current phase polls the context only coarsely.
+// The returned stop function releases the signal registration.
+func InterruptContext() (context.Context, context.CancelFunc) {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	go func() { <-ctx.Done(); stop() }()
+	return ctx, stop
+}

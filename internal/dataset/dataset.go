@@ -68,16 +68,9 @@ func (c Config) defaults() Config {
 // floored at one point per class), for CPU-sized runs of paper-scale
 // configs.
 func (c Config) Scale(f float64) Config {
-	c.PoolSize = maxInt(int(float64(c.PoolSize)*f), c.Classes)
-	c.EvalSize = maxInt(int(float64(c.EvalSize)*f), c.Classes)
+	c.PoolSize = max(int(float64(c.PoolSize)*f), c.Classes)
+	c.EvalSize = max(int(float64(c.EvalSize)*f), c.Classes)
 	return c
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }
 
 // Dataset is a realized active-learning instance.

@@ -13,6 +13,7 @@
 package distfiral
 
 import (
+	"context"
 	"math"
 
 	"repro/internal/firal"
@@ -144,8 +145,42 @@ type RelaxResult struct {
 	Timings *timing.Phases
 }
 
+// collectiveCancelled is the SPMD-safe cancellation check: rank 0 polls
+// the context and broadcasts a one-float stop flag, so every rank leaves
+// the collective schedule at the same iteration. Checking ctx directly on
+// each rank would let ranks observe cancellation at different iterations
+// and deadlock inside a collective.
+func collectiveCancelled(ctx context.Context, c *mpi.Comm, ph *timing.Phases) bool {
+	if ctx.Done() == nil {
+		// Non-cancellable context (e.g. context.Background), uniform
+		// across ranks: skip the flag broadcast so benchmarks and
+		// experiments measure the paper's communication pattern only.
+		return false
+	}
+	flag := []float64{0}
+	if c.Rank() == 0 && ctx.Err() != nil {
+		flag[0] = 1
+	}
+	stop := ph.Start("comm")
+	c.Bcast(0, flag)
+	stop()
+	return flag[0] != 0
+}
+
+// ctxErr returns the context's error, defaulting to context.Canceled for
+// ranks that learned of the cancellation through the collective flag
+// before their own ctx poll would have fired.
+func ctxErr(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return context.Canceled
+}
+
 // Relax runs the distributed fast RELAX (Algorithm 2 over MPI).
-func Relax(c *mpi.Comm, s *Shard, b int, o firal.RelaxOptions) (*RelaxResult, error) {
+// Cancellation is detected collectively once per mirror-descent
+// iteration; all ranks abort together with the context error.
+func Relax(ctx context.Context, c *mpi.Comm, s *Shard, b int, o firal.RelaxOptions) (*RelaxResult, error) {
 	// Mirror the serial option defaults.
 	if o.MaxIter <= 0 {
 		o.MaxIter = 100
@@ -193,6 +228,9 @@ func Relax(c *mpi.Comm, s *Shard, b int, o firal.RelaxOptions) (*RelaxResult, er
 	cgOpt := krylov.Options{Tol: o.CGTol, MaxIter: o.CGMaxIter}
 
 	for t := 1; t <= o.MaxIter; t++ {
+		if collectiveCancelled(ctx, c, ph) {
+			return nil, ctxErr(ctx)
+		}
 		// Probe block: rank 0 draws, everyone else receives (MPI_Bcast of
 		// W per § III-C).
 		stop := ph.Start("other")
@@ -218,10 +256,13 @@ func Relax(c *mpi.Comm, s *Shard, b int, o firal.RelaxOptions) (*RelaxResult, er
 		poolMV := s.poolMatVec(c, ph)
 
 		// W ← Σz⁻¹ V. Every rank runs the same CG on replicated vectors;
-		// only the matvec is distributed.
+		// only the matvec is distributed. The CG deliberately gets a
+		// background context: the matvec is a collective, so ranks must
+		// not abort it at different inner iterations — cancellation is
+		// honored at the loop-top collective check instead.
 		stop = ph.Start("cg")
 		w := mat.NewDense(ed, o.Probes)
-		cgRes := krylov.SolveColumns(sigMV, precond, v, w, cgOpt)
+		cgRes := krylov.SolveColumns(context.Background(), sigMV, precond, v, w, cgOpt)
 		res.CGIterations += krylov.TotalIterations(cgRes)
 		stop()
 
@@ -240,7 +281,7 @@ func Relax(c *mpi.Comm, s *Shard, b int, o firal.RelaxOptions) (*RelaxResult, er
 		// W ← Σz⁻¹ W.
 		stop = ph.Start("cg")
 		w2 := mat.NewDense(ed, o.Probes)
-		cgRes = krylov.SolveColumns(sigMV, precond, hpw, w2, cgOpt)
+		cgRes = krylov.SolveColumns(context.Background(), sigMV, precond, hpw, w2, cgOpt)
 		res.CGIterations += krylov.TotalIterations(cgRes)
 		stop()
 

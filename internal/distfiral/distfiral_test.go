@@ -1,6 +1,7 @@
 package distfiral
 
 import (
+	"context"
 	"math"
 	"sync"
 	"testing"
@@ -64,7 +65,7 @@ func TestDistributedRelaxMatchesSerial(t *testing.T) {
 	b := 5
 	opts := firal.RelaxOptions{FixedIterations: 8, Seed: 11, Probes: 8, CGTol: 0.01}
 
-	serial, err := firal.RelaxFast(firal.NewProblem(labeled, pool), b, opts)
+	serial, err := firal.RelaxFast(context.Background(), firal.NewProblem(labeled, pool), b, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -74,7 +75,7 @@ func TestDistributedRelaxMatchesSerial(t *testing.T) {
 		var mu sync.Mutex
 		mpi.Run(p, func(c *mpi.Comm) {
 			sh := MakeShard(labeled, pool, p, c.Rank())
-			res, err := Relax(c, sh, b, opts)
+			res, err := Relax(context.Background(), c, sh, b, opts)
 			if err != nil {
 				t.Errorf("p=%d: %v", p, err)
 				return
@@ -119,7 +120,7 @@ func TestDistributedRoundMatchesSerial(t *testing.T) {
 		mpi.Run(p, func(c *mpi.Comm) {
 			sh := MakeShard(labeled, pool, p, c.Rank())
 			zLocal := append([]float64(nil), z[sh.PoolOffset:sh.PoolOffset+sh.PoolLocal.N()]...)
-			res, err := Round(c, sh, zLocal, b, 0)
+			res, err := Round(context.Background(), c, sh, zLocal, b, 0)
 			if err != nil {
 				t.Errorf("p=%d: %v", p, err)
 				return
@@ -159,7 +160,7 @@ func TestAllRanksAgreeOnSelection(t *testing.T) {
 	results := make([][]int, p)
 	mpi.Run(p, func(c *mpi.Comm) {
 		sh := MakeShard(labeled, pool, p, c.Rank())
-		sel, _, _, err := Select(c, sh, b, 0, firal.RelaxOptions{FixedIterations: 5, Seed: 3})
+		sel, _, _, err := Select(context.Background(), c, sh, b, 0, firal.RelaxOptions{FixedIterations: 5, Seed: 3})
 		if err != nil {
 			t.Errorf("rank %d: %v", c.Rank(), err)
 			return
@@ -187,7 +188,7 @@ func TestBudgetExceedsPool(t *testing.T) {
 		sh := MakeShard(labeled, pool, p, c.Rank())
 		z := make([]float64, sh.PoolLocal.N())
 		mat.Fill(z, 1)
-		res, err := Round(c, sh, z, 9, 0)
+		res, err := Round(context.Background(), c, sh, z, 9, 0)
 		if err != nil {
 			t.Errorf("%v", err)
 			return
@@ -211,7 +212,7 @@ func TestCommStatsNonzero(t *testing.T) {
 	labeled, pool := testSets(6, 6, 20, 2, 3)
 	stats := mpi.Run(3, func(c *mpi.Comm) {
 		sh := MakeShard(labeled, pool, 3, c.Rank())
-		if _, _, _, err := Select(c, sh, 3, 0, firal.RelaxOptions{FixedIterations: 3, Seed: 1}); err != nil {
+		if _, _, _, err := Select(context.Background(), c, sh, 3, 0, firal.RelaxOptions{FixedIterations: 3, Seed: 1}); err != nil {
 			t.Errorf("%v", err)
 		}
 	})

@@ -1,6 +1,7 @@
 package distfiral
 
 import (
+	"context"
 	"math"
 
 	"repro/internal/firal"
@@ -23,7 +24,8 @@ type RoundResult struct {
 // every rank keeps the replicated O(cd²) block state, scores its local
 // pool partition, and the per-round argmax, winner broadcast, and
 // eigenvalue allgather follow § III-C. zLocal is this rank's slice of z⋄.
-func Round(c *mpi.Comm, s *Shard, zLocal []float64, b int, eta float64) (*RoundResult, error) {
+// Cancellation is detected collectively once per selected candidate.
+func Round(ctx context.Context, c *mpi.Comm, s *Shard, zLocal []float64, b int, eta float64) (*RoundResult, error) {
 	if eta <= 0 {
 		eta = 8 * math.Sqrt(float64(s.Ed()))
 	}
@@ -54,6 +56,9 @@ func Round(c *mpi.Comm, s *Shard, zLocal []float64, b int, eta float64) (*RoundR
 		budget = s.PoolTotal
 	}
 	for t := 1; t <= budget; t++ {
+		if collectiveCancelled(ctx, c, ph) {
+			return nil, ctxErr(ctx)
+		}
 		// Line 7: local objective + global argmax via maxloc reduction.
 		stop := ph.Start("objective")
 		st.Scores(s.PoolLocal, scores)
@@ -127,13 +132,14 @@ func Round(c *mpi.Comm, s *Shard, zLocal []float64, b int, eta float64) (*RoundR
 }
 
 // Select runs the full distributed Approx-FIRAL (RELAX + ROUND) on one
-// rank's shard. All ranks return identical Selected slices.
-func Select(c *mpi.Comm, s *Shard, b int, eta float64, relaxOpts firal.RelaxOptions) ([]int, *RelaxResult, *RoundResult, error) {
-	relax, err := Relax(c, s, b, relaxOpts)
+// rank's shard. All ranks return identical Selected slices. Cancelling
+// the context aborts all ranks together at the next collective check.
+func Select(ctx context.Context, c *mpi.Comm, s *Shard, b int, eta float64, relaxOpts firal.RelaxOptions) ([]int, *RelaxResult, *RoundResult, error) {
+	relax, err := Relax(ctx, c, s, b, relaxOpts)
 	if err != nil {
 		return nil, nil, nil, err
 	}
-	round, err := Round(c, s, relax.ZLocal, b, eta)
+	round, err := Round(ctx, c, s, relax.ZLocal, b, eta)
 	if err != nil {
 		return nil, relax, nil, err
 	}

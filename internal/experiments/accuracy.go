@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
@@ -30,6 +31,9 @@ type AccuracyOptions struct {
 	// MaxExactEd bounds ẽd = d(c−1) above which Exact-FIRAL is skipped
 	// (default 600).
 	MaxExactEd int
+	// Observer, when non-nil, streams every completed round's report
+	// while the experiment runs (live progress for long sweeps).
+	Observer pub.RoundObserver
 }
 
 func (o *AccuracyOptions) defaults() {
@@ -67,31 +71,21 @@ func stochastic(name string) bool {
 	return name == "Random" || name == "K-Means"
 }
 
-// selectorByName instantiates one of the paper's five strategies.
-func selectorByName(name string, o pub.FIRALOptions) (pub.Selector, error) {
-	switch name {
-	case "Random":
-		return pub.Random(), nil
-	case "K-Means":
-		return pub.KMeans(), nil
-	case "Entropy":
-		return pub.Entropy(), nil
-	case "Approx-FIRAL":
-		return pub.ApproxFIRAL(o), nil
-	case "Exact-FIRAL":
-		return pub.ExactFIRAL(o), nil
-	default:
-		return nil, fmt.Errorf("experiments: unknown selector %q", name)
-	}
-}
-
 // RunAccuracy executes the active-learning comparison on one Table V
-// configuration and returns one curve per selector.
-func RunAccuracy(cfg dataset.Config, o AccuracyOptions) ([]*AccuracyCurve, error) {
+// configuration and returns one curve per selector. Selector names
+// resolve through the public registry; cancelling the context aborts the
+// sweep mid-selection.
+func RunAccuracy(ctx context.Context, cfg dataset.Config, o AccuracyOptions) ([]*AccuracyCurve, error) {
 	o.defaults()
 	scaled := cfg.Scale(o.Scale)
 	var curves []*AccuracyCurve
 	for _, name := range o.Selectors {
+		// Resolve aliases/case up front so the intractability and
+		// multi-trial guards below see the canonical name; unknown names
+		// fall through and error in Selector().
+		if canonical, ok := pub.CanonicalName(name); ok {
+			name = canonical
+		}
 		if name == "Exact-FIRAL" && scaled.Dim*(scaled.Classes-1) > o.MaxExactEd {
 			continue // intractable, as in the paper
 		}
@@ -109,11 +103,18 @@ func RunAccuracy(cfg dataset.Config, o AccuracyOptions) ([]*AccuracyCurve, error
 			if err != nil {
 				return nil, err
 			}
-			sel, err := selectorByName(name, o.FIRAL)
+			sel, err := Selector(name, o.FIRAL)
 			if err != nil {
 				return nil, err
 			}
-			reports, err := learner.Run(sel, scaled.Rounds, scaled.Budget)
+			runOpts := []pub.RunOption{
+				pub.WithRounds(scaled.Rounds),
+				pub.WithBudget(scaled.Budget),
+			}
+			if o.Observer != nil {
+				runOpts = append(runOpts, pub.WithObserver(o.Observer))
+			}
+			reports, err := learner.RunContext(ctx, sel, runOpts...)
 			if err != nil {
 				return nil, err
 			}

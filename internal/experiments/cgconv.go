@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -47,7 +48,7 @@ func problemFromDataset(ds *dataset.Dataset) (*firal.Problem, error) {
 // at the uniform initial z, draws one Rademacher right-hand side, and
 // records CG convergence with and without the preconditioner.
 // maxEdForCond bounds the dense condition-number computation (0 disables).
-func RunCGConvergence(cfg dataset.Config, scale float64, seed int64, tol float64, maxIter, maxEdForCond int) (*CGConvergence, error) {
+func RunCGConvergence(ctx context.Context, cfg dataset.Config, scale float64, seed int64, tol float64, maxIter, maxEdForCond int) (*CGConvergence, error) {
 	if scale <= 0 {
 		scale = 1
 	}
@@ -81,12 +82,18 @@ func RunCGConvergence(cfg dataset.Config, scale float64, seed int64, tol float64
 	opt := krylov.Options{Tol: tol, MaxIter: maxIter, RecordResiduals: true}
 
 	x1 := make([]float64, ed)
-	plain := krylov.CG(sigMV, b, x1, opt)
+	plain := krylov.CG(ctx, sigMV, b, x1, opt)
+	if plain.Err != nil {
+		return nil, plain.Err
+	}
 	res.Plain = plain.Residuals
 	res.PlainIters = plain.Iterations
 
 	x2 := make([]float64, ed)
-	prec := krylov.PCG(sigMV, precond, b, x2, opt)
+	prec := krylov.PCG(ctx, sigMV, precond, b, x2, opt)
+	if prec.Err != nil {
+		return nil, prec.Err
+	}
 	res.Preconditioned = prec.Residuals
 	res.PreconditionedIts = prec.Iterations
 

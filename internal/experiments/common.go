@@ -13,11 +13,19 @@ import (
 	"strings"
 	"time"
 
+	pub "repro"
 	"repro/internal/hessian"
 	"repro/internal/mat"
 	"repro/internal/rnd"
 	"repro/internal/softmax"
 )
+
+// Selector resolves a strategy name through the public selector registry
+// (case-insensitive, aliases included), so the experiment harnesses and
+// cmd/ binaries share one source of truth for what strategies exist.
+func Selector(name string, o pub.FIRALOptions) (pub.Selector, error) {
+	return pub.New(name, pub.SelectorOptions{FIRAL: o})
+}
 
 // SynthSets generates a labeled set and pool for performance experiments:
 // Gaussian features and reduced probability rows with c Fisher blocks

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 
@@ -16,7 +17,7 @@ func tinyConfig() dataset.Config {
 }
 
 func TestRunAccuracySmoke(t *testing.T) {
-	curves, err := RunAccuracy(tinyConfig(), AccuracyOptions{
+	curves, err := RunAccuracy(context.Background(), tinyConfig(), AccuracyOptions{
 		Trials:    2,
 		Selectors: []string{"Random", "Entropy", "Approx-FIRAL"},
 		Seed:      1,
@@ -49,7 +50,7 @@ func TestRunAccuracySmoke(t *testing.T) {
 
 func TestExactSkippedWhenTooLarge(t *testing.T) {
 	cfg := tinyConfig()
-	curves, err := RunAccuracy(cfg, AccuracyOptions{
+	curves, err := RunAccuracy(context.Background(), cfg, AccuracyOptions{
 		Trials:     1,
 		Selectors:  []string{"Exact-FIRAL"},
 		MaxExactEd: 2, // force the skip
@@ -64,7 +65,7 @@ func TestExactSkippedWhenTooLarge(t *testing.T) {
 }
 
 func TestUnknownSelectorRejected(t *testing.T) {
-	_, err := RunAccuracy(tinyConfig(), AccuracyOptions{Selectors: []string{"bogus"}, Trials: 1})
+	_, err := RunAccuracy(context.Background(), tinyConfig(), AccuracyOptions{Selectors: []string{"bogus"}, Trials: 1})
 	if err == nil {
 		t.Fatal("unknown selector accepted")
 	}
@@ -74,7 +75,7 @@ func TestUnknownSelectorRejected(t *testing.T) {
 // preconditioned solve needs strictly fewer iterations than the plain one,
 // and preconditioning improves the condition number (paper: 198 → 72).
 func TestCGConvergenceFig1Shape(t *testing.T) {
-	res, err := RunCGConvergence(tinyConfig(), 1, 3, 1e-3, 500, 400)
+	res, err := RunCGConvergence(context.Background(), tinyConfig(), 1, 3, 1e-3, 500, 400)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -97,7 +98,7 @@ func TestCGConvergenceFig1Shape(t *testing.T) {
 }
 
 func TestSensitivityFig4Smoke(t *testing.T) {
-	curves, err := RunSensitivity(tinyConfig(), SensitivityOptions{
+	curves, err := RunSensitivity(context.Background(), tinyConfig(), SensitivityOptions{
 		Seed: 2, Iterations: 6,
 		SValues:      []int{5, 10},
 		TolValues:    []float64{0.5, 0.01},
@@ -130,7 +131,7 @@ func TestSensitivityFig4Smoke(t *testing.T) {
 func TestTableVIShape(t *testing.T) {
 	cfg := dataset.Config{Name: "t6", Classes: 20, Dim: 20, PoolSize: 250,
 		EvalSize: 50, InitPerClass: 1, Rounds: 1, Budget: 3, Separation: 1.5}
-	tc, err := RunTableVI(cfg, 1, 4, 2)
+	tc, err := RunTableVI(context.Background(), cfg, 1, 4, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -148,7 +149,7 @@ func TestTableVIShape(t *testing.T) {
 }
 
 func TestRelaxSweepSmoke(t *testing.T) {
-	rows, err := RunRelaxSweep("d", []int{4, 8}, 3, SingleDeviceOptions{
+	rows, err := RunRelaxSweep(context.Background(), "d", []int{4, 8}, 3, SingleDeviceOptions{
 		N: 400, S: 4, NCG: 5, Seed: 1, Machine: perfmodel.Host(1e9),
 	})
 	if err != nil {
@@ -173,7 +174,7 @@ func TestRelaxSweepSmoke(t *testing.T) {
 }
 
 func TestRoundSweepSmoke(t *testing.T) {
-	rows, err := RunRoundSweep("c", []int{2, 4}, 6, SingleDeviceOptions{
+	rows, err := RunRoundSweep(context.Background(), "c", []int{2, 4}, 6, SingleDeviceOptions{
 		N: 400, Seed: 1, Machine: perfmodel.Host(1e9),
 	})
 	if err != nil {
@@ -190,7 +191,7 @@ func TestRoundSweepSmoke(t *testing.T) {
 }
 
 func TestRelaxScalingSmoke(t *testing.T) {
-	points, err := RunRelaxScaling(ScalingOptions{
+	points, err := RunRelaxScaling(context.Background(), ScalingOptions{
 		Ranks: []int{1, 2, 3}, Strong: true, N: 600, D: 5, C: 3,
 		S: 4, NCG: 5, Seed: 2, Machine: perfmodel.Host(1e9),
 	})
@@ -220,7 +221,7 @@ func TestRelaxScalingSmoke(t *testing.T) {
 }
 
 func TestRoundScalingSmoke(t *testing.T) {
-	points, err := RunRoundScaling(ScalingOptions{
+	points, err := RunRoundScaling(context.Background(), ScalingOptions{
 		Ranks: []int{1, 2}, Strong: false, NPerRank: 200, D: 5, C: 4,
 		B: 2, Seed: 3, Machine: perfmodel.Host(1e9),
 	})

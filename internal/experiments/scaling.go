@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -86,11 +87,18 @@ func maxPhases(perRank []*timing.Phases) map[string]float64 {
 
 // RunRelaxScaling reproduces Fig. 6: time for one mirror-descent
 // iteration of the distributed RELAX step at each rank count.
-func RunRelaxScaling(o ScalingOptions) ([]*ScalingPoint, error) {
+func RunRelaxScaling(ctx context.Context, o ScalingOptions) ([]*ScalingPoint, error) {
 	o.defaults()
 	var points []*ScalingPoint
 	var firstErr error
 	for _, p := range o.Ranks {
+		// Cancellation is honored between measurements; the timed solve
+		// itself runs under a background context so the per-iteration
+		// cancellation-flag broadcast is skipped and the measured comm
+		// phase is exactly the paper's communication schedule.
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		n := o.N
 		if !o.Strong {
 			n = o.NPerRank * p
@@ -100,7 +108,7 @@ func RunRelaxScaling(o ScalingOptions) ([]*ScalingPoint, error) {
 		wall := Timed(func() {
 			mpi.Run(p, func(c *mpi.Comm) {
 				sh := distfiral.MakeShard(labeled, pool, p, c.Rank())
-				res, err := distfiral.Relax(c, sh, 10, firal.RelaxOptions{
+				res, err := distfiral.Relax(context.Background(), c, sh, 10, firal.RelaxOptions{
 					FixedIterations: 1,
 					Probes:          o.S,
 					CGTol:           1e-30,
@@ -136,11 +144,16 @@ func RunRelaxScaling(o ScalingOptions) ([]*ScalingPoint, error) {
 
 // RunRoundScaling reproduces Fig. 7: time per selected point of the
 // distributed ROUND step at each rank count.
-func RunRoundScaling(o ScalingOptions) ([]*ScalingPoint, error) {
+func RunRoundScaling(ctx context.Context, o ScalingOptions) ([]*ScalingPoint, error) {
 	o.defaults()
 	var points []*ScalingPoint
 	var firstErr error
 	for _, p := range o.Ranks {
+		// As in RunRelaxScaling: poll between measurements, time the
+		// solve itself without the cancellation broadcast.
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		n := o.N
 		if !o.Strong {
 			n = o.NPerRank * p
@@ -152,7 +165,7 @@ func RunRoundScaling(o ScalingOptions) ([]*ScalingPoint, error) {
 				sh := distfiral.MakeShard(labeled, pool, p, c.Rank())
 				z := make([]float64, sh.PoolLocal.N())
 				mat.Fill(z, float64(o.B)/float64(n))
-				res, err := distfiral.Round(c, sh, z, o.B, 0)
+				res, err := distfiral.Round(context.Background(), c, sh, z, o.B, 0)
 				if err != nil {
 					if c.Rank() == 0 {
 						firstErr = err

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -30,7 +31,7 @@ type SensitivityOptions struct {
 // RunSensitivity reproduces Fig. 4 on one dataset: the RELAX objective
 // trace for the exact solver and for the fast solver at each probe count
 // (fixed cgtol = 0.1) and each cgtol (fixed s = 10).
-func RunSensitivity(cfg dataset.Config, o SensitivityOptions) ([]*SensitivityCurve, error) {
+func RunSensitivity(ctx context.Context, cfg dataset.Config, o SensitivityOptions) ([]*SensitivityCurve, error) {
 	if o.Scale <= 0 {
 		o.Scale = 1
 	}
@@ -55,7 +56,7 @@ func RunSensitivity(cfg dataset.Config, o SensitivityOptions) ([]*SensitivityCur
 
 	var curves []*SensitivityCurve
 	if o.IncludeExact && p.Ed() <= o.MaxExactEd {
-		res, err := firal.RelaxExact(p, b, firal.RelaxOptions{
+		res, err := firal.RelaxExact(ctx, p, b, firal.RelaxOptions{
 			FixedIterations: o.Iterations, RecordObjective: true,
 		})
 		if err != nil {
@@ -64,7 +65,7 @@ func RunSensitivity(cfg dataset.Config, o SensitivityOptions) ([]*SensitivityCur
 		curves = append(curves, &SensitivityCurve{Label: "Exact", Objectives: res.Objectives})
 	}
 	for _, s := range o.SValues {
-		res, err := firal.RelaxFast(p, b, firal.RelaxOptions{
+		res, err := firal.RelaxFast(ctx, p, b, firal.RelaxOptions{
 			FixedIterations: o.Iterations, RecordObjective: true,
 			Probes: s, CGTol: 0.1, Seed: o.Seed + int64(s),
 		})
@@ -77,7 +78,7 @@ func RunSensitivity(cfg dataset.Config, o SensitivityOptions) ([]*SensitivityCur
 		})
 	}
 	for _, tol := range o.TolValues {
-		res, err := firal.RelaxFast(p, b, firal.RelaxOptions{
+		res, err := firal.RelaxFast(ctx, p, b, firal.RelaxOptions{
 			FixedIterations: o.Iterations, RecordObjective: true,
 			Probes: 10, CGTol: tol, Seed: o.Seed + 7,
 		})

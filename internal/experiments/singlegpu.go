@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -51,8 +52,8 @@ func (o *SingleDeviceOptions) defaults() {
 
 // relaxOnce runs exactly one mirror-descent iteration with a fixed CG
 // iteration count and returns the phase breakdown.
-func relaxOnce(p *firal.Problem, s, ncg int, seed int64) (*timing.Phases, error) {
-	res, err := firal.RelaxFast(p, 10, firal.RelaxOptions{
+func relaxOnce(ctx context.Context, p *firal.Problem, s, ncg int, seed int64) (*timing.Phases, error) {
+	res, err := firal.RelaxFast(ctx, p, 10, firal.RelaxOptions{
 		FixedIterations: 1,
 		Probes:          s,
 		// A tiny tolerance with MaxIter = ncg forces exactly ncg CG
@@ -83,7 +84,7 @@ func roundOnce(p *firal.Problem, seed int64) (*timing.Phases, error) {
 // function of the swept parameter. sweep is "d" (c held fixed) or "c"
 // (d held fixed); values are the parameter values; fixedOther is the
 // non-swept dimension.
-func RunRelaxSweep(sweep string, values []int, fixedOther int, o SingleDeviceOptions) ([]*BreakdownRow, error) {
+func RunRelaxSweep(ctx context.Context, sweep string, values []int, fixedOther int, o SingleDeviceOptions) ([]*BreakdownRow, error) {
 	o.defaults()
 	var rows []*BreakdownRow
 	for _, v := range values {
@@ -93,7 +94,7 @@ func RunRelaxSweep(sweep string, values []int, fixedOther int, o SingleDeviceOpt
 		}
 		labeled, pool := SynthSets(2*c, o.N, d, c, o.Seed)
 		p := firal.NewProblem(labeled, pool)
-		ph, err := relaxOnce(p, o.S, o.NCG, o.Seed)
+		ph, err := relaxOnce(ctx, p, o.S, o.NCG, o.Seed)
 		if err != nil {
 			return nil, err
 		}
@@ -120,7 +121,7 @@ func RunRelaxSweep(sweep string, values []int, fixedOther int, o SingleDeviceOpt
 
 // RunRoundSweep reproduces Fig. 5(C)/(D): the ROUND phase breakdown per
 // iteration as a function of d or c.
-func RunRoundSweep(sweep string, values []int, fixedOther int, o SingleDeviceOptions) ([]*BreakdownRow, error) {
+func RunRoundSweep(ctx context.Context, sweep string, values []int, fixedOther int, o SingleDeviceOptions) ([]*BreakdownRow, error) {
 	o.defaults()
 	var rows []*BreakdownRow
 	for _, v := range values {

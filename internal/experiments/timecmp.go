@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -22,7 +23,7 @@ type TimeComparison struct {
 // RunTableVI times Exact vs Approx on one config's first round. Both
 // RELAX solvers run the same fixed number of mirror-descent iterations so
 // the comparison is per-equal-work, as in the paper's single-round timing.
-func RunTableVI(cfg dataset.Config, scale float64, seed int64, relaxIters int) (*TimeComparison, error) {
+func RunTableVI(ctx context.Context, cfg dataset.Config, scale float64, seed int64, relaxIters int) (*TimeComparison, error) {
 	if scale <= 0 {
 		scale = 1
 	}
@@ -44,7 +45,7 @@ func RunTableVI(cfg dataset.Config, scale float64, seed int64, relaxIters int) (
 
 	var zExact, zApprox []float64
 	tc.ExactRelax = Timed(func() {
-		res, e := firal.RelaxExact(p, b, relaxOpts)
+		res, e := firal.RelaxExact(ctx, p, b, relaxOpts)
 		if e != nil {
 			err = e
 			return
@@ -64,7 +65,7 @@ func RunTableVI(cfg dataset.Config, scale float64, seed int64, relaxIters int) (
 		return nil, err
 	}
 	tc.ApproxRelax = Timed(func() {
-		res, e := firal.RelaxFast(p, b, relaxOpts)
+		res, e := firal.RelaxFast(ctx, p, b, relaxOpts)
 		if e != nil {
 			err = e
 			return

@@ -1,6 +1,9 @@
 package firal
 
-import "math"
+import (
+	"context"
+	"math"
+)
 
 // Options configure a full FIRAL selection (RELAX + ROUND).
 type Options struct {
@@ -30,18 +33,19 @@ type Result struct {
 }
 
 // SelectApprox runs Approx-FIRAL (Algorithm 2 + Algorithm 3) to pick b
-// pool points.
-func SelectApprox(p *Problem, b int, o Options) (*Result, error) {
-	relax, err := RelaxFast(p, b, o.Relax)
+// pool points. Cancelling the context aborts mid-RELAX or between ROUND
+// candidates with ctx.Err().
+func SelectApprox(ctx context.Context, p *Problem, b int, o Options) (*Result, error) {
+	relax, err := RelaxFast(ctx, p, b, o.Relax)
 	if err != nil {
 		return nil, err
 	}
-	return roundWithTuning(p, relax, b, o, RoundFast)
+	return roundWithTuning(ctx, p, relax, b, o, RoundFast)
 }
 
 // SelectExact runs Exact-FIRAL (Algorithm 1) to pick b pool points.
-func SelectExact(p *Problem, b int, o Options) (*Result, error) {
-	relax, err := RelaxExact(p, b, o.Relax)
+func SelectExact(ctx context.Context, p *Problem, b int, o Options) (*Result, error) {
+	relax, err := RelaxExact(ctx, p, b, o.Relax)
 	if err != nil {
 		return nil, err
 	}
@@ -49,14 +53,15 @@ func SelectExact(p *Problem, b int, o Options) (*Result, error) {
 		ro.Naive = o.NaiveRound
 		return RoundExact(p, z, b, ro)
 	}
-	return roundWithTuning(p, relax, b, o, runner)
+	return roundWithTuning(ctx, p, relax, b, o, runner)
 }
 
 type roundRunner func(p *Problem, z []float64, b int, o RoundOptions) (*RoundResult, error)
 
 // roundWithTuning runs the ROUND step, optionally sweeping EtaGrid and
-// keeping the η that maximizes min_k λ_min((H)_k) (§ IV-A).
-func roundWithTuning(p *Problem, relax *RelaxResult, b int, o Options, run roundRunner) (*Result, error) {
+// keeping the η that maximizes min_k λ_min((H)_k) (§ IV-A). The context
+// is checked before each candidate η.
+func roundWithTuning(ctx context.Context, p *Problem, relax *RelaxResult, b int, o Options, run roundRunner) (*Result, error) {
 	etas := o.EtaGrid
 	if len(etas) == 0 {
 		eta := o.Eta
@@ -69,6 +74,9 @@ func roundWithTuning(p *Problem, relax *RelaxResult, b int, o Options, run round
 	bestEta := 0.0
 	bestCrit := math.Inf(-1)
 	for _, eta := range etas {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		round, err := run(p, relax.Z, b, RoundOptions{Eta: eta})
 		if err != nil {
 			return nil, err

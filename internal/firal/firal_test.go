@@ -1,6 +1,7 @@
 package firal
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -227,11 +228,11 @@ func TestRelaxFastTracksExact(t *testing.T) {
 	p := testProblem(5, 8, 24, 3, 3)
 	b := 4
 	opts := RelaxOptions{FixedIterations: 15, RecordObjective: true, Seed: 7, Probes: 30, CGTol: 0.01}
-	fast, err := RelaxFast(p, b, opts)
+	fast, err := RelaxFast(context.Background(), p, b, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
-	exact, err := RelaxExact(p, b, RelaxOptions{FixedIterations: 15, RecordObjective: true})
+	exact, err := RelaxExact(context.Background(), p, b, RelaxOptions{FixedIterations: 15, RecordObjective: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -296,7 +297,7 @@ func TestNuSolvesFTRLEquation(t *testing.T) {
 
 func TestSelectApproxEndToEnd(t *testing.T) {
 	p := testProblem(8, 10, 40, 3, 4)
-	res, err := SelectApprox(p, 5, Options{Relax: RelaxOptions{MaxIter: 20, Seed: 1}})
+	res, err := SelectApprox(context.Background(), p, 5, Options{Relax: RelaxOptions{MaxIter: 20, Seed: 1}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -317,7 +318,7 @@ func TestSelectApproxEndToEnd(t *testing.T) {
 
 func TestSelectExactEndToEnd(t *testing.T) {
 	p := testProblem(9, 8, 16, 2, 3)
-	res, err := SelectExact(p, 3, Options{Relax: RelaxOptions{MaxIter: 10}})
+	res, err := SelectExact(context.Background(), p, 3, Options{Relax: RelaxOptions{MaxIter: 10}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -328,7 +329,7 @@ func TestSelectExactEndToEnd(t *testing.T) {
 
 func TestEtaGridTuning(t *testing.T) {
 	p := testProblem(10, 8, 20, 2, 3)
-	res, err := SelectApprox(p, 3, Options{
+	res, err := SelectApprox(context.Background(), p, 3, Options{
 		Relax:   RelaxOptions{MaxIter: 10, Seed: 2},
 		EtaGrid: []float64{1, 4, 16},
 	})
@@ -354,11 +355,11 @@ func TestEtaGridTuning(t *testing.T) {
 func TestExactVsApproxSelectionOverlap(t *testing.T) {
 	p := testProblem(11, 9, 30, 3, 3)
 	b := 6
-	ex, err := SelectExact(p, b, Options{Relax: RelaxOptions{MaxIter: 25}})
+	ex, err := SelectExact(context.Background(), p, b, Options{Relax: RelaxOptions{MaxIter: 25}})
 	if err != nil {
 		t.Fatal(err)
 	}
-	ap, err := SelectApprox(p, b, Options{Relax: RelaxOptions{MaxIter: 25, Seed: 3, Probes: 30, CGTol: 0.01}})
+	ap, err := SelectApprox(context.Background(), p, b, Options{Relax: RelaxOptions{MaxIter: 25, Seed: 3, Probes: 30, CGTol: 0.01}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -379,7 +380,7 @@ func TestExactVsApproxSelectionOverlap(t *testing.T) {
 
 func TestRelaxZStaysOnScaledSimplex(t *testing.T) {
 	p := testProblem(12, 6, 15, 2, 3)
-	res, err := RelaxFast(p, 5, RelaxOptions{MaxIter: 8, Seed: 4})
+	res, err := RelaxFast(context.Background(), p, 5, RelaxOptions{MaxIter: 8, Seed: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -397,7 +398,7 @@ func TestRelaxZStaysOnScaledSimplex(t *testing.T) {
 
 func TestBudgetLargerThanPool(t *testing.T) {
 	p := testProblem(13, 5, 4, 2, 2)
-	res, err := SelectApprox(p, 10, Options{Relax: RelaxOptions{MaxIter: 5, Seed: 5}})
+	res, err := SelectApprox(context.Background(), p, 10, Options{Relax: RelaxOptions{MaxIter: 5, Seed: 5}})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package firal
 
 import (
+	"context"
 	"math"
 
 	"repro/internal/krylov"
@@ -155,8 +156,10 @@ func StochasticConverged(f []float64, tol float64) bool {
 
 // RelaxFast runs the fast RELAX solve of Algorithm 2: Hutchinson gradient
 // estimation with s Rademacher probes, matrix-free Σz and Hp matvecs
-// (Lemma 2), and CG preconditioned by the block-diagonal B(Σz)⁻¹.
-func RelaxFast(p *Problem, b int, o RelaxOptions) (*RelaxResult, error) {
+// (Lemma 2), and CG preconditioned by the block-diagonal B(Σz)⁻¹. The
+// context is checked at every mirror-descent iteration and inside the CG
+// solves, so a cancellation or deadline aborts mid-RELAX with ctx.Err().
+func RelaxFast(ctx context.Context, p *Problem, b int, o RelaxOptions) (*RelaxResult, error) {
 	o.defaults()
 	n, ed := p.N(), p.Ed()
 	s := o.Probes
@@ -174,6 +177,9 @@ func RelaxFast(p *Problem, b int, o RelaxOptions) (*RelaxResult, error) {
 	poolMV := p.PoolMatVec()
 
 	for t := 1; t <= o.MaxIter; t++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		// Line 4: fresh Rademacher probe block V ∈ R^{dc×s}.
 		stop := ph.Start("other")
 		v := sketch.RademacherMatrix(rng, ed, s)
@@ -193,9 +199,12 @@ func RelaxFast(p *Problem, b int, o RelaxOptions) (*RelaxResult, error) {
 		// Line 6: W ← Σz⁻¹ V by preconditioned CG.
 		stop = ph.Start("cg")
 		w := mat.NewDense(ed, s)
-		cgRes := krylov.SolveColumns(sigmaMV, precond, v, w, cgOpt)
+		cgRes := krylov.SolveColumns(ctx, sigmaMV, precond, v, w, cgOpt)
 		res.CGIterations += krylov.TotalIterations(cgRes)
 		stop()
+		if err := krylov.FirstError(cgRes); err != nil {
+			return nil, err
+		}
 
 		// Line 7: W ← Hp W (fast matvec); also yields the free objective
 		// estimate f ≈ (1/s) Σ_j v_jᵀ Σz⁻¹ Hp v_j = (1/s) Σ_j v_jᵀ (Hp w_j)
@@ -214,9 +223,12 @@ func RelaxFast(p *Problem, b int, o RelaxOptions) (*RelaxResult, error) {
 		// Line 8: W ← Σz⁻¹ W by preconditioned CG.
 		stop = ph.Start("cg")
 		w2 := mat.NewDense(ed, s)
-		cgRes = krylov.SolveColumns(sigmaMV, precond, hpw, w2, cgOpt)
+		cgRes = krylov.SolveColumns(ctx, sigmaMV, precond, hpw, w2, cgOpt)
 		res.CGIterations += krylov.TotalIterations(cgRes)
 		stop()
+		if err := krylov.FirstError(cgRes); err != nil {
+			return nil, err
+		}
 
 		// Line 9: g_i ← −(1/s) Σ_j v_jᵀ H_i w_j over the pool.
 		stop = ph.Start("gradient")

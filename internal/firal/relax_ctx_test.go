@@ -1,0 +1,75 @@
+package firal
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// pollCancelContext cancels itself after its Err method has been polled a
+// fixed number of times — a deterministic way to trigger cancellation in
+// the middle of a solver loop, independent of wall-clock timing.
+type pollCancelContext struct {
+	context.Context
+	remaining atomic.Int64
+}
+
+func newPollCancelContext(polls int) *pollCancelContext {
+	ctx := &pollCancelContext{Context: context.Background()}
+	ctx.remaining.Store(int64(polls))
+	return ctx
+}
+
+func (c *pollCancelContext) Err() error {
+	if c.remaining.Add(-1) < 0 {
+		return context.Canceled
+	}
+	return nil
+}
+
+func (c *pollCancelContext) Deadline() (time.Time, bool) { return time.Time{}, false }
+
+func relaxProblem() *Problem {
+	return testProblem(9, 12, 80, 6, 3)
+}
+
+func TestRelaxFastAbortsMidLoop(t *testing.T) {
+	p := relaxProblem()
+	// Let a handful of polls through so the abort lands beyond the first
+	// mirror-descent iteration, then cancel.
+	ctx := newPollCancelContext(8)
+	res, err := RelaxFast(ctx, p, 5, RelaxOptions{FixedIterations: 50, Seed: 1, Probes: 4})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if res != nil {
+		t.Fatal("aborted solve returned a result")
+	}
+	// The full 50 iterations poll far more than 8 times, so the abort
+	// necessarily happened mid-loop.
+}
+
+func TestRelaxExactAbortsMidLoop(t *testing.T) {
+	p := relaxProblem()
+	ctx := newPollCancelContext(3)
+	_, err := RelaxExact(ctx, p, 5, RelaxOptions{FixedIterations: 50})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+}
+
+func TestSelectApproxPropagatesCancellation(t *testing.T) {
+	p := relaxProblem()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	_, err := SelectApprox(ctx, p, 3, Options{Relax: RelaxOptions{MaxIter: 100, Seed: 2}})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("cancelled SelectApprox took %s", elapsed)
+	}
+}

@@ -1,6 +1,7 @@
 package firal
 
 import (
+	"context"
 	"math"
 
 	"repro/internal/mat"
@@ -12,8 +13,9 @@ import (
 // inverts it directly, and evaluates the exact gradient
 // g_i = −Trace(H_i Σz⁻¹ Hp Σz⁻¹). Storage is O(c²d² + n c² d)-class and
 // per-iteration work is O(n c² d² + (dc)³) — the cost profile that
-// motivates Approx-FIRAL (Table II).
-func RelaxExact(p *Problem, b int, o RelaxOptions) (*RelaxResult, error) {
+// motivates Approx-FIRAL (Table II). The context is checked once per
+// mirror-descent iteration.
+func RelaxExact(ctx context.Context, p *Problem, b int, o RelaxOptions) (*RelaxResult, error) {
 	o.defaults()
 	n, d, c := p.N(), p.D(), p.C()
 	z := uniformSimplex(n)
@@ -31,6 +33,9 @@ func RelaxExact(p *Problem, b int, o RelaxOptions) (*RelaxResult, error) {
 	prevF := math.Inf(1)
 
 	for t := 1; t <= o.MaxIter; t++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		// Σz ← Ho + Hz and its inverse (Algorithm 1 line 5).
 		stop = ph.Start("dense")
 		sigma := p.DenseSigma(z)

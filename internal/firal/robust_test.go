@@ -1,6 +1,7 @@
 package firal
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -70,7 +71,7 @@ func TestRelaxFastHandlesConfidentModel(t *testing.T) {
 			}
 		}
 	}
-	res, err := RelaxFast(p, 5, RelaxOptions{MaxIter: 5, Seed: 1})
+	res, err := RelaxFast(context.Background(), p, 5, RelaxOptions{MaxIter: 5, Seed: 1})
 	if err != nil {
 		t.Fatalf("solver failed on near-singular problem: %v", err)
 	}
@@ -131,7 +132,7 @@ func TestLowRankFeatures(t *testing.T) {
 		hO.Set(i, 1, 0.2)
 	}
 	p := NewProblem(hessian.NewSet(xo, hO), hessian.NewSet(x, h))
-	res, err := SelectApprox(p, 3, Options{Relax: RelaxOptions{MaxIter: 3, Seed: 2, CGMaxIter: 30}})
+	res, err := SelectApprox(context.Background(), p, 3, Options{Relax: RelaxOptions{MaxIter: 3, Seed: 2, CGMaxIter: 30}})
 	if err != nil {
 		t.Fatalf("rank-deficient selection failed: %v", err)
 	}

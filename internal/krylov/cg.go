@@ -3,9 +3,14 @@
 // matrix-free: the caller supplies closures for A·v and M⁻¹·r, which in the
 // reproduction come from the Lemma-2 fast Hessian matvec and the
 // block-diagonal preconditioner of Eq. 14.
+//
+// Solves are cancellable: every entry point takes a context.Context and
+// checks it once per iteration, so a deadline or cancellation aborts a
+// long solve between matvecs.
 package krylov
 
 import (
+	"context"
 	"math"
 
 	"repro/internal/mat"
@@ -35,18 +40,22 @@ type Result struct {
 	RelResidual float64
 	// Residuals holds per-iteration relative residuals when requested.
 	Residuals []float64
+	// Err is non-nil when the solve was aborted by the context; x then
+	// holds the best iterate reached before cancellation.
+	Err error
 }
 
 // CG solves A x = b with plain conjugate gradients. x is both the initial
 // guess and the output.
-func CG(a Op, b, x []float64, opt Options) Result {
-	return PCG(a, nil, b, x, opt)
+func CG(ctx context.Context, a Op, b, x []float64, opt Options) Result {
+	return PCG(ctx, a, nil, b, x, opt)
 }
 
 // PCG solves A x = b with preconditioned conjugate gradients. precond
 // applies M⁻¹ (pass nil for unpreconditioned CG). x is both the initial
-// guess and the output.
-func PCG(a Op, precond Op, b, x []float64, opt Options) Result {
+// guess and the output. The context is polled once per iteration; on
+// cancellation the result carries ctx.Err() and the current iterate.
+func PCG(ctx context.Context, a Op, precond Op, b, x []float64, opt Options) Result {
 	n := len(b)
 	if len(x) != n {
 		panic("krylov: x/b length mismatch")
@@ -97,6 +106,11 @@ func PCG(a Op, precond Op, b, x []float64, opt Options) Result {
 	}
 
 	for it := 0; it < maxIter; it++ {
+		if err := ctx.Err(); err != nil {
+			res.RelResidual = rel
+			res.Err = err
+			return res
+		}
 		a(av, p)
 		pap := mat.Dot(p, av)
 		if pap <= 0 || math.IsNaN(pap) {
@@ -133,8 +147,9 @@ func PCG(a Op, precond Op, b, x []float64, opt Options) Result {
 // SolveColumns solves A X = B column-by-column with (preconditioned) CG,
 // writing solutions into x (same shape as b, used as initial guesses).
 // It returns per-column results. This is the W ← Σ⁻¹V pattern of
-// Algorithm 2, lines 6 and 8.
-func SolveColumns(a Op, precond Op, b, x *mat.Dense, opt Options) []Result {
+// Algorithm 2, lines 6 and 8. A cancelled context stops the sweep at the
+// current column; the remaining results report the context error.
+func SolveColumns(ctx context.Context, a Op, precond Op, b, x *mat.Dense, opt Options) []Result {
 	if b.Rows != x.Rows || b.Cols != x.Cols {
 		panic("krylov: SolveColumns shape mismatch")
 	}
@@ -142,12 +157,29 @@ func SolveColumns(a Op, precond Op, b, x *mat.Dense, opt Options) []Result {
 	bc := make([]float64, b.Rows)
 	xc := make([]float64, b.Rows)
 	for j := 0; j < b.Cols; j++ {
+		if err := ctx.Err(); err != nil {
+			for k := j; k < b.Cols; k++ {
+				results[k].Err = err
+			}
+			return results
+		}
 		b.Col(bc, j)
 		x.Col(xc, j)
-		results[j] = PCG(a, precond, bc, xc, opt)
+		results[j] = PCG(ctx, a, precond, bc, xc, opt)
 		x.SetCol(j, xc)
 	}
 	return results
+}
+
+// FirstError returns the first context error recorded in a batch of
+// results, if any.
+func FirstError(rs []Result) error {
+	for _, r := range rs {
+		if r.Err != nil {
+			return r.Err
+		}
+	}
+	return nil
 }
 
 // TotalIterations sums the iteration counts of a batch of results.

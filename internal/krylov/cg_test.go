@@ -1,6 +1,8 @@
 package krylov
 
 import (
+	"context"
+	"errors"
 	"math"
 	"math/rand"
 	"testing"
@@ -35,7 +37,7 @@ func TestCGSolvesSPD(t *testing.T) {
 			b[i] = rng.NormFloat64()
 		}
 		x := make([]float64, n)
-		res := CG(denseOp(a), b, x, Options{Tol: 1e-10})
+		res := CG(context.Background(), denseOp(a), b, x, Options{Tol: 1e-10})
 		if !res.Converged {
 			t.Fatalf("n=%d: CG did not converge (rel=%g)", n, res.RelResidual)
 		}
@@ -51,7 +53,7 @@ func TestCGSolvesSPD(t *testing.T) {
 func TestCGZeroRHS(t *testing.T) {
 	a := mat.Eye(4)
 	x := []float64{1, 2, 3, 4}
-	res := CG(denseOp(a), make([]float64, 4), x, Options{})
+	res := CG(context.Background(), denseOp(a), make([]float64, 4), x, Options{})
 	if !res.Converged {
 		t.Fatal("zero RHS should converge immediately")
 	}
@@ -75,7 +77,7 @@ func TestPCGWithExactPreconditionerConvergesInOneIteration(t *testing.T) {
 		b[i] = rng.NormFloat64()
 	}
 	x := make([]float64, n)
-	res := PCG(denseOp(a), denseOp(inv), b, x, Options{Tol: 1e-8})
+	res := PCG(context.Background(), denseOp(a), denseOp(inv), b, x, Options{Tol: 1e-8})
 	if res.Iterations > 3 {
 		t.Fatalf("exact preconditioner took %d iterations", res.Iterations)
 	}
@@ -106,9 +108,9 @@ func TestPreconditionerReducesIterations(t *testing.T) {
 		b[i] = rng.NormFloat64()
 	}
 	x1 := make([]float64, n)
-	plain := CG(denseOp(a), b, x1, Options{Tol: 1e-8, RecordResiduals: true})
+	plain := CG(context.Background(), denseOp(a), b, x1, Options{Tol: 1e-8, RecordResiduals: true})
 	x2 := make([]float64, n)
-	prec := PCG(denseOp(a), diagInv, b, x2, Options{Tol: 1e-8, RecordResiduals: true})
+	prec := PCG(context.Background(), denseOp(a), diagInv, b, x2, Options{Tol: 1e-8, RecordResiduals: true})
 	if !plain.Converged || !prec.Converged {
 		t.Fatalf("convergence failure: plain=%v prec=%v", plain.Converged, prec.Converged)
 	}
@@ -131,7 +133,7 @@ func TestResidualsMonotoneEnough(t *testing.T) {
 		b[i] = rng.NormFloat64()
 	}
 	x := make([]float64, n)
-	res := CG(denseOp(a), b, x, Options{Tol: 1e-9, RecordResiduals: true})
+	res := CG(context.Background(), denseOp(a), b, x, Options{Tol: 1e-9, RecordResiduals: true})
 	if math.Abs(res.Residuals[0]-1) > 1e-12 {
 		t.Fatalf("initial relative residual %g != 1", res.Residuals[0])
 	}
@@ -150,7 +152,7 @@ func TestSolveColumns(t *testing.T) {
 		b.Data[i] = rng.NormFloat64()
 	}
 	x := mat.NewDense(n, s)
-	results := SolveColumns(denseOp(a), nil, b, x, Options{Tol: 1e-10})
+	results := SolveColumns(context.Background(), denseOp(a), nil, b, x, Options{Tol: 1e-10})
 	if len(results) != s {
 		t.Fatalf("expected %d results", s)
 	}
@@ -172,8 +174,41 @@ func TestMaxIterCap(t *testing.T) {
 		b[i] = rng.NormFloat64()
 	}
 	x := make([]float64, n)
-	res := CG(denseOp(a), b, x, Options{Tol: 1e-14, MaxIter: 3})
+	res := CG(context.Background(), denseOp(a), b, x, Options{Tol: 1e-14, MaxIter: 3})
 	if res.Iterations > 3 {
 		t.Fatalf("MaxIter not honored: %d", res.Iterations)
+	}
+}
+
+func TestCancelledContextAbortsSolve(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	n := 60
+	a := randSPD(rng, n, 1e6)
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	x := make([]float64, n)
+	res := CG(ctx, denseOp(a), b, x, Options{Tol: 1e-14})
+	if !errors.Is(res.Err, context.Canceled) {
+		t.Fatalf("expected context.Canceled, got %v", res.Err)
+	}
+	if res.Converged {
+		t.Fatal("cancelled solve reported convergence")
+	}
+	if res.Iterations != 0 {
+		t.Fatalf("cancelled solve ran %d iterations", res.Iterations)
+	}
+
+	bm := mat.NewDense(n, 2)
+	for i := range bm.Data {
+		bm.Data[i] = rng.NormFloat64()
+	}
+	xm := mat.NewDense(n, 2)
+	results := SolveColumns(ctx, denseOp(a), nil, bm, xm, Options{Tol: 1e-10})
+	if err := FirstError(results); !errors.Is(err, context.Canceled) {
+		t.Fatalf("SolveColumns: expected context.Canceled, got %v", err)
 	}
 }

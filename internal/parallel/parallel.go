@@ -8,28 +8,34 @@ package parallel
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
 // minWork is the smallest amount of per-worker work worth forking a
 // goroutine for. Loops smaller than this run serially.
 const minWork = 256
 
-// maxWorkers bounds the number of workers; 0 means GOMAXPROCS.
-var maxWorkers = 0
+// maxWorkers bounds the number of workers; 0 means GOMAXPROCS. Atomic so
+// concurrent sessions adjusting it (WithParallelism) never race with
+// worker loops reading it — though the setting itself remains
+// process-wide, not per-session.
+var maxWorkers atomic.Int64
 
 // SetMaxWorkers overrides the worker count used by For and ForChunk.
 // n <= 0 restores the default (GOMAXPROCS). It returns the previous value.
-// It is intended for tests and for simulating single-threaded devices.
+// The setting is process-wide; concurrent callers don't race, but the
+// last restore wins.
 func SetMaxWorkers(n int) int {
-	prev := maxWorkers
-	maxWorkers = n
-	return prev
+	if n < 0 {
+		n = 0
+	}
+	return int(maxWorkers.Swap(int64(n)))
 }
 
 // Workers reports the number of workers parallel loops will use.
 func Workers() int {
-	if maxWorkers > 0 {
-		return maxWorkers
+	if n := maxWorkers.Load(); n > 0 {
+		return int(n)
 	}
 	return runtime.GOMAXPROCS(0)
 }

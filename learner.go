@@ -1,6 +1,7 @@
 package firal
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
@@ -8,6 +9,7 @@ import (
 	"repro/internal/hessian"
 	"repro/internal/logreg"
 	"repro/internal/mat"
+	"repro/internal/parallel"
 	"repro/internal/softmax"
 )
 
@@ -30,8 +32,9 @@ type Config struct {
 	Lambda float64
 	// Seed seeds stochastic selectors driven through this learner.
 	Seed int64
-	// Rounds and Budget record the schedule used by Synthetic benchmarks;
-	// Run accepts them explicitly, so these are informational.
+	// Rounds and Budget are the default session schedule: RunContext uses
+	// them when WithRounds / WithBudget are not supplied. The Synthetic
+	// benchmarks populate them with the paper's Table V values.
 	Rounds, Budget int
 }
 
@@ -40,6 +43,12 @@ type RoundReport struct {
 	// Round is 1-based; LabeledCount is the label total after this round.
 	Round        int
 	LabeledCount int
+	// PoolRemaining is the number of still-unlabeled points after this
+	// round.
+	PoolRemaining int
+	// EvalCount is the evaluation-set size; 0 means no evaluation set was
+	// configured and the Eval* accuracies are meaningless.
+	EvalCount int
 	// Selected holds the selected points' indices into the original pool.
 	Selected []int
 	// PoolAccuracy is the classifier accuracy on the full original pool
@@ -60,6 +69,10 @@ type Learner struct {
 	classes int
 	lambda  float64
 	seed    int64
+	// defaultRounds/defaultBudget are the Config schedule used by
+	// RunContext when the caller passes no WithRounds / WithBudget.
+	defaultRounds int
+	defaultBudget int
 
 	poolX    *mat.Dense // full original pool (accuracy target)
 	poolY    []int
@@ -102,14 +115,16 @@ func NewLearner(cfg Config) (*Learner, error) {
 		}
 	}
 	l := &Learner{
-		classes:  cfg.Classes,
-		lambda:   cfg.Lambda,
-		seed:     cfg.Seed,
-		poolX:    mat.FromRows(cfg.PoolX),
-		poolY:    append([]int(nil), cfg.PoolY...),
-		labeledX: cloneRows(cfg.LabeledX),
-		labeledY: append([]int(nil), cfg.LabeledY...),
-		evalY:    append([]int(nil), cfg.EvalY...),
+		classes:       cfg.Classes,
+		lambda:        cfg.Lambda,
+		seed:          cfg.Seed,
+		defaultRounds: max(cfg.Rounds, 0),
+		defaultBudget: max(cfg.Budget, 0),
+		poolX:         mat.FromRows(cfg.PoolX),
+		poolY:         append([]int(nil), cfg.PoolY...),
+		labeledX:      cloneRows(cfg.LabeledX),
+		labeledY:      append([]int(nil), cfg.LabeledY...),
+		evalY:         append([]int(nil), cfg.EvalY...),
 	}
 	if len(cfg.EvalX) > 0 {
 		l.evalX = mat.FromRows(cfg.EvalX)
@@ -175,21 +190,26 @@ func (l *Learner) state() *State {
 	}
 }
 
-// Step runs one active-learning round with the given selector and budget:
-// select b points under the current model, reveal their labels, retrain,
-// and report accuracies.
-func (l *Learner) Step(sel Selector, b int) (*RoundReport, error) {
+// StepContext runs one active-learning round with the given selector and
+// budget: select b points under the current model, reveal their labels,
+// retrain, and report accuracies. Cancelling the context aborts the
+// selection (mid-RELAX for the FIRAL selectors) with an error wrapping
+// ctx.Err().
+func (l *Learner) StepContext(ctx context.Context, sel Selector, b int) (*RoundReport, error) {
 	if b <= 0 {
 		return nil, fmt.Errorf("%w: non-positive budget", ErrBadConfig)
 	}
 	if len(l.alive) == 0 {
 		return nil, errors.New("firal: pool exhausted")
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	l.round++
 	st := l.state()
 
 	t0 := time.Now()
-	picked, err := sel.Select(st, minInt(b, len(l.alive)))
+	picked, err := sel.Select(ctx, st, min(b, len(l.alive)))
 	selectSecs := time.Since(t0).Seconds()
 	if err != nil {
 		return nil, fmt.Errorf("firal: selector %s: %w", sel.Name(), err)
@@ -223,26 +243,79 @@ func (l *Learner) Step(sel Selector, b int) (*RoundReport, error) {
 	report.TrainSeconds = time.Since(t1).Seconds()
 	report.SelectSeconds = selectSecs
 	report.LabeledCount = len(l.labeledY)
+	report.PoolRemaining = len(l.alive)
 	report.PoolAccuracy = l.model.Accuracy(l.poolX, l.poolY)
 	if l.evalX != nil {
+		report.EvalCount = len(l.evalY)
 		report.EvalAccuracy = l.model.Accuracy(l.evalX, l.evalY)
 		report.BalancedEvalAccuracy = l.model.ClassBalancedAccuracy(l.evalX, l.evalY)
 	}
 	return report, nil
 }
 
-// Run executes rounds active-learning rounds of budget b each and returns
-// the per-round reports. It stops early if the pool is exhausted.
-func (l *Learner) Run(sel Selector, rounds, b int) ([]*RoundReport, error) {
+// Step runs one round with a background context.
+//
+// Deprecated: use StepContext, which supports cancellation.
+func (l *Learner) Step(sel Selector, b int) (*RoundReport, error) {
+	return l.StepContext(context.Background(), sel, b)
+}
+
+// RunContext drives an active-learning session: repeated StepContext
+// rounds under the given selector, configured by functional options.
+//
+// The schedule defaults to the Config's Rounds/Budget; WithRounds and
+// WithBudget override it, WithStopCriterion ends the session on policy
+// (target accuracy, wall-clock budget, ...), and WithObserver streams
+// each RoundReport as its round completes. The session always ends when
+// the pool is exhausted.
+//
+// On context cancellation the reports of the rounds completed so far are
+// returned together with an error wrapping ctx.Err(); a stop criterion
+// firing is a clean end, not an error.
+func (l *Learner) RunContext(ctx context.Context, sel Selector, opts ...RunOption) ([]*RoundReport, error) {
+	rc := runConfig{rounds: l.defaultRounds, budget: l.defaultBudget}
+	for _, opt := range opts {
+		opt(&rc)
+	}
+	if rc.budget <= 0 {
+		return nil, fmt.Errorf("%w: non-positive budget (set Config.Budget or WithBudget)", ErrBadConfig)
+	}
+	if rc.workers > 0 {
+		prev := parallel.SetMaxWorkers(rc.workers)
+		defer parallel.SetMaxWorkers(prev)
+	}
 	var reports []*RoundReport
-	for r := 0; r < rounds && len(l.alive) > 0; r++ {
-		rep, err := l.Step(sel, b)
+	for r := 0; (rc.rounds <= 0 || r < rc.rounds) && len(l.alive) > 0; r++ {
+		if err := ctx.Err(); err != nil {
+			return reports, err
+		}
+		rep, err := l.StepContext(ctx, sel, rc.budget)
 		if err != nil {
 			return reports, err
 		}
 		reports = append(reports, rep)
+		for _, observe := range rc.observers {
+			observe(rep)
+		}
+		for _, criterion := range rc.stops {
+			if stop, _ := criterion(rep); stop {
+				return reports, nil
+			}
+		}
 	}
 	return reports, nil
+}
+
+// Run executes rounds active-learning rounds of budget b each and returns
+// the per-round reports. It stops early if the pool is exhausted.
+//
+// Deprecated: use RunContext, which supports cancellation, stop criteria,
+// and streaming round reports.
+func (l *Learner) Run(sel Selector, rounds, b int) ([]*RoundReport, error) {
+	if rounds <= 0 {
+		return nil, nil // historical behavior: a non-positive schedule runs no rounds
+	}
+	return l.RunContext(context.Background(), sel, WithRounds(rounds), WithBudget(b))
 }
 
 func validateSelection(picked []int, n int) error {
@@ -257,13 +330,6 @@ func validateSelection(picked []int, n int) error {
 		seen[r] = true
 	}
 	return nil
-}
-
-func minInt(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }
 
 // Model is a trained multiclass logistic-regression classifier.

@@ -1,0 +1,146 @@
+package firal
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// SelectorOptions parameterize selectors built through the registry. The
+// zero value yields the paper's defaults for every strategy.
+type SelectorOptions struct {
+	// FIRAL configures the FIRAL-family selectors; the baselines ignore
+	// it.
+	FIRAL FIRALOptions
+	// Ranks is the simulated rank count for the distributed selector
+	// (minimum 1); the serial selectors ignore it.
+	Ranks int
+}
+
+// SelectorFactory builds a Selector from registry options.
+type SelectorFactory func(o SelectorOptions) (Selector, error)
+
+var selectorRegistry = struct {
+	sync.RWMutex
+	factories map[string]SelectorFactory // canonical name → factory
+	lookup    map[string]string          // normalized name or alias → canonical
+}{
+	factories: map[string]SelectorFactory{},
+	lookup:    map[string]string{},
+}
+
+func normalizeSelectorName(name string) string {
+	return strings.ToLower(strings.TrimSpace(name))
+}
+
+// Register adds a selector factory under a canonical name. Lookup through
+// New is case-insensitive. Register panics on an empty name, a nil
+// factory, or a duplicate registration — misregistration is a programming
+// error, caught at init time like database/sql driver registration.
+func Register(name string, factory SelectorFactory) {
+	key := normalizeSelectorName(name)
+	if key == "" {
+		panic("firal: Register with empty selector name")
+	}
+	if factory == nil {
+		panic("firal: Register with nil factory for " + name)
+	}
+	selectorRegistry.Lock()
+	defer selectorRegistry.Unlock()
+	if _, dup := selectorRegistry.lookup[key]; dup {
+		panic("firal: Register called twice for selector " + name)
+	}
+	selectorRegistry.factories[name] = factory
+	selectorRegistry.lookup[key] = name
+}
+
+// RegisterAlias makes alias resolve to an already-registered canonical
+// selector name. Aliases are looked up case-insensitively but do not
+// appear in Names().
+func RegisterAlias(alias, canonical string) {
+	aliasKey := normalizeSelectorName(alias)
+	canonKey := normalizeSelectorName(canonical)
+	if aliasKey == "" {
+		panic("firal: RegisterAlias with empty alias")
+	}
+	selectorRegistry.Lock()
+	defer selectorRegistry.Unlock()
+	target, ok := selectorRegistry.lookup[canonKey]
+	if !ok {
+		panic("firal: RegisterAlias target not registered: " + canonical)
+	}
+	if _, dup := selectorRegistry.lookup[aliasKey]; dup {
+		panic("firal: RegisterAlias called twice for " + alias)
+	}
+	selectorRegistry.lookup[aliasKey] = target
+}
+
+// New instantiates a registered selector by name (case-insensitive;
+// aliases such as "firal" for "Approx-FIRAL" are accepted). Unknown names
+// return an error listing the registered strategies.
+func New(name string, o SelectorOptions) (Selector, error) {
+	selectorRegistry.RLock()
+	canonical, ok := selectorRegistry.lookup[normalizeSelectorName(name)]
+	var factory SelectorFactory
+	if ok {
+		factory = selectorRegistry.factories[canonical]
+	}
+	selectorRegistry.RUnlock()
+	if factory == nil {
+		return nil, fmt.Errorf("firal: unknown selector %q (registered: %s)",
+			name, strings.Join(Names(), ", "))
+	}
+	return factory(o)
+}
+
+// CanonicalName resolves a selector name — case-insensitively, aliases
+// included — to its registered canonical form. It reports false for
+// unknown names.
+func CanonicalName(name string) (string, bool) {
+	selectorRegistry.RLock()
+	defer selectorRegistry.RUnlock()
+	canonical, ok := selectorRegistry.lookup[normalizeSelectorName(name)]
+	return canonical, ok
+}
+
+// Names returns the sorted canonical names of every registered selector.
+func Names() []string {
+	selectorRegistry.RLock()
+	names := make([]string, 0, len(selectorRegistry.factories))
+	for name := range selectorRegistry.factories {
+		names = append(names, name)
+	}
+	selectorRegistry.RUnlock()
+	sort.Strings(names)
+	return names
+}
+
+// The eight built-in strategies self-register so that user code — and the
+// cmd/ binaries and experiment harnesses — can construct any of them from
+// a configuration string without a hard-coded switch.
+func init() {
+	Register("Random", func(o SelectorOptions) (Selector, error) { return Random(), nil })
+	Register("K-Means", func(o SelectorOptions) (Selector, error) { return KMeans(), nil })
+	Register("Entropy", func(o SelectorOptions) (Selector, error) { return Entropy(), nil })
+	Register("Margin", func(o SelectorOptions) (Selector, error) { return Margin(), nil })
+	Register("Least-Confidence", func(o SelectorOptions) (Selector, error) { return LeastConfidence(), nil })
+	Register("Approx-FIRAL", func(o SelectorOptions) (Selector, error) { return ApproxFIRAL(o.FIRAL), nil })
+	Register("Exact-FIRAL", func(o SelectorOptions) (Selector, error) { return ExactFIRAL(o.FIRAL), nil })
+	Register("Dist-FIRAL", func(o SelectorOptions) (Selector, error) {
+		ranks := o.Ranks
+		if ranks < 1 {
+			ranks = 1
+		}
+		return DistributedFIRAL(ranks, o.FIRAL), nil
+	})
+
+	RegisterAlias("kmeans", "K-Means")
+	RegisterAlias("leastconfidence", "Least-Confidence")
+	RegisterAlias("least-conf", "Least-Confidence")
+	RegisterAlias("firal", "Approx-FIRAL")
+	RegisterAlias("approx", "Approx-FIRAL")
+	RegisterAlias("exact", "Exact-FIRAL")
+	RegisterAlias("distributed-firal", "Dist-FIRAL")
+	RegisterAlias("dist", "Dist-FIRAL")
+}

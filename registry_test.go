@@ -1,0 +1,155 @@
+package firal_test
+
+import (
+	"context"
+	"sort"
+	"strings"
+	"testing"
+
+	firal "repro"
+)
+
+// builtinSelectors are the canonical names every release registers.
+var builtinSelectors = []string{
+	"Approx-FIRAL",
+	"Dist-FIRAL",
+	"Entropy",
+	"Exact-FIRAL",
+	"K-Means",
+	"Least-Confidence",
+	"Margin",
+	"Random",
+}
+
+func TestNamesSortedAndComplete(t *testing.T) {
+	names := firal.Names()
+	if !sort.StringsAreSorted(names) {
+		t.Fatalf("Names() not sorted: %v", names)
+	}
+	have := map[string]bool{}
+	for _, n := range names {
+		have[n] = true
+	}
+	for _, want := range builtinSelectors {
+		if !have[want] {
+			t.Fatalf("Names() missing built-in %q: %v", want, names)
+		}
+	}
+}
+
+func TestNewIsCaseInsensitive(t *testing.T) {
+	for _, name := range []string{"approx-firal", "APPROX-FIRAL", "Approx-Firal", " approx-firal "} {
+		sel, err := firal.New(name, firal.SelectorOptions{})
+		if err != nil {
+			t.Fatalf("New(%q): %v", name, err)
+		}
+		if sel.Name() != "Approx-FIRAL" {
+			t.Fatalf("New(%q) built %q", name, sel.Name())
+		}
+	}
+}
+
+func TestNewResolvesAliases(t *testing.T) {
+	for alias, want := range map[string]string{
+		"firal":             "Approx-FIRAL",
+		"kmeans":            "K-Means",
+		"leastconfidence":   "Least-Confidence",
+		"distributed-firal": "Approx-FIRAL(dist)",
+		"dist-firal":        "Approx-FIRAL(dist)",
+	} {
+		sel, err := firal.New(alias, firal.SelectorOptions{Ranks: 2})
+		if err != nil {
+			t.Fatalf("New(%q): %v", alias, err)
+		}
+		if sel.Name() != want {
+			t.Fatalf("New(%q) built %q, want %q", alias, sel.Name(), want)
+		}
+	}
+}
+
+func TestNewUnknownNameErrors(t *testing.T) {
+	_, err := firal.New("bogus-strategy", firal.SelectorOptions{})
+	if err == nil {
+		t.Fatal("unknown selector accepted")
+	}
+	if !strings.Contains(err.Error(), "bogus-strategy") {
+		t.Fatalf("error does not name the unknown selector: %v", err)
+	}
+	if !strings.Contains(err.Error(), "Approx-FIRAL") {
+		t.Fatalf("error does not list registered selectors: %v", err)
+	}
+}
+
+func TestRegisterCustomSelector(t *testing.T) {
+	firal.Register("Test-First-B", func(o firal.SelectorOptions) (firal.Selector, error) {
+		return firal.SelectorFunc("Test-First-B", func(ctx context.Context, s *firal.State, b int) ([]int, error) {
+			picked := make([]int, b)
+			for i := range picked {
+				picked[i] = i
+			}
+			return picked, nil
+		}), nil
+	})
+	sel, err := firal.New("test-first-b", firal.SelectorOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := firal.NewLearner(smallConfig(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := l.StepContext(context.Background(), sel, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Selected) != 4 {
+		t.Fatalf("custom selector picked %d points", len(rep.Selected))
+	}
+	found := false
+	for _, n := range firal.Names() {
+		if n == "Test-First-B" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("custom selector missing from Names()")
+	}
+}
+
+func TestRegisterDuplicatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate Register did not panic")
+		}
+	}()
+	firal.Register("Random", func(o firal.SelectorOptions) (firal.Selector, error) {
+		return firal.Random(), nil
+	})
+}
+
+func TestEveryRegisteredSelectorRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs all strategies")
+	}
+	opts := firal.SelectorOptions{
+		FIRAL: firal.FIRALOptions{MaxRelaxIterations: 8, Probes: 5},
+		Ranks: 2,
+	}
+	for _, name := range builtinSelectors {
+		sel, err := firal.New(name, opts)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		l, err := firal.NewLearner(smallConfig(12))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := l.StepContext(context.Background(), sel, 5)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(rep.Selected) != 5 {
+			t.Fatalf("%s: selected %d points", name, len(rep.Selected))
+		}
+	}
+}

@@ -1,6 +1,8 @@
 package firal
 
 import (
+	"context"
+
 	"repro/internal/baselines"
 	"repro/internal/distfiral"
 	"repro/internal/firal"
@@ -49,12 +51,14 @@ func (s *State) LabeledPoint(i int) []float64 { return s.labX.Row(i) }
 func (s *State) Seed() int64 { return s.seed }
 
 // Selector chooses b pool indices (into the current pool ordering) to
-// label. Implementations must return distinct, in-range indices.
+// label. Implementations must return distinct, in-range indices, and must
+// honor ctx: a long-running selection aborts with ctx.Err() when the
+// context is cancelled or its deadline passes.
 type Selector interface {
 	// Name identifies the strategy in reports.
 	Name() string
 	// Select picks b distinct pool indices from the state.
-	Select(s *State, b int) ([]int, error)
+	Select(ctx context.Context, s *State, b int) ([]int, error)
 }
 
 // FIRALOptions configure the FIRAL selectors.
@@ -99,21 +103,26 @@ func (o FIRALOptions) options(seed int64) firal.Options {
 
 type funcSelector struct {
 	name string
-	fn   func(s *State, b int) ([]int, error)
+	fn   func(ctx context.Context, s *State, b int) ([]int, error)
 }
 
 func (f *funcSelector) Name() string { return f.name }
 
-func (f *funcSelector) Select(s *State, b int) ([]int, error) { return f.fn(s, b) }
+func (f *funcSelector) Select(ctx context.Context, s *State, b int) ([]int, error) {
+	return f.fn(ctx, s, b)
+}
 
 // SelectorFunc builds a Selector from a function, for custom strategies.
-func SelectorFunc(name string, fn func(s *State, b int) ([]int, error)) Selector {
+func SelectorFunc(name string, fn func(ctx context.Context, s *State, b int) ([]int, error)) Selector {
 	return &funcSelector{name: name, fn: fn}
 }
 
 // Random selects uniformly at random (§ IV-A baseline 1).
 func Random() Selector {
-	return SelectorFunc("Random", func(s *State, b int) ([]int, error) {
+	return SelectorFunc("Random", func(ctx context.Context, s *State, b int) ([]int, error) {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		return baselines.Random(s.NumPool(), b, rnd.New(s.seed)), nil
 	})
 }
@@ -121,7 +130,10 @@ func Random() Selector {
 // KMeans clusters the pool into b clusters and selects the points nearest
 // the centers (§ IV-A baseline 2).
 func KMeans() Selector {
-	return SelectorFunc("K-Means", func(s *State, b int) ([]int, error) {
+	return SelectorFunc("K-Means", func(ctx context.Context, s *State, b int) ([]int, error) {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		return baselines.KMeans(s.poolX, b, rnd.New(s.seed)), nil
 	})
 }
@@ -129,7 +141,10 @@ func KMeans() Selector {
 // Entropy selects the b most uncertain points by predictive entropy
 // (§ IV-A baseline 3).
 func Entropy() Selector {
-	return SelectorFunc("Entropy", func(s *State, b int) ([]int, error) {
+	return SelectorFunc("Entropy", func(ctx context.Context, s *State, b int) ([]int, error) {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		return baselines.Entropy(s.poolProbs, b), nil
 	})
 }
@@ -138,7 +153,10 @@ func Entropy() Selector {
 // margin (margin-based uncertainty sampling; not in the paper's
 // comparison but a standard active-learning baseline).
 func Margin() Selector {
-	return SelectorFunc("Margin", func(s *State, b int) ([]int, error) {
+	return SelectorFunc("Margin", func(ctx context.Context, s *State, b int) ([]int, error) {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		return baselines.Margin(s.poolProbs, b), nil
 	})
 }
@@ -146,17 +164,22 @@ func Margin() Selector {
 // LeastConfidence selects the b points whose predicted class has the
 // lowest probability.
 func LeastConfidence() Selector {
-	return SelectorFunc("Least-Confidence", func(s *State, b int) ([]int, error) {
+	return SelectorFunc("Least-Confidence", func(ctx context.Context, s *State, b int) ([]int, error) {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		return baselines.LeastConfidence(s.poolProbs, b), nil
 	})
 }
 
 // ApproxFIRAL is the paper's contribution: the fast RELAX (Algorithm 2) +
-// diagonal ROUND (Algorithm 3) selector.
+// diagonal ROUND (Algorithm 3) selector. Cancelling the context aborts
+// mid-RELAX (the mirror-descent loop and the inner CG solves both poll
+// it).
 func ApproxFIRAL(o FIRALOptions) Selector {
-	return SelectorFunc("Approx-FIRAL", func(s *State, b int) ([]int, error) {
+	return SelectorFunc("Approx-FIRAL", func(ctx context.Context, s *State, b int) ([]int, error) {
 		p := firal.NewProblem(s.labeled, s.pool)
-		res, err := firal.SelectApprox(p, b, o.options(s.seed))
+		res, err := firal.SelectApprox(ctx, p, b, o.options(s.seed))
 		if err != nil {
 			return nil, err
 		}
@@ -167,9 +190,9 @@ func ApproxFIRAL(o FIRALOptions) Selector {
 // ExactFIRAL is the original Algorithm 1 (dense Hessians; use only at
 // small n, d, c).
 func ExactFIRAL(o FIRALOptions) Selector {
-	return SelectorFunc("Exact-FIRAL", func(s *State, b int) ([]int, error) {
+	return SelectorFunc("Exact-FIRAL", func(ctx context.Context, s *State, b int) ([]int, error) {
 		p := firal.NewProblem(s.labeled, s.pool)
-		res, err := firal.SelectExact(p, b, o.options(s.seed))
+		res, err := firal.SelectExact(ctx, p, b, o.options(s.seed))
 		if err != nil {
 			return nil, err
 		}
@@ -180,17 +203,18 @@ func ExactFIRAL(o FIRALOptions) Selector {
 // DistributedFIRAL runs Approx-FIRAL sharded over `ranks` simulated
 // distributed-memory ranks (one goroutine per rank, message-passing
 // collectives as in § III-C). Selections match the serial ApproxFIRAL up
-// to floating-point summation order.
+// to floating-point summation order. Cancellation is detected
+// collectively, so all ranks abort together.
 func DistributedFIRAL(ranks int, o FIRALOptions) Selector {
 	if ranks < 1 {
 		ranks = 1
 	}
-	return SelectorFunc("Approx-FIRAL(dist)", func(s *State, b int) ([]int, error) {
+	return SelectorFunc("Approx-FIRAL(dist)", func(ctx context.Context, s *State, b int) ([]int, error) {
 		var selected []int
 		var firstErr error
 		mpi.Run(ranks, func(c *mpi.Comm) {
 			sh := distfiral.MakeShard(s.labeled, s.pool, ranks, c.Rank())
-			sel, _, _, err := distfiral.Select(c, sh, b, o.Eta, o.relax(s.seed))
+			sel, _, _, err := distfiral.Select(ctx, c, sh, b, o.Eta, o.relax(s.seed))
 			if c.Rank() == 0 {
 				selected, firstErr = sel, err
 			}

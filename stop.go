@@ -1,0 +1,72 @@
+package firal
+
+import (
+	"fmt"
+	"time"
+)
+
+// A StopCriterion inspects the report of a just-completed round and
+// decides whether the session should end. The reason is a short
+// human-readable explanation, surfaced by callers that report why a run
+// terminated. Criteria let long sessions terminate on policy — pool
+// exhausted, accuracy target met, wall-clock budget spent — rather than
+// only on a fixed round count.
+type StopCriterion func(r *RoundReport) (stop bool, reason string)
+
+// PoolExhausted stops when no unlabeled points remain. RunContext always
+// ends an exhausted session; this criterion exists so callers can detect
+// and report that outcome explicitly.
+func PoolExhausted() StopCriterion {
+	return func(r *RoundReport) (bool, string) {
+		if r.PoolRemaining == 0 {
+			return true, "pool exhausted"
+		}
+		return false, ""
+	}
+}
+
+// TargetAccuracy stops once the evaluation accuracy reaches target; on
+// configurations without an evaluation set it falls back to pool
+// accuracy.
+func TargetAccuracy(target float64) StopCriterion {
+	return func(r *RoundReport) (bool, string) {
+		acc, kind := r.EvalAccuracy, "eval"
+		if r.EvalCount == 0 {
+			acc, kind = r.PoolAccuracy, "pool"
+		}
+		if acc >= target {
+			return true, fmt.Sprintf("target accuracy reached (%s %.4f ≥ %.4f)", kind, acc, target)
+		}
+		return false, ""
+	}
+}
+
+// MaxDuration stops the session once d of wall-clock time has elapsed,
+// measured from the criterion's construction. The running round is always
+// finished — for a hard mid-round abort, use a context deadline instead.
+func MaxDuration(d time.Duration) StopCriterion {
+	deadline := time.Now().Add(d)
+	return func(r *RoundReport) (bool, string) {
+		if time.Now().After(deadline) {
+			return true, fmt.Sprintf("wall-clock budget %s exhausted", d)
+		}
+		return false, ""
+	}
+}
+
+// AnyOf combines criteria; the first that fires wins. Equivalent to
+// repeating WithStopCriterion, provided for composing criteria outside
+// run options.
+func AnyOf(criteria ...StopCriterion) StopCriterion {
+	return func(r *RoundReport) (bool, string) {
+		for _, c := range criteria {
+			if c == nil {
+				continue
+			}
+			if stop, reason := c(r); stop {
+				return true, reason
+			}
+		}
+		return false, ""
+	}
+}
