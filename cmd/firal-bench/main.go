@@ -1,0 +1,180 @@
+// Command firal-bench measures the hot kernels behind the Approx-FIRAL
+// per-round cost model (Tables II–III) — blocked vs reference GEMM, the
+// Lemma-2 Hessian matvec, the ROUND scoring pass, a preconditioned CG
+// solve, and one full Approx-FIRAL round — and writes the results as JSON
+// so successive PRs can track the performance trajectory.
+//
+// Usage:
+//
+//	firal-bench                 # full run, writes BENCH_round.json
+//	firal-bench -quick          # CI smoke: one short pass per benchmark
+//	firal-bench -out results.json
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/firal"
+	"repro/internal/krylov"
+	"repro/internal/mat"
+	"repro/internal/rnd"
+	"repro/internal/timing"
+)
+
+// entry is one benchmark result. Extra carries derived metrics such as
+// speedup ratios.
+type entry struct {
+	Name        string             `json:"name"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	AllocsPerOp int64              `json:"allocs_per_op"`
+	BytesPerOp  int64              `json:"bytes_per_op"`
+	Extra       map[string]float64 `json:"extra,omitempty"`
+}
+
+type report struct {
+	GoVersion string    `json:"go_version"`
+	GoArch    string    `json:"go_arch"`
+	NumCPU    int       `json:"num_cpu"`
+	Date      time.Time `json:"date"`
+	Results   []entry   `json:"results"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("firal-bench: ")
+	testing.Init() // registers -test.benchtime, which testing.Benchmark reads
+	var (
+		out   = flag.String("out", "BENCH_round.json", "output JSON path")
+		quick = flag.Bool("quick", false, "single short pass per benchmark (CI smoke)")
+	)
+	flag.Parse()
+
+	benchTime := time.Second
+	if *quick {
+		benchTime = 10 * time.Millisecond
+	}
+	if err := flag.Set("test.benchtime", benchTime.String()); err != nil {
+		log.Fatal(err)
+	}
+	run := func(name string, f func(b *testing.B)) entry {
+		r := testing.Benchmark(f)
+		e := entry{
+			Name:        name,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		}
+		fmt.Printf("%-28s %14.0f ns/op %8d allocs/op\n", name, e.NsPerOp, e.AllocsPerOp)
+		return e
+	}
+
+	rep := report{
+		GoVersion: runtime.Version(),
+		GoArch:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+		Date:      time.Now().UTC(),
+		Results:   []entry{},
+	}
+
+	// --- GEMM: blocked vs reference at d=256 (the ≥2× gate). ---
+	const gd = 256
+	rng := rnd.New(1)
+	ga := mat.NewDense(gd, gd)
+	gb := mat.NewDense(gd, gd)
+	rng.Normal(ga.Data, 0, 1)
+	rng.Normal(gb.Data, 0, 1)
+	gdst := mat.NewDense(gd, gd)
+	blocked := run("gemm_blocked_d256", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			mat.Mul(gdst, ga, gb)
+		}
+	})
+	naive := run("gemm_naive_d256", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			mat.RefMul(gdst, ga, gb)
+		}
+	})
+	blocked.Extra = map[string]float64{"speedup_vs_naive": naive.NsPerOp / blocked.NsPerOp}
+	rep.Results = append(rep.Results, blocked, naive)
+
+	// --- Lemma-2 Hessian matvec with a warm workspace. ---
+	labeled, pool := experiments.SynthSets(20, 2000, 64, 10, 2)
+	ws := mat.NewWorkspace()
+	v := make([]float64, pool.Ed())
+	dst := make([]float64, pool.Ed())
+	w := make([]float64, pool.N())
+	rnd.New(3).Normal(v, 0, 1)
+	mat.Fill(w, 0.5)
+	rep.Results = append(rep.Results, run("hessian_matvec_n2000_d64_c9", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			pool.MatVecWS(ws, dst, v, w)
+		}
+	}))
+
+	// --- Preconditioned CG solve (Σz x = b) with workspace. ---
+	p := firal.NewProblem(labeled, pool)
+	z := make([]float64, p.N())
+	mat.Fill(z, 1/float64(p.N()))
+	sigMV := p.SigmaMatVecWS(ws, z)
+	precond, err := firal.BlockPreconditioner(p.SigmaBlocks(z))
+	if err != nil {
+		log.Fatal(err)
+	}
+	rhs := make([]float64, p.Ed())
+	sol := make([]float64, p.Ed())
+	rnd.New(4).Rademacher(rhs)
+	cgOpt := krylov.Options{Tol: 1e-6, MaxIter: 400, Workspace: ws}
+	rep.Results = append(rep.Results, run("pcg_solve_ed576", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			mat.Fill(sol, 0)
+			krylov.PCG(context.Background(), sigMV, precond, rhs, sol, cgOpt)
+		}
+	}))
+
+	// --- ROUND scoring pass (the per-candidate pool rescore). ---
+	scores := make([]float64, p.N())
+	rep.Results = append(rep.Results, run("round_scores_n2000_d64_c9", func(b *testing.B) {
+		st, serr := firal.NewRoundState(p.SigmaBlocks(z), p.Labeled.BlockDiagSum(nil),
+			10, p.DefaultEta(), timing.New())
+		if serr != nil {
+			b.Fatal(serr)
+		}
+		st.Scores(p.Pool, scores) // warm
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			st.Scores(p.Pool, scores)
+		}
+	}))
+
+	// --- One full Approx-FIRAL round (RELAX + ROUND). ---
+	sp, spool := experiments.SynthSets(20, 600, 32, 8, 5)
+	sprob := firal.NewProblem(sp, spool)
+	rep.Results = append(rep.Results, run("approx_firal_round_n600_d32", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := firal.SelectApprox(context.Background(), sprob, 5, firal.Options{
+				Relax: firal.RelaxOptions{FixedIterations: 3, Seed: 1},
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("wrote %s (%d benchmarks)", *out, len(rep.Results))
+}

@@ -46,6 +46,24 @@
 // The previous Run/Step entry points remain as deprecated wrappers over
 // RunContext/StepContext for one release.
 //
+// # Performance substrate
+//
+// The dense kernels under internal/mat are cache-blocked and panel-packed
+// (a GotoBLAS-style decomposition with an SSE2 micro-kernel on amd64 and
+// a portable scalar fallback), and the solver hot paths draw their
+// scratch from a mat.Workspace — a size-keyed arena of reusable buffers.
+// The Workspace contract: a workspace is owned by exactly one goroutine
+// (the simulated MPI ranks each carry their own); buffers obtained from
+// it belong to the caller until returned; contents are unspecified on
+// acquisition; and a nil workspace degrades to allocate-per-call
+// everywhere one is accepted. With a warm workspace the Lemma-2 Hessian
+// matvec, CG iterations, and the ROUND pool-rescoring loop run
+// allocation-free in the serial regime (pinned by AllocsPerRun
+// regression tests); when a kernel's loop is large enough to fan out
+// across cores, the fork itself costs O(workers) transient allocations
+// per call, amortized by the per-worker work floor. cmd/firal-bench
+// records the kernel trajectory in BENCH_round.json.
+//
 // Implementation packages live under internal/: internal/firal holds the
 // RELAX/ROUND solvers, internal/mat the dense linear algebra,
 // internal/mpi the message-passing runtime, and internal/experiments the

@@ -6,8 +6,6 @@
 package baselines
 
 import (
-	"sort"
-
 	"repro/internal/kmeans"
 	"repro/internal/mat"
 	"repro/internal/rnd"
@@ -71,22 +69,73 @@ func LeastConfidence(probs *mat.Dense, b int) []int {
 	return topByScore(scores, b)
 }
 
-// topByScore returns the indices of the b largest scores, breaking ties
-// by index for determinism.
+// topByScore returns the indices of the b largest scores in descending
+// score order, breaking ties by smaller index for determinism. It runs a
+// bounded partial selection — a size-b min-heap over the pool, O(n log b)
+// — instead of sorting all n indices to take the top b.
 func topByScore(scores []float64, b int) []int {
 	n := len(scores)
 	if b > n {
 		b = n
 	}
-	idx := make([]int, n)
-	for i := range idx {
-		idx[i] = i
+	if b <= 0 {
+		return nil
 	}
-	sort.Slice(idx, func(a, c int) bool {
-		if scores[idx[a]] != scores[idx[c]] {
-			return scores[idx[a]] > scores[idx[c]]
+	// worse reports whether index i ranks strictly below index j in the
+	// output order (lower score, or equal score with larger index).
+	worse := func(i, j int) bool {
+		if scores[i] != scores[j] {
+			return scores[i] < scores[j]
 		}
-		return idx[a] < idx[c]
-	})
-	return append([]int(nil), idx[:b]...)
+		return i > j
+	}
+	// Min-heap of the b best seen so far; the root is the worst kept, so a
+	// candidate enters only by beating it.
+	heap := make([]int, 0, b)
+	siftUp := func(i int) {
+		for i > 0 {
+			parent := (i - 1) / 2
+			if !worse(heap[i], heap[parent]) {
+				break
+			}
+			heap[i], heap[parent] = heap[parent], heap[i]
+			i = parent
+		}
+	}
+	siftDown := func(i int) {
+		for {
+			l, r := 2*i+1, 2*i+2
+			least := i
+			if l < len(heap) && worse(heap[l], heap[least]) {
+				least = l
+			}
+			if r < len(heap) && worse(heap[r], heap[least]) {
+				least = r
+			}
+			if least == i {
+				return
+			}
+			heap[i], heap[least] = heap[least], heap[i]
+			i = least
+		}
+	}
+	for i := 0; i < n; i++ {
+		if len(heap) < b {
+			heap = append(heap, i)
+			siftUp(len(heap) - 1)
+		} else if worse(heap[0], i) {
+			heap[0] = i
+			siftDown(0)
+		}
+	}
+	// Pop ascending (worst first) into the back of the result, yielding
+	// descending rank order.
+	out := make([]int, len(heap))
+	for k := len(heap) - 1; k >= 0; k-- {
+		out[k] = heap[0]
+		heap[0] = heap[len(heap)-1]
+		heap = heap[:len(heap)-1]
+		siftDown(0)
+	}
+	return out
 }

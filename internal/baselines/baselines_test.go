@@ -1,6 +1,8 @@
 package baselines
 
 import (
+	"math/rand"
+	"sort"
 	"testing"
 
 	"repro/internal/mat"
@@ -91,6 +93,76 @@ func TestLeastConfidencePicksLowestTop(t *testing.T) {
 	}
 	if got := LeastConfidence(probs, 99); len(got) != 3 {
 		t.Fatalf("clamp failed: %d", len(got))
+	}
+}
+
+// refTopByScore is the full-sort reference the heap selection replaced.
+func refTopByScore(scores []float64, b int) []int {
+	n := len(scores)
+	if b > n {
+		b = n
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, c int) bool {
+		if scores[idx[a]] != scores[idx[c]] {
+			return scores[idx[a]] > scores[idx[c]]
+		}
+		return idx[a] < idx[c]
+	})
+	return idx[:b]
+}
+
+func TestTopByScoreMatchesFullSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(200)
+		b := 1 + rng.Intn(n+5) // sometimes b > n
+		scores := make([]float64, n)
+		for i := range scores {
+			// Few distinct values force heavy ties, including across the
+			// b-boundary.
+			scores[i] = float64(rng.Intn(5))
+		}
+		got := topByScore(scores, b)
+		want := refTopByScore(scores, b)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: got %d indices, want %d", trial, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d (n=%d b=%d): position %d: got %v want %v",
+					trial, n, b, i, got, want)
+			}
+		}
+	}
+	if got := topByScore(nil, 3); len(got) != 0 {
+		t.Fatalf("empty scores returned %v", got)
+	}
+	if got := topByScore([]float64{1, 2}, 0); len(got) != 0 {
+		t.Fatalf("b=0 returned %v", got)
+	}
+}
+
+func TestTopByScoreTieBreaksByIndex(t *testing.T) {
+	// All-equal scores: the selection must be the first b indices in order,
+	// exactly as the deterministic full sort produced.
+	scores := []float64{7, 7, 7, 7, 7, 7}
+	got := topByScore(scores, 3)
+	want := []int{0, 1, 2}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("tie-break regression: got %v want %v", got, want)
+		}
+	}
+	// Tie across the cut boundary: score 5 at indices 1, 2, 4; b=2 must
+	// keep indices 1 and 2 (descending score, then ascending index).
+	scores = []float64{1, 5, 5, 0, 5}
+	got = topByScore(scores, 2)
+	if got[0] != 1 || got[1] != 2 {
+		t.Fatalf("boundary tie-break: got %v want [1 2]", got)
 	}
 }
 

@@ -28,6 +28,8 @@ import (
 
 // Shard is one rank's view of the selection problem: the (small) labeled
 // set replicated everywhere and this rank's contiguous slice of the pool.
+// A Shard is owned by its rank goroutine; its workspace and cached
+// buffers are reused round to round and are not safe for sharing.
 type Shard struct {
 	Labeled   *hessian.Set // Xo, replicated
 	PoolLocal *hessian.Set // local slice of Xu
@@ -35,6 +37,22 @@ type Shard struct {
 	PoolOffset int
 	// PoolTotal is the global pool size n.
 	PoolTotal int
+
+	// Per-rank reusable buffers. The labeled Set may be shared across
+	// ranks, so all scratch lives here, never on the Sets.
+	ws        *mat.Workspace
+	arBuf     []float64    // allreduce packing buffer (c·d² floats)
+	labBlocks []*mat.Dense // cached z-independent labeled block diagonal
+	sigCache  []*mat.Dense // reusable Σz blocks for the RELAX iterations
+	mvBuf     []float64    // labeled-term buffer for sigmaMatVec
+}
+
+// workspace lazily creates the rank-local workspace.
+func (s *Shard) workspace() *mat.Workspace {
+	if s.ws == nil {
+		s.ws = mat.NewWorkspace()
+	}
+	return s.ws
 }
 
 // MakeShard cuts rank's partition out of a global pool, mirroring the
@@ -63,13 +81,18 @@ func (s *Shard) C() int { return s.PoolLocal.C() }
 func (s *Shard) Ed() int { return s.D() * s.C() }
 
 // allreduceBlocks sums a set of d×d blocks across ranks in one
-// MPI_Allreduce of cd² floats (§ III-C, Eq. 22 message size).
-func allreduceBlocks(c *mpi.Comm, blocks []*mat.Dense, ph *timing.Phases) {
+// MPI_Allreduce of cd² floats (§ III-C, Eq. 22 message size). The packing
+// buffer is kept on the Shard and reused round to round.
+func (s *Shard) allreduceBlocks(c *mpi.Comm, blocks []*mat.Dense, ph *timing.Phases) {
 	if c.Size() == 1 {
 		return
 	}
 	d := blocks[0].Rows
-	buf := make([]float64, len(blocks)*d*d)
+	n := len(blocks) * d * d
+	if cap(s.arBuf) < n {
+		s.arBuf = make([]float64, n)
+	}
+	buf := s.arBuf[:n]
 	off := 0
 	for _, b := range blocks {
 		copy(buf[off:off+d*d], b.Data)
@@ -86,17 +109,29 @@ func allreduceBlocks(c *mpi.Comm, blocks []*mat.Dense, ph *timing.Phases) {
 }
 
 // sigmaBlocks computes the global diagonal blocks of Σz: local pool
-// contributions are allreduced, then the replicated labeled contribution
-// is added identically on every rank.
-func (s *Shard) sigmaBlocks(c *mpi.Comm, z []float64, ph *timing.Phases) []*mat.Dense {
+// contributions are allreduced, then the replicated (and cached) labeled
+// contribution is added identically on every rank. When reuse is true the
+// result lives in the Shard's block cache, valid until the next reusing
+// call — the RELAX loop rebuilds the blocks every iteration and must not
+// re-allocate them; ROUND retains its blocks in the RoundState and takes
+// fresh ones.
+func (s *Shard) sigmaBlocks(c *mpi.Comm, z []float64, ph *timing.Phases, reuse bool) []*mat.Dense {
 	stop := ph.Start("precond")
-	blocks := s.PoolLocal.BlockDiagSum(z)
+	var blocks []*mat.Dense
+	if reuse {
+		s.sigCache = s.PoolLocal.BlockDiagSumInto(s.workspace(), s.sigCache, z)
+		blocks = s.sigCache
+	} else {
+		blocks = s.PoolLocal.BlockDiagSumInto(s.workspace(), nil, z)
+	}
 	stop()
-	allreduceBlocks(c, blocks, ph)
+	s.allreduceBlocks(c, blocks, ph)
 	stop = ph.Start("precond")
-	lb := s.Labeled.BlockDiagSum(nil)
+	if s.labBlocks == nil {
+		s.labBlocks = s.Labeled.BlockDiagSumInto(s.workspace(), nil, nil)
+	}
 	for k := range blocks {
-		blocks[k].AddScaled(1, lb[k])
+		blocks[k].AddScaled(1, s.labBlocks[k])
 	}
 	stop()
 	return blocks
@@ -107,13 +142,17 @@ func (s *Shard) sigmaBlocks(c *mpi.Comm, z []float64, ph *timing.Phases) []*mat.
 // summed with MPI_Allreduce (message size ẽd), and the replicated labeled
 // term is added locally.
 func (s *Shard) sigmaMatVec(c *mpi.Comm, z []float64, ph *timing.Phases) krylov.Op {
-	buf := make([]float64, s.Ed())
+	if cap(s.mvBuf) < s.Ed() {
+		s.mvBuf = make([]float64, s.Ed())
+	}
+	buf := s.mvBuf[:s.Ed()]
+	ws := s.workspace()
 	return func(dst, v []float64) {
-		s.PoolLocal.MatVec(dst, v, z)
+		s.PoolLocal.MatVecWS(ws, dst, v, z)
 		stop := ph.Start("comm")
 		c.Allreduce(dst, mpi.Sum)
 		stop()
-		s.Labeled.MatVec(buf, v, nil)
+		s.Labeled.MatVecWS(ws, buf, v, nil)
 		for i := range dst {
 			dst[i] += buf[i]
 		}
@@ -122,8 +161,9 @@ func (s *Shard) sigmaMatVec(c *mpi.Comm, z []float64, ph *timing.Phases) krylov.
 
 // poolMatVec is the distributed v ↦ Hp·v.
 func (s *Shard) poolMatVec(c *mpi.Comm, ph *timing.Phases) krylov.Op {
+	ws := s.workspace()
 	return func(dst, v []float64) {
-		s.PoolLocal.MatVec(dst, v, nil)
+		s.PoolLocal.MatVecWS(ws, dst, v, nil)
 		stop := ph.Start("comm")
 		c.Allreduce(dst, mpi.Sum)
 		stop()
@@ -221,11 +261,22 @@ func Relax(ctx context.Context, c *mpi.Comm, s *Shard, b int, o firal.RelaxOptio
 		rng = rnd.New(o.Seed)
 	}
 
+	// Hoisted per-iteration buffers; all solver scratch comes from the
+	// rank-local workspace, so iterations are allocation-free after
+	// warm-up (aside from the preconditioner factorizations).
+	ws := s.workspace()
 	g := make([]float64, nLocal)
 	vj := make([]float64, ed)
 	wj := make([]float64, ed)
+	col := make([]float64, ed)
+	v := mat.NewDense(ed, o.Probes)
+	w := mat.NewDense(ed, o.Probes)
+	hpw := mat.NewDense(ed, o.Probes)
+	w2 := mat.NewDense(ed, o.Probes)
 	var fHist []float64
-	cgOpt := krylov.Options{Tol: o.CGTol, MaxIter: o.CGMaxIter}
+	cgOpt := krylov.Options{Tol: o.CGTol, MaxIter: o.CGMaxIter, Workspace: ws}
+	sigMV := s.sigmaMatVec(c, z, ph) // reads z live; z is updated in place
+	poolMV := s.poolMatVec(c, ph)
 
 	for t := 1; t <= o.MaxIter; t++ {
 		if collectiveCancelled(ctx, c, ph) {
@@ -234,7 +285,6 @@ func Relax(ctx context.Context, c *mpi.Comm, s *Shard, b int, o firal.RelaxOptio
 		// Probe block: rank 0 draws, everyone else receives (MPI_Bcast of
 		// W per § III-C).
 		stop := ph.Start("other")
-		v := mat.NewDense(ed, o.Probes)
 		if c.Rank() == 0 {
 			rng.Rademacher(v.Data)
 		}
@@ -243,8 +293,8 @@ func Relax(ctx context.Context, c *mpi.Comm, s *Shard, b int, o firal.RelaxOptio
 		c.Bcast(0, v.Data)
 		stop()
 
-		// Preconditioner from allreduced blocks.
-		blocks := s.sigmaBlocks(c, z, ph)
+		// Preconditioner from allreduced blocks (reused round to round).
+		blocks := s.sigmaBlocks(c, z, ph, true)
 		stop = ph.Start("precond")
 		precond, err := firal.BlockPreconditioner(blocks)
 		stop()
@@ -252,24 +302,20 @@ func Relax(ctx context.Context, c *mpi.Comm, s *Shard, b int, o firal.RelaxOptio
 			return nil, err
 		}
 
-		sigMV := s.sigmaMatVec(c, z, ph)
-		poolMV := s.poolMatVec(c, ph)
-
 		// W ← Σz⁻¹ V. Every rank runs the same CG on replicated vectors;
 		// only the matvec is distributed. The CG deliberately gets a
 		// background context: the matvec is a collective, so ranks must
 		// not abort it at different inner iterations — cancellation is
-		// honored at the loop-top collective check instead.
+		// honored at the loop-top collective check instead. Zero initial
+		// guess: buffer reuse must not introduce warm starts.
 		stop = ph.Start("cg")
-		w := mat.NewDense(ed, o.Probes)
+		w.Zero()
 		cgRes := krylov.SolveColumns(context.Background(), sigMV, precond, v, w, cgOpt)
 		res.CGIterations += krylov.TotalIterations(cgRes)
 		stop()
 
 		// W ← Hp W and objective estimate.
 		stop = ph.Start("gradient")
-		hpw := mat.NewDense(ed, o.Probes)
-		col := make([]float64, ed)
 		for j := 0; j < o.Probes; j++ {
 			w.Col(col, j)
 			poolMV(wj, col)
@@ -280,7 +326,7 @@ func Relax(ctx context.Context, c *mpi.Comm, s *Shard, b int, o firal.RelaxOptio
 
 		// W ← Σz⁻¹ W.
 		stop = ph.Start("cg")
-		w2 := mat.NewDense(ed, o.Probes)
+		w2.Zero()
 		cgRes = krylov.SolveColumns(context.Background(), sigMV, precond, hpw, w2, cgOpt)
 		res.CGIterations += krylov.TotalIterations(cgRes)
 		stop()
@@ -291,7 +337,7 @@ func Relax(ctx context.Context, c *mpi.Comm, s *Shard, b int, o firal.RelaxOptio
 		for j := 0; j < o.Probes; j++ {
 			v.Col(vj, j)
 			w2.Col(wj, j)
-			s.PoolLocal.QuadAccum(g, vj, wj, -1/float64(o.Probes))
+			s.PoolLocal.QuadAccumWS(ws, g, vj, wj, -1/float64(o.Probes))
 		}
 		stop()
 

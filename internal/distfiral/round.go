@@ -35,7 +35,9 @@ func Round(ctx context.Context, c *mpi.Comm, s *Shard, zLocal []float64, b int, 
 
 	// Global Σ⋄ and Ho blocks (allreduced pool part + replicated labeled
 	// part), then the replicated RoundState (lines 3–5 of Algorithm 3).
-	sig := s.sigmaBlocks(c, zLocal, ph)
+	// The blocks are retained by the RoundState, so they must be fresh,
+	// not the Shard's reusable RELAX cache.
+	sig := s.sigmaBlocks(c, zLocal, ph, false)
 	stop := ph.Start("other")
 	ho := s.Labeled.BlockDiagSum(nil)
 	stop()

@@ -1,0 +1,51 @@
+package firal
+
+import (
+	"testing"
+
+	"repro/internal/mat"
+	"repro/internal/timing"
+)
+
+// BenchmarkScores measures the ROUND pool-scoring pass with warm
+// persistent state; -benchmem must report 0 allocs/op when run on a
+// single core (on multicore the parallel fan-out adds O(workers)
+// transient allocations per kernel call).
+func BenchmarkScores(b *testing.B) {
+	p := testProblem(32, 20, 2000, 64, 10)
+	z := make([]float64, p.N())
+	mat.Fill(z, 10/float64(p.N()))
+	st, err := newRoundState(p, z, 10, p.DefaultEta(), timing.New())
+	if err != nil {
+		b.Fatal(err)
+	}
+	scores := make([]float64, p.N())
+	st.Scores(p.Pool, scores)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st.Scores(p.Pool, scores)
+	}
+}
+
+// TestScoresZeroAllocWarm pins the ROUND scoring pass: with the
+// RoundState's persistent pk/xm scratch warmed by one call, rescoring the
+// pool allocates nothing.
+func TestScoresZeroAllocWarm(t *testing.T) {
+	if mat.RaceEnabled {
+		t.Skip("allocation counts are meaningless under -race")
+	}
+	p := testProblem(31, 10, 400, 12, 4)
+	z := make([]float64, p.N())
+	mat.Fill(z, 3/float64(p.N()))
+	st, err := newRoundState(p, z, 3, p.DefaultEta(), timing.New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	scores := make([]float64, p.N())
+	st.Scores(p.Pool, scores) // warm the lazily-sized pool scratch
+	if allocs := testing.AllocsPerRun(30, func() {
+		st.Scores(p.Pool, scores)
+	}); allocs != 0 {
+		t.Fatalf("Scores allocates %.1f objects per call with warm state", allocs)
+	}
+}

@@ -32,6 +32,11 @@ import (
 type Problem struct {
 	Labeled *hessian.Set // Xo
 	Pool    *hessian.Set // Xu
+
+	// labBlocks caches the z-independent labeled block-diagonal
+	// Σ_i∈Xo h_ik(1−h_ik) x_i x_iᵀ, which every SigmaBlocks call reuses.
+	// Lazily built; a Problem is owned by one selection goroutine.
+	labBlocks []*mat.Dense
 }
 
 // NewProblem validates dimensions and builds a Problem.
@@ -59,12 +64,20 @@ func (p *Problem) Ed() int { return p.Pool.Ed() }
 func (p *Problem) DefaultEta() float64 { return 8 * math.Sqrt(float64(p.Ed())) }
 
 // SigmaMatVec returns the matrix-free operator v ↦ (Ho + Hz)·v with pool
-// weights z (Σz of Eq. 7), built from the Lemma-2 fast matvec.
+// weights z (Σz of Eq. 7), built from the Lemma-2 fast matvec. The
+// operator reads z live, so a caller that updates z in place (the
+// mirror-descent loop) can build it once.
 func (p *Problem) SigmaMatVec(z []float64) func(dst, v []float64) {
+	return p.SigmaMatVecWS(nil, z)
+}
+
+// SigmaMatVecWS is SigmaMatVec with scratch drawn from ws; with a warm
+// workspace each application is allocation-free.
+func (p *Problem) SigmaMatVecWS(ws *mat.Workspace, z []float64) func(dst, v []float64) {
 	buf := make([]float64, p.Ed())
 	return func(dst, v []float64) {
-		p.Labeled.MatVec(dst, v, nil)
-		p.Pool.MatVec(buf, v, z)
+		p.Labeled.MatVecWS(ws, dst, v, nil)
+		p.Pool.MatVecWS(ws, buf, v, z)
 		for i := range dst {
 			dst[i] += buf[i]
 		}
@@ -73,19 +86,40 @@ func (p *Problem) SigmaMatVec(z []float64) func(dst, v []float64) {
 
 // PoolMatVec returns the operator v ↦ Hp·v (unweighted pool sum).
 func (p *Problem) PoolMatVec() func(dst, v []float64) {
+	return p.PoolMatVecWS(nil)
+}
+
+// PoolMatVecWS is PoolMatVec with scratch drawn from ws.
+func (p *Problem) PoolMatVecWS(ws *mat.Workspace) func(dst, v []float64) {
 	return func(dst, v []float64) {
-		p.Pool.MatVec(dst, v, nil)
+		p.Pool.MatVecWS(ws, dst, v, nil)
 	}
+}
+
+// labeledBlocks returns the cached labeled block-diagonal contribution.
+func (p *Problem) labeledBlocks() []*mat.Dense {
+	if p.labBlocks == nil {
+		p.labBlocks = p.Labeled.BlockDiagSum(nil)
+	}
+	return p.labBlocks
 }
 
 // SigmaBlocks returns the c diagonal d×d blocks of Σz = Ho + Hz (Eq. 14).
 func (p *Problem) SigmaBlocks(z []float64) []*mat.Dense {
-	blocks := p.Labeled.BlockDiagSum(nil)
-	poolBlocks := p.Pool.BlockDiagSum(z)
-	for k := range blocks {
-		blocks[k].AddScaled(1, poolBlocks[k])
+	return p.SigmaBlocksInto(nil, nil, z)
+}
+
+// SigmaBlocksInto is SigmaBlocks writing into dst (allocated when nil)
+// with scratch from ws; callers that rebuild the blocks every iteration
+// pass the same dst to reuse its buffers. The returned blocks are only
+// valid until the next call with the same dst.
+func (p *Problem) SigmaBlocksInto(ws *mat.Workspace, dst []*mat.Dense, z []float64) []*mat.Dense {
+	lab := p.labeledBlocks()
+	dst = p.Pool.BlockDiagSumInto(ws, dst, z)
+	for k := range dst {
+		dst[k].AddScaled(1, lab[k])
 	}
-	return blocks
+	return dst
 }
 
 // DenseSigma assembles Σz densely (Exact-FIRAL only; O((dc)²) storage).

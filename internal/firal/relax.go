@@ -168,13 +168,26 @@ func RelaxFast(ctx context.Context, p *Problem, b int, o RelaxOptions) (*RelaxRe
 	res := &RelaxResult{Timings: timing.New()}
 	ph := res.Timings
 
+	// All per-iteration buffers are hoisted and every solver below draws
+	// its scratch from ws, so the mirror-descent loop is allocation-free
+	// after the first iteration (aside from the preconditioner
+	// factorizations and the recorded histories).
+	ws := mat.NewWorkspace()
 	g := make([]float64, n)
 	vj := make([]float64, ed)
 	wj := make([]float64, ed)
+	col := make([]float64, ed)
+	v := mat.NewDense(ed, s)
+	w := mat.NewDense(ed, s)
+	hpw := mat.NewDense(ed, s)
+	w2 := mat.NewDense(ed, s)
+	var sigBlocks []*mat.Dense
 	var fHist []float64
 
-	cgOpt := krylov.Options{Tol: o.CGTol, MaxIter: o.CGMaxIter}
-	poolMV := p.PoolMatVec()
+	cgOpt := krylov.Options{Tol: o.CGTol, MaxIter: o.CGMaxIter, Workspace: ws}
+	poolMV := p.PoolMatVecWS(ws)
+	// The operator closes over z, which the mirror step updates in place.
+	sigmaMV := p.SigmaMatVecWS(ws, z)
 
 	for t := 1; t <= o.MaxIter; t++ {
 		if err := ctx.Err(); err != nil {
@@ -182,23 +195,22 @@ func RelaxFast(ctx context.Context, p *Problem, b int, o RelaxOptions) (*RelaxRe
 		}
 		// Line 4: fresh Rademacher probe block V ∈ R^{dc×s}.
 		stop := ph.Start("other")
-		v := sketch.RademacherMatrix(rng, ed, s)
+		rng.Rademacher(v.Data)
 		stop()
 
 		// Line 5: block-diagonal preconditioner for Σz.
 		stop = ph.Start("precond")
-		blocks := p.SigmaBlocks(z)
-		precond, err := BlockPreconditioner(blocks)
+		sigBlocks = p.SigmaBlocksInto(ws, sigBlocks, z)
+		precond, err := BlockPreconditioner(sigBlocks)
 		stop()
 		if err != nil {
 			return nil, err
 		}
 
-		sigmaMV := p.SigmaMatVec(z)
-
-		// Line 6: W ← Σz⁻¹ V by preconditioned CG.
+		// Line 6: W ← Σz⁻¹ V by preconditioned CG (zero initial guess, as
+		// the buffer reuse must not introduce warm starts).
 		stop = ph.Start("cg")
-		w := mat.NewDense(ed, s)
+		w.Zero()
 		cgRes := krylov.SolveColumns(ctx, sigmaMV, precond, v, w, cgOpt)
 		res.CGIterations += krylov.TotalIterations(cgRes)
 		stop()
@@ -210,8 +222,6 @@ func RelaxFast(ctx context.Context, p *Problem, b int, o RelaxOptions) (*RelaxRe
 		// estimate f ≈ (1/s) Σ_j v_jᵀ Σz⁻¹ Hp v_j = (1/s) Σ_j v_jᵀ (Hp w_j)
 		// by symmetry of Σz and Hp.
 		stop = ph.Start("gradient")
-		hpw := mat.NewDense(ed, s)
-		col := make([]float64, ed)
 		for j := 0; j < s; j++ {
 			w.Col(col, j)
 			poolMV(wj, col)
@@ -222,7 +232,7 @@ func RelaxFast(ctx context.Context, p *Problem, b int, o RelaxOptions) (*RelaxRe
 
 		// Line 8: W ← Σz⁻¹ W by preconditioned CG.
 		stop = ph.Start("cg")
-		w2 := mat.NewDense(ed, s)
+		w2.Zero()
 		cgRes = krylov.SolveColumns(ctx, sigmaMV, precond, hpw, w2, cgOpt)
 		res.CGIterations += krylov.TotalIterations(cgRes)
 		stop()
@@ -236,7 +246,7 @@ func RelaxFast(ctx context.Context, p *Problem, b int, o RelaxOptions) (*RelaxRe
 		for j := 0; j < s; j++ {
 			v.Col(vj, j)
 			w2.Col(wj, j)
-			p.Pool.QuadAccum(g, vj, wj, -1/float64(s))
+			p.Pool.QuadAccumWS(ws, g, vj, wj, -1/float64(s))
 		}
 		stop()
 

@@ -24,6 +24,18 @@ type RoundState struct {
 	isqrt []*mat.Dense // (Σ⋄)_k^{-1/2}
 	binv  []*mat.Dense // (B_t)⁻¹_k
 	hacc  []*mat.Dense // (H)_k accumulated (line 8)
+
+	// Persistent scratch, reused across the b inner iterations so the hot
+	// Scores/Eigvals/FinishUpdate loop stays allocation-free after
+	// warm-up. A RoundState is owned by one goroutine.
+	ws     *mat.Workspace
+	tmp    *mat.Dense // d×d product scratch
+	pk     *mat.Dense // d×d product scratch (P_k, H̃_k)
+	xm     *mat.Dense // n×d Scores scratch (lazily sized to the pool)
+	qp, qb []float64  // n Scores row-dot scratch
+	lamBuf []float64  // concatenated eigenvalues (Eigvals)
+	valBuf []float64  // single-block eigenvalues (Eigvals)
+	nuBuf  []float64  // scaled eigenvalues (FinishUpdate)
 }
 
 // NewRoundState performs lines 3–5 of Algorithm 3 given the diagonal
@@ -43,6 +55,9 @@ func NewRoundState(sig, ho []*mat.Dense, b int, eta float64, ph *timing.Phases) 
 		ho:   ho,
 		hacc: make([]*mat.Dense, c),
 		binv: make([]*mat.Dense, c),
+		ws:   mat.NewWorkspace(),
+		tmp:  mat.NewDense(d, d),
+		pk:   mat.NewDense(d, d),
 	}
 
 	stop := ph.Start("eig")
@@ -92,13 +107,17 @@ func (st *RoundState) Scores(set *hessian.Set, dst []float64) {
 	if n == 0 {
 		return
 	}
-	xm := mat.NewDense(n, st.d)
-	qp := make([]float64, n)
-	qb := make([]float64, n)
+	if st.xm == nil || st.xm.Rows != n {
+		st.xm = mat.NewDense(n, st.d)
+		st.qp = make([]float64, n)
+		st.qb = make([]float64, n)
+	}
+	xm, qp, qb := st.xm, st.qp, st.qb
 	for k := 0; k < st.c; k++ {
 		// P_k = B⁻¹_k (Σ⋄)_k B⁻¹_k.
-		pk := mat.Mul(nil, mat.Mul(nil, st.binv[k], st.sig[k]), st.binv[k])
-		mat.Mul(xm, set.X, pk)
+		mat.Mul(st.tmp, st.binv[k], st.sig[k])
+		mat.Mul(st.pk, st.tmp, st.binv[k])
+		mat.Mul(xm, set.X, st.pk)
 		mat.RowDots(qp, set.X, xm)
 		mat.Mul(xm, set.X, st.binv[k])
 		mat.RowDots(qb, set.X, xm)
@@ -144,18 +163,23 @@ func (st *RoundState) Update(x, h []float64, ph *timing.Phases) (float64, error)
 }
 
 // Eigvals computes the eigenvalues of (H̃)_k = (Σ⋄)_k^{-1/2} (H)_k
-// (Σ⋄)_k^{-1/2} for classes [kLo, kHi), concatenated (line 9).
+// (Σ⋄)_k^{-1/2} for classes [kLo, kHi), concatenated (line 9). The
+// returned slice is state-owned scratch, valid until the next Eigvals
+// call on this state.
 func (st *RoundState) Eigvals(kLo, kHi int) ([]float64, error) {
-	out := make([]float64, 0, (kHi-kLo)*st.d)
+	out := st.lamBuf[:0]
 	for k := kLo; k < kHi; k++ {
-		t := mat.Mul(nil, mat.Mul(nil, st.isqrt[k], st.hacc[k]), st.isqrt[k])
-		t.Symmetrize()
-		vals, err := mat.SymEigvals(t)
+		mat.Mul(st.tmp, st.isqrt[k], st.hacc[k])
+		mat.Mul(st.pk, st.tmp, st.isqrt[k])
+		st.pk.Symmetrize()
+		vals, err := mat.SymEigvalsInto(st.ws, st.valBuf, st.pk)
 		if err != nil {
 			return nil, err
 		}
+		st.valBuf = vals
 		out = append(out, vals...)
 	}
+	st.lamBuf = out
 	return out, nil
 }
 
@@ -164,7 +188,10 @@ func (st *RoundState) Eigvals(kLo, kHi int) ([]float64, error) {
 func (st *RoundState) FinishUpdate(lam []float64, ph *timing.Phases) (float64, error) {
 	stop := ph.Start("other")
 	defer stop()
-	scaled := make([]float64, len(lam))
+	if cap(st.nuBuf) < len(lam) {
+		st.nuBuf = make([]float64, len(lam))
+	}
+	scaled := st.nuBuf[:len(lam)]
 	for i, l := range lam {
 		if l < 0 {
 			l = 0 // roundoff guard: H̃ is PSD
@@ -176,7 +203,8 @@ func (st *RoundState) FinishUpdate(lam []float64, ph *timing.Phases) (float64, e
 		return 0, err
 	}
 	for k := 0; k < st.c; k++ {
-		bt := st.sig[k].Clone()
+		bt := st.tmp
+		bt.CopyFrom(st.sig[k])
 		bt.Scale(nu)
 		bt.AddScaled(st.eta, st.hacc[k])
 		bt.AddScaled(st.eta/float64(st.b), st.ho[k])

@@ -1,0 +1,103 @@
+package hessian
+
+import (
+	"testing"
+
+	"repro/internal/mat"
+	"repro/internal/rnd"
+)
+
+// skipUnderRace skips allocation-count assertions when the race detector
+// is compiled in: its instrumentation allocates.
+func skipUnderRace(t *testing.T) {
+	t.Helper()
+	if mat.RaceEnabled {
+		t.Skip("allocation counts are meaningless under -race")
+	}
+}
+
+func allocSet(n, d, c int) *Set {
+	x := mat.NewDense(n, d)
+	h := mat.NewDense(n, c)
+	rng := rnd.New(9)
+	rng.Normal(x.Data, 0, 1)
+	for i := 0; i < n; i++ {
+		row := h.Row(i)
+		var sum float64
+		for k := range row {
+			row[k] = 0.1 + float64(k%3)
+			sum += row[k]
+		}
+		for k := range row {
+			row[k] /= sum * 1.5 // interior, sums below 1 (reduced classes)
+		}
+	}
+	return NewSet(x, h)
+}
+
+// TestMatVecWSZeroAlloc pins the steady-state allocation behaviour of the
+// Lemma-2 fast matvec with a warm Workspace: after the first call, none.
+// The guarantee is for the serial regime (AllocsPerRun pins GOMAXPROCS=1);
+// on multicore, kernels large enough to fan out additionally pay the
+// O(workers) transient cost of the goroutine fork itself.
+func TestMatVecWSZeroAlloc(t *testing.T) {
+	skipUnderRace(t)
+	s := allocSet(300, 24, 7)
+	ws := mat.NewWorkspace()
+	v := make([]float64, s.Ed())
+	dst := make([]float64, s.Ed())
+	w := make([]float64, s.N())
+	rnd.New(3).Normal(v, 0, 1)
+	mat.Fill(w, 0.5)
+	if allocs := testing.AllocsPerRun(50, func() {
+		s.MatVecWS(ws, dst, v, w)
+	}); allocs != 0 {
+		t.Fatalf("MatVecWS allocates %.1f objects per call with a warm workspace", allocs)
+	}
+}
+
+func TestQuadAccumWSZeroAlloc(t *testing.T) {
+	skipUnderRace(t)
+	s := allocSet(300, 24, 7)
+	ws := mat.NewWorkspace()
+	u := make([]float64, s.Ed())
+	v := make([]float64, s.Ed())
+	dst := make([]float64, s.N())
+	rnd.New(4).Normal(u, 0, 1)
+	rnd.New(5).Normal(v, 0, 1)
+	if allocs := testing.AllocsPerRun(50, func() {
+		s.QuadAccumWS(ws, dst, u, v, -0.1)
+	}); allocs != 0 {
+		t.Fatalf("QuadAccumWS allocates %.1f objects per call with a warm workspace", allocs)
+	}
+}
+
+// BenchmarkMatVecWS measures the Lemma-2 fast matvec with a warm
+// workspace; -benchmem must report 0 allocs/op when run on a single core
+// (on multicore the parallel fan-out adds O(workers) transient
+// allocations per kernel call).
+func BenchmarkMatVecWS(b *testing.B) {
+	s := allocSet(2000, 64, 9)
+	ws := mat.NewWorkspace()
+	v := make([]float64, s.Ed())
+	dst := make([]float64, s.Ed())
+	w := make([]float64, s.N())
+	rnd.New(3).Normal(v, 0, 1)
+	mat.Fill(w, 0.5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.MatVecWS(ws, dst, v, w)
+	}
+}
+
+func TestBlockDiagSumIntoZeroAlloc(t *testing.T) {
+	skipUnderRace(t)
+	s := allocSet(300, 24, 7)
+	ws := mat.NewWorkspace()
+	blocks := s.BlockDiagSumInto(ws, nil, nil)
+	if allocs := testing.AllocsPerRun(50, func() {
+		s.BlockDiagSumInto(ws, blocks, nil)
+	}); allocs != 0 {
+		t.Fatalf("BlockDiagSumInto allocates %.1f objects per call with reused blocks", allocs)
+	}
+}

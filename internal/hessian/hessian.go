@@ -129,14 +129,9 @@ func (s *Set) DenseSum(w []float64) *mat.Dense {
 	return out
 }
 
-// vecView reinterprets v ∈ R^{dc} (vec layout, columns stacked) as a c×d
-// row-major matrix whose row k is block k. No copying.
-func vecView(v []float64, d, c int) *mat.Dense {
-	if len(v) != d*c {
-		panic("hessian: vector has wrong length")
-	}
-	return &mat.Dense{Rows: c, Cols: d, Stride: d, Data: v}
-}
+// Vectors v ∈ R^{dc} (vec layout, columns stacked) are reinterpreted as
+// c×d row-major matrices whose row k is block k, via mat.Workspace.View —
+// no copying, and with a warm workspace no header allocation either.
 
 // MatVec computes dst = Σ_i w_i H_i v with the Lemma-2 fast matvec:
 //
@@ -147,32 +142,59 @@ func vecView(v []float64, d, c int) *mat.Dense {
 //
 // A nil w means unit weights. dst is allocated when nil; dst must not
 // alias v. The cost is two n×d×c products — O(ndc) — versus O(n d²c²) for
-// the dense operator (Table III).
+// the dense operator (Table III). It allocates its n×c scratch per call;
+// hot loops use MatVecWS with a warm Workspace to run allocation-free.
 func (s *Set) MatVec(dst, v, w []float64) []float64 {
+	return s.MatVecWS(nil, dst, v, w)
+}
+
+// MatVecWS is MatVec with the n×c scratch product and the matrix-view
+// headers drawn from ws, so a warm workspace makes the call
+// allocation-free (the Set itself stays read-only, so one Set may be
+// shared by goroutines as long as each passes its own Workspace). A nil
+// ws falls back to per-call allocation.
+func (s *Set) MatVecWS(ws *mat.Workspace, dst, v, w []float64) []float64 {
 	n, d, c := s.N(), s.D(), s.C()
 	if dst == nil {
 		dst = make([]float64, d*c)
 	}
-	vt := vecView(v, d, c)
-	g := mat.MulTransB(nil, s.X, vt) // n×c
+	if len(v) != d*c {
+		panic("hessian: vector has wrong length")
+	}
+	vt := ws.View(v, c, d)
+	g := ws.Matrix(n, c)
+	mat.MulTransB(g, s.X, vt) // n×c
 	// Γ computed in place of G.
-	parallel.ForChunk(n, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			gr := g.Row(i)
-			hr := s.H.Row(i)
-			alpha := mat.Dot(gr, hr)
-			wi := 1.0
-			if w != nil {
-				wi = w[i]
-			}
-			for k := range gr {
-				gr[k] = wi * (gr[k] - alpha) * hr[k]
-			}
-		}
-	})
-	dt := vecView(dst, d, c)
+	if parallel.Serial(n) {
+		gammaRange(g, s.H, w, 0, n)
+	} else {
+		parallel.ForChunk(n, func(lo, hi int) {
+			gammaRange(g, s.H, w, lo, hi)
+		})
+	}
+	dt := ws.View(dst, c, d)
 	mat.MulTransA(dt, g, s.X) // c×d: row k = Σ_i Γ_ik x_iᵀ
+	ws.PutView(vt)
+	ws.PutView(dt)
+	ws.PutMatrix(g)
 	return dst
+}
+
+// gammaRange rewrites rows [lo, hi) of g in place:
+// g_ik ← w_i (g_ik − α_i) h_ik with α_i = Σ_k g_ik h_ik.
+func gammaRange(g, h *mat.Dense, w []float64, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		gr := g.Row(i)
+		hr := h.Row(i)
+		alpha := mat.Dot(gr, hr)
+		wi := 1.0
+		if w != nil {
+			wi = w[i]
+		}
+		for k := range gr {
+			gr[k] = wi * (gr[k] - alpha) * hr[k]
+		}
+	}
 }
 
 // PointMatVec computes dst = H_i v for a single point using the four-step
@@ -202,27 +224,50 @@ func PointMatVec(dst []float64, x, h, v []float64) []float64 {
 // the inner kernel of the gradient estimator (Eq. 12):
 // g_i ≈ −(1/s) Σ_j v_jᵀ H_i w_j accumulates with scale = −1/s.
 func (s *Set) QuadAccum(dst []float64, u, v []float64, scale float64) {
+	s.QuadAccumWS(nil, dst, u, v, scale)
+}
+
+// QuadAccumWS is QuadAccum with both n×c scratch products drawn from ws
+// (see MatVecWS for the workspace contract).
+func (s *Set) QuadAccumWS(ws *mat.Workspace, dst []float64, u, v []float64, scale float64) {
 	n, d, c := s.N(), s.D(), s.C()
 	if len(dst) != n {
 		panic("hessian: QuadAccum dst length mismatch")
 	}
-	ut := vecView(u, d, c)
-	vt := vecView(v, d, c)
-	gu := mat.MulTransB(nil, s.X, ut) // n×c: x_iᵀ u_k
-	gv := mat.MulTransB(nil, s.X, vt) // n×c: x_iᵀ v_k
-	parallel.ForChunk(n, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			hu := gu.Row(i)
-			hv := gv.Row(i)
-			hr := s.H.Row(i)
-			alpha := mat.Dot(hv, hr)
-			var q float64
-			for k := range hr {
-				q += (hv[k] - alpha) * hr[k] * hu[k]
-			}
-			dst[i] += scale * q
+	if len(u) != d*c || len(v) != d*c {
+		panic("hessian: vector has wrong length")
+	}
+	ut := ws.View(u, c, d)
+	vt := ws.View(v, c, d)
+	gu := ws.Matrix(n, c)
+	gv := ws.Matrix(n, c)
+	mat.MulTransB(gu, s.X, ut) // n×c: x_iᵀ u_k
+	mat.MulTransB(gv, s.X, vt) // n×c: x_iᵀ v_k
+	if parallel.Serial(n) {
+		quadRange(dst, gu, gv, s.H, scale, 0, n)
+	} else {
+		parallel.ForChunk(n, func(lo, hi int) {
+			quadRange(dst, gu, gv, s.H, scale, lo, hi)
+		})
+	}
+	ws.PutView(ut)
+	ws.PutView(vt)
+	ws.PutMatrix(gu)
+	ws.PutMatrix(gv)
+}
+
+func quadRange(dst []float64, gu, gv, h *mat.Dense, scale float64, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		hu := gu.Row(i)
+		hv := gv.Row(i)
+		hr := h.Row(i)
+		alpha := mat.Dot(hv, hr)
+		var q float64
+		for k := range hr {
+			q += (hv[k] - alpha) * hr[k] * hu[k]
 		}
-	})
+		dst[i] += scale * q
+	}
 }
 
 // GammaCol writes γ_i = h_ik (1 − h_ik) for class k into dst (allocated if
@@ -242,9 +287,24 @@ func (s *Set) GammaCol(dst []float64, k int) []float64 {
 // BlockDiagSum computes the c diagonal blocks of Σ_i w_i H_i (Eq. 14):
 // block k = Σ_i w_i h_ik(1−h_ik) x_i x_iᵀ. A nil w means unit weights.
 func (s *Set) BlockDiagSum(w []float64) []*mat.Dense {
-	n, c := s.N(), s.C()
-	blocks := make([]*mat.Dense, c)
-	u := make([]float64, n)
+	return s.BlockDiagSumInto(nil, nil, w)
+}
+
+// BlockDiagSumInto is BlockDiagSum writing into the given d×d blocks
+// (allocated when blocks is nil) with scratch drawn from ws, so callers
+// that rebuild the blocks every iteration (the RELAX preconditioner, the
+// distributed allreduce) reuse one set of buffers round to round.
+func (s *Set) BlockDiagSumInto(ws *mat.Workspace, blocks []*mat.Dense, w []float64) []*mat.Dense {
+	n, d, c := s.N(), s.D(), s.C()
+	if blocks == nil {
+		blocks = make([]*mat.Dense, c)
+		for k := range blocks {
+			blocks[k] = mat.NewDense(d, d)
+		}
+	} else if len(blocks) != c {
+		panic("hessian: BlockDiagSumInto block count mismatch")
+	}
+	u := ws.Vec(n)
 	for k := 0; k < c; k++ {
 		for i := 0; i < n; i++ {
 			wi := 1.0
@@ -254,8 +314,9 @@ func (s *Set) BlockDiagSum(w []float64) []*mat.Dense {
 			h := s.H.At(i, k)
 			u[i] = wi * h * (1 - h)
 		}
-		blocks[k] = mat.WeightedGram(nil, s.X, u)
+		mat.WeightedGramWS(ws, blocks[k], s.X, u)
 	}
+	ws.PutVec(u)
 	return blocks
 }
 

@@ -1,0 +1,51 @@
+package krylov
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"repro/internal/mat"
+)
+
+// TestPCGZeroAllocWithWorkspace pins the steady-state allocation behaviour
+// of repeated PCG solves drawing scratch from a Workspace: zero after the
+// warm-up solve, provided the operator and preconditioner are themselves
+// allocation-free.
+func TestPCGZeroAllocWithWorkspace(t *testing.T) {
+	if mat.RaceEnabled {
+		t.Skip("allocation counts are meaningless under -race")
+	}
+	const n = 64
+	rng := rand.New(rand.NewSource(8))
+	spd := mat.NewDense(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			v := rng.NormFloat64()
+			spd.Set(i, j, v)
+			spd.Set(j, i, v)
+		}
+		spd.Set(i, i, spd.At(i, i)+float64(n))
+	}
+	b := make([]float64, n)
+	x := make([]float64, n)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	a := func(dst, v []float64) { mat.MatVec(dst, spd, v) }
+	diag := func(dst, v []float64) {
+		for i := range dst {
+			dst[i] = v[i] / spd.At(i, i)
+		}
+	}
+	opt := Options{Tol: 1e-10, MaxIter: 200, Workspace: mat.NewWorkspace()}
+	if allocs := testing.AllocsPerRun(30, func() {
+		mat.Fill(x, 0)
+		res := PCG(context.Background(), a, diag, b, x, opt)
+		if !res.Converged {
+			t.Fatal("PCG did not converge on SPD test matrix")
+		}
+	}); allocs != 0 {
+		t.Fatalf("PCG allocates %.1f objects per solve with a warm workspace", allocs)
+	}
+}

@@ -29,6 +29,12 @@ type Options struct {
 	// RecordResiduals stores the relative residual after every iteration
 	// (including iteration 0), enabling the Fig. 1 convergence curves.
 	RecordResiduals bool
+	// Workspace supplies the solver's four n-vectors (and SolveColumns'
+	// column buffers) from a reusable arena instead of fresh allocations,
+	// so repeated solves run allocation-free after warm-up (aside from
+	// RecordResiduals appends). The workspace must not be shared across
+	// goroutines; nil restores allocate-per-solve.
+	Workspace *mat.Workspace
 }
 
 // Result reports a CG solve.
@@ -68,8 +74,13 @@ func PCG(ctx context.Context, a Op, precond Op, b, x []float64, opt Options) Res
 		maxIter = 10 * n
 	}
 
-	r := make([]float64, n)
-	av := make([]float64, n)
+	ws := opt.Workspace
+	r := ws.Vec(n)
+	av := ws.Vec(n)
+	defer func() {
+		ws.PutVec(r)
+		ws.PutVec(av)
+	}()
 	a(av, x)
 	for i := range r {
 		r[i] = b[i] - av[i]
@@ -82,7 +93,7 @@ func PCG(ctx context.Context, a Op, precond Op, b, x []float64, opt Options) Res
 		return Result{Converged: true, RelResidual: 0}
 	}
 
-	z := make([]float64, n)
+	z := ws.Vec(n)
 	applyPrec := func() {
 		if precond != nil {
 			precond(z, r)
@@ -91,7 +102,12 @@ func PCG(ctx context.Context, a Op, precond Op, b, x []float64, opt Options) Res
 		}
 	}
 	applyPrec()
-	p := append([]float64(nil), z...)
+	p := ws.Vec(n)
+	copy(p, z)
+	defer func() {
+		ws.PutVec(z)
+		ws.PutVec(p)
+	}()
 	rz := mat.Dot(r, z)
 
 	res := Result{}
@@ -154,8 +170,13 @@ func SolveColumns(ctx context.Context, a Op, precond Op, b, x *mat.Dense, opt Op
 		panic("krylov: SolveColumns shape mismatch")
 	}
 	results := make([]Result, b.Cols)
-	bc := make([]float64, b.Rows)
-	xc := make([]float64, b.Rows)
+	ws := opt.Workspace
+	bc := ws.Vec(b.Rows)
+	xc := ws.Vec(b.Rows)
+	defer func() {
+		ws.PutVec(bc)
+		ws.PutVec(xc)
+	}()
 	for j := 0; j < b.Cols; j++ {
 		if err := ctx.Err(); err != nil {
 			for k := j; k < b.Cols; k++ {

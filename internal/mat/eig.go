@@ -39,20 +39,36 @@ func SymEig(a *Dense) ([]float64, *Dense, error) {
 // order (the cupy.linalg.eigvalsh analogue). It avoids accumulating the
 // orthogonal transform, roughly halving the work of SymEig.
 func SymEigvals(a *Dense) ([]float64, error) {
+	return SymEigvalsInto(nil, nil, a)
+}
+
+// SymEigvalsInto is SymEigvals with the tridiagonalization scratch drawn
+// from ws and the eigenvalues written into dst (reused when its capacity
+// suffices, allocated otherwise) — the per-update eigen scratch of the
+// ROUND loop. A nil ws or dst falls back to allocation.
+func SymEigvalsInto(ws *Workspace, dst []float64, a *Dense) ([]float64, error) {
 	n := a.Rows
 	if a.Cols != n {
 		panic("mat: SymEigvals of non-square matrix")
 	}
-	work := a.Clone()
+	work := ws.Matrix(n, n)
+	work.CopyFrom(a)
 	work.Symmetrize()
-	d := make([]float64, n)
-	e := make([]float64, n)
-	tred2(work, d, e, false)
-	if err := tql(d, e, nil, false); err != nil {
+	if cap(dst) < n {
+		dst = make([]float64, n)
+	} else {
+		dst = dst[:n]
+	}
+	e := ws.Vec(n)
+	tred2(work, dst, e, false)
+	err := tql(dst, e, nil, false)
+	ws.PutVec(e)
+	ws.PutMatrix(work)
+	if err != nil {
 		return nil, err
 	}
-	sort.Float64s(d)
-	return d, nil
+	sort.Float64s(dst)
+	return dst, nil
 }
 
 // tred2 reduces the symmetric matrix stored in z to tridiagonal form with

@@ -1,8 +1,59 @@
 package mat
 
 import (
+	"sync"
+
 	"repro/internal/parallel"
 )
+
+// Matrix-product kernels. Large products run through a cache-blocked,
+// panel-packed GEMM (packA/packB + a 4×4 register micro-kernel, the
+// standard GotoBLAS/BLIS decomposition): A and B tiles are copied into
+// contiguous panels so the inner kernel streams packed memory regardless
+// of the operand layout — in particular aᵀ·b no longer strides down
+// columns — and each loaded element feeds gemmMR×gemmNR multiply-adds
+// instead of one. Small products keep the register-friendly row-sweep
+// reference kernels, where packing overhead would dominate.
+//
+// Results are deterministic for a fixed worker count: workers split output
+// rows, and every output element accumulates its k-terms in the same
+// order (k-panels of gemmKC in ascending order) regardless of how rows are
+// distributed. The blocked kernels reorder floating-point sums relative to
+// the reference kernels, so results agree to roundoff (~1e-12 relative),
+// not bit-for-bit.
+
+const (
+	gemmMR = 4 // micro-kernel rows
+	gemmNR = 4 // micro-kernel cols
+	gemmKC = 256
+	gemmMC = 64
+	gemmNC = 512
+	// gemmMinWork gates the blocked path: below this many multiply-adds
+	// the packing overhead outweighs the cache savings.
+	gemmMinWork = 1 << 15
+	// gemmRowFloor is the per-worker row floor for parallel products: a
+	// GEMM row costs n·k flops, so far fewer rows than parallel.ForChunk's
+	// scalar-loop floor justify a goroutine.
+	gemmRowFloor = 8
+)
+
+// gemmScratch holds one worker's packing panels.
+type gemmScratch struct {
+	a, b []float64
+}
+
+var gemmPool = sync.Pool{New: func() any { return new(gemmScratch) }}
+
+func growBuf(buf *[]float64, n int) []float64 {
+	if cap(*buf) < n {
+		*buf = make([]float64, n)
+	}
+	return (*buf)[:n]
+}
+
+func useBlocked(m, n, k int) bool {
+	return m >= 16 && n >= 8 && k >= 8 && m*n*k >= gemmMinWork
+}
 
 // Mul computes dst = a*b. dst must not alias a or b. If dst is nil a new
 // matrix is allocated. Rows of dst are computed in parallel.
@@ -11,23 +62,16 @@ func Mul(dst, a, b *Dense) *Dense {
 		panic("mat: Mul inner dimension mismatch")
 	}
 	dst = prepDst(dst, a.Rows, b.Cols)
+	if useBlocked(a.Rows, b.Cols, a.Cols) {
+		gemm(dst, a, b, false, false)
+		return dst
+	}
+	if parallel.Serial(a.Rows) {
+		refMulRange(dst, a, b, 0, a.Rows)
+		return dst
+	}
 	parallel.ForChunk(a.Rows, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			ar := a.Row(i)
-			dr := dst.Row(i)
-			for j := range dr {
-				dr[j] = 0
-			}
-			for k, av := range ar {
-				if av == 0 {
-					continue
-				}
-				br := b.Row(k)
-				for j, bv := range br {
-					dr[j] += av * bv
-				}
-			}
-		}
+		refMulRange(dst, a, b, lo, hi)
 	})
 	return dst
 }
@@ -39,27 +83,36 @@ func MulTransA(dst, a, b *Dense) *Dense {
 		panic("mat: MulTransA row mismatch")
 	}
 	dst = prepDst(dst, a.Cols, b.Cols)
-	// Parallelize over output rows (columns of a): each worker scans all of
-	// a and b but writes a disjoint row range of dst.
-	parallel.ForChunk(a.Cols, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			dr := dst.Row(i)
-			for j := range dr {
-				dr[j] = 0
-			}
-			for k := 0; k < a.Rows; k++ {
-				av := a.At(k, i)
-				if av == 0 {
-					continue
-				}
-				br := b.Row(k)
-				for j, bv := range br {
-					dr[j] += av * bv
-				}
-			}
-		}
+	if useBlocked(a.Cols, b.Cols, a.Rows) {
+		gemm(dst, a, b, true, false)
+		return dst
+	}
+	// Small path: k-outer accumulation walks a and b row-major (the packed
+	// kernel's job at scale); each worker owns a disjoint dst row range.
+	if parallel.SerialMin(a.Cols, gemmRowFloor) {
+		mulTransASmallRange(dst, a, b, 0, a.Cols)
+		return dst
+	}
+	parallel.ForChunkMin(a.Cols, gemmRowFloor, func(lo, hi int) {
+		mulTransASmallRange(dst, a, b, lo, hi)
 	})
 	return dst
+}
+
+func mulTransASmallRange(dst, a, b *Dense, lo, hi int) {
+	for k := 0; k < a.Rows; k++ {
+		ar := a.Row(k)[lo:hi]
+		br := b.Row(k)
+		for i, av := range ar {
+			if av == 0 {
+				continue
+			}
+			dr := dst.Row(lo + i)
+			for j, bv := range br {
+				dr[j] += av * bv
+			}
+		}
+	}
 }
 
 // MulTransB computes dst = a*bᵀ for a (m×k) and b (n×k), yielding m×n.
@@ -69,16 +122,316 @@ func MulTransB(dst, a, b *Dense) *Dense {
 		panic("mat: MulTransB column mismatch")
 	}
 	dst = prepDst(dst, a.Rows, b.Rows)
-	parallel.ForChunk(a.Rows, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			ar := a.Row(i)
-			dr := dst.Row(i)
-			for j := 0; j < b.Rows; j++ {
-				dr[j] = Dot(ar, b.Row(j))
-			}
-		}
+	if useBlocked(a.Rows, b.Rows, a.Cols) {
+		gemm(dst, a, b, false, true)
+		return dst
+	}
+	if parallel.SerialMin(a.Rows, gemmRowFloor) {
+		mulTransBSmallRange(dst, a, b, 0, a.Rows)
+		return dst
+	}
+	parallel.ForChunkMin(a.Rows, gemmRowFloor, func(lo, hi int) {
+		mulTransBSmallRange(dst, a, b, lo, hi)
 	})
 	return dst
+}
+
+func mulTransBSmallRange(dst, a, b *Dense, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		ar := a.Row(i)
+		dr := dst.Row(i)
+		for j := 0; j < b.Rows; j++ {
+			dr[j] = dotu(ar, b.Row(j))
+		}
+	}
+}
+
+// gemm runs the blocked driver for dst = op(a)·op(b). Each B tile is
+// packed exactly once, on the calling goroutine; the row-parallel workers
+// share it read-only and pack only their own A blocks. Workers split
+// output rows, so the result is identical for any worker count.
+func gemm(dst, a, b *Dense, transA, transB bool) {
+	m, n := dst.Rows, dst.Cols
+	kd := a.Cols
+	if transA {
+		kd = a.Rows
+	}
+	serial := parallel.SerialMin(m, gemmRowFloor)
+	sc := gemmPool.Get().(*gemmScratch)
+	bp := growBuf(&sc.b, gemmKC*(gemmNC+gemmNR))
+	for jc := 0; jc < n; jc += gemmNC {
+		nc := min(gemmNC, n-jc)
+		for pc := 0; pc < kd; pc += gemmKC {
+			kc := min(gemmKC, kd-pc)
+			packB(bp, b, transB, pc, jc, kc, nc)
+			if serial {
+				ap := growBuf(&sc.a, gemmMC*gemmKC)
+				gemmRowRange(dst, a, transA, ap, bp, pc, jc, kc, nc, 0, m)
+				continue
+			}
+			// Out-of-line call: a closure here would capture gemm's loop
+			// variables and heap-allocate them every iteration, even on
+			// the serial path.
+			gemmTileParallel(dst, a, transA, bp, pc, jc, kc, nc, m)
+		}
+	}
+	gemmPool.Put(sc)
+}
+
+// gemmTileParallel fans the row loop of one packed-B tile out across
+// workers; each worker packs its own A blocks from pooled scratch.
+func gemmTileParallel(dst, a *Dense, transA bool, bp []float64, pc, jc, kc, nc, m int) {
+	parallel.ForChunkMin(m, gemmRowFloor, func(lo, hi int) {
+		wsc := gemmPool.Get().(*gemmScratch)
+		ap := growBuf(&wsc.a, gemmMC*gemmKC)
+		gemmRowRange(dst, a, transA, ap, bp, pc, jc, kc, nc, lo, hi)
+		gemmPool.Put(wsc)
+	})
+}
+
+// gemmRowRange runs the packed micro-kernels for output rows [lo, hi) of
+// one (pc, jc) tile, packing A blocks into ap and reading the shared
+// packed B panel bp.
+func gemmRowRange(dst, a *Dense, transA bool, ap, bp []float64, pc, jc, kc, nc, lo, hi int) {
+	for ic := lo; ic < hi; ic += gemmMC {
+		mc := min(gemmMC, hi-ic)
+		packA(ap, a, transA, ic, pc, mc, kc)
+		for pj := 0; pj < nc; pj += gemmNR {
+			nr := min(gemmNR, nc-pj)
+			bpanel := bp[pj*kc:]
+			for pi := 0; pi < mc; pi += gemmMR {
+				mr := min(gemmMR, mc-pi)
+				micro4x4(kc, ap[pi*kc:], bpanel, dst, ic+pi, jc+pj, mr, nr)
+			}
+		}
+	}
+}
+
+// packA copies the mc×kc block of op(a) at (i0, k0) into gemmMR-row
+// panels: panel p holds rows [p·MR, p·MR+MR) interleaved by k, so the
+// micro-kernel reads MR values per k from one contiguous stream. Rows
+// beyond mc are zero-padded (the padded accumulators are never written
+// back).
+func packA(ap []float64, a *Dense, trans bool, i0, k0, mc, kc int) {
+	for pi := 0; pi < mc; pi += gemmMR {
+		dst := ap[pi*kc:]
+		mr := min(gemmMR, mc-pi)
+		if !trans {
+			if mr == gemmMR {
+				r0 := a.Row(i0 + pi)[k0 : k0+kc]
+				r1 := a.Row(i0 + pi + 1)[k0 : k0+kc]
+				r2 := a.Row(i0 + pi + 2)[k0 : k0+kc]
+				r3 := a.Row(i0 + pi + 3)[k0 : k0+kc]
+				for k := 0; k < kc; k++ {
+					d := dst[4*k : 4*k+4 : 4*k+4]
+					d[0] = r0[k]
+					d[1] = r1[k]
+					d[2] = r2[k]
+					d[3] = r3[k]
+				}
+				continue
+			}
+			for r := 0; r < gemmMR; r++ {
+				if r < mr {
+					src := a.Row(i0 + pi + r)[k0 : k0+kc]
+					for k := 0; k < kc; k++ {
+						dst[4*k+r] = src[k]
+					}
+				} else {
+					for k := 0; k < kc; k++ {
+						dst[4*k+r] = 0
+					}
+				}
+			}
+			continue
+		}
+		// op(a) = aᵀ: element (i, k) lives at a[k0+k][i0+i], so each k is a
+		// contiguous run of a's row k0+k.
+		for k := 0; k < kc; k++ {
+			src := a.Row(k0 + k)[i0+pi:]
+			d := dst[4*k : 4*k+4 : 4*k+4]
+			if mr == gemmMR {
+				d[0] = src[0]
+				d[1] = src[1]
+				d[2] = src[2]
+				d[3] = src[3]
+				continue
+			}
+			for r := 0; r < gemmMR; r++ {
+				if r < mr {
+					d[r] = src[r]
+				} else {
+					d[r] = 0
+				}
+			}
+		}
+	}
+}
+
+// packB copies the kc×nc block of op(b) at (k0, j0) into gemmNR-column
+// panels, zero-padding columns beyond nc.
+func packB(bp []float64, b *Dense, trans bool, k0, j0, kc, nc int) {
+	for pj := 0; pj < nc; pj += gemmNR {
+		dst := bp[pj*kc:]
+		nr := min(gemmNR, nc-pj)
+		if !trans {
+			for k := 0; k < kc; k++ {
+				src := b.Row(k0 + k)[j0+pj:]
+				d := dst[4*k : 4*k+4 : 4*k+4]
+				if nr == gemmNR {
+					d[0] = src[0]
+					d[1] = src[1]
+					d[2] = src[2]
+					d[3] = src[3]
+					continue
+				}
+				for t := 0; t < gemmNR; t++ {
+					if t < nr {
+						d[t] = src[t]
+					} else {
+						d[t] = 0
+					}
+				}
+			}
+			continue
+		}
+		// op(b) = bᵀ: column j of op(b) is row j0+j of b, contiguous in k.
+		for t := 0; t < gemmNR; t++ {
+			if t < nr {
+				src := b.Row(j0 + pj + t)[k0 : k0+kc]
+				for k := 0; k < kc; k++ {
+					dst[4*k+t] = src[k]
+				}
+			} else {
+				for k := 0; k < kc; k++ {
+					dst[4*k+t] = 0
+				}
+			}
+		}
+	}
+}
+
+// micro4x4 accumulates a 4×4 tile of the product of one packed A panel and
+// one packed B panel into dst at (i, j). Only the valid mr×nr region is
+// written back; the padded lanes accumulate zeros. The tile itself comes
+// from the SSE2 kernel on amd64 and from the scalar loop elsewhere; both
+// sum k-terms in the same order, so results are identical.
+func micro4x4(kc int, ap, bp []float64, dst *Dense, i, j, mr, nr int) {
+	var acc [gemmMR * gemmNR]float64
+	if useAsmKernel {
+		micro4x4sse(kc, &ap[0], &bp[0], &acc[0])
+	} else {
+		microScalar4x4(kc, ap, bp, &acc)
+	}
+	if mr == gemmMR && nr == gemmNR {
+		r := dst.Row(i)[j : j+4 : j+4]
+		r[0] += acc[0]
+		r[1] += acc[1]
+		r[2] += acc[2]
+		r[3] += acc[3]
+		r = dst.Row(i + 1)[j : j+4 : j+4]
+		r[0] += acc[4]
+		r[1] += acc[5]
+		r[2] += acc[6]
+		r[3] += acc[7]
+		r = dst.Row(i + 2)[j : j+4 : j+4]
+		r[0] += acc[8]
+		r[1] += acc[9]
+		r[2] += acc[10]
+		r[3] += acc[11]
+		r = dst.Row(i + 3)[j : j+4 : j+4]
+		r[0] += acc[12]
+		r[1] += acc[13]
+		r[2] += acc[14]
+		r[3] += acc[15]
+		return
+	}
+	for r := 0; r < mr; r++ {
+		row := dst.Row(i + r)
+		for t := 0; t < nr; t++ {
+			row[j+t] += acc[gemmNR*r+t]
+		}
+	}
+}
+
+// microScalar4x4 is the portable micro-kernel: sixteen independent
+// accumulators over the packed panels, overwriting acc.
+func microScalar4x4(kc int, ap, bp []float64, acc *[gemmMR * gemmNR]float64) {
+	var c00, c01, c02, c03 float64
+	var c10, c11, c12, c13 float64
+	var c20, c21, c22, c23 float64
+	var c30, c31, c32, c33 float64
+	ap = ap[:4*kc]
+	bp = bp[:4*kc]
+	for off := 0; off < len(ap); off += 4 {
+		av := ap[off : off+4 : off+4]
+		bv := bp[off : off+4 : off+4]
+		a0 := av[0]
+		a1 := av[1]
+		a2 := av[2]
+		a3 := av[3]
+		b0 := bv[0]
+		b1 := bv[1]
+		b2 := bv[2]
+		b3 := bv[3]
+		c00 += a0 * b0
+		c01 += a0 * b1
+		c02 += a0 * b2
+		c03 += a0 * b3
+		c10 += a1 * b0
+		c11 += a1 * b1
+		c12 += a1 * b2
+		c13 += a1 * b3
+		c20 += a2 * b0
+		c21 += a2 * b1
+		c22 += a2 * b2
+		c23 += a2 * b3
+		c30 += a3 * b0
+		c31 += a3 * b1
+		c32 += a3 * b2
+		c33 += a3 * b3
+	}
+	acc[0] = c00
+	acc[1] = c01
+	acc[2] = c02
+	acc[3] = c03
+	acc[4] = c10
+	acc[5] = c11
+	acc[6] = c12
+	acc[7] = c13
+	acc[8] = c20
+	acc[9] = c21
+	acc[10] = c22
+	acc[11] = c23
+	acc[12] = c30
+	acc[13] = c31
+	acc[14] = c32
+	acc[15] = c33
+}
+
+// dotu is an instruction-parallel dot product (four independent
+// accumulators). It reorders the summation relative to Dot, so kernels
+// built on it agree with the reference kernels to roundoff, not
+// bit-for-bit.
+func dotu(x, y []float64) float64 {
+	n := len(x)
+	if len(y) != n {
+		panic("mat: dot length mismatch")
+	}
+	var s0, s1, s2, s3 float64
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		xv := x[i : i+4 : i+4]
+		yv := y[i : i+4 : i+4]
+		s0 += xv[0] * yv[0]
+		s1 += xv[1] * yv[1]
+		s2 += xv[2] * yv[2]
+		s3 += xv[3] * yv[3]
+	}
+	for ; i < n; i++ {
+		s0 += x[i] * y[i]
+	}
+	return (s0 + s1) + (s2 + s3)
 }
 
 // MatVec computes dst = a*x. If dst is nil it is allocated.
@@ -91,12 +444,20 @@ func MatVec(dst []float64, a *Dense, x []float64) []float64 {
 	} else if len(dst) != a.Rows {
 		panic("mat: MatVec dst length mismatch")
 	}
+	if parallel.Serial(a.Rows) {
+		matVecRange(dst, a, x, 0, a.Rows)
+		return dst
+	}
 	parallel.ForChunk(a.Rows, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			dst[i] = Dot(a.Row(i), x)
-		}
+		matVecRange(dst, a, x, lo, hi)
 	})
 	return dst
+}
+
+func matVecRange(dst []float64, a *Dense, x []float64, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		dst[i] = dotu(a.Row(i), x)
+	}
 }
 
 // MatTVec computes dst = aᵀ*x. If dst is nil it is allocated. The serial
@@ -130,45 +491,90 @@ func MatTVec(dst []float64, a *Dense, x []float64) []float64 {
 // symmetric matrix Σ_i w_i x_i x_iᵀ. This is the kernel behind the
 // block-diagonal preconditioner of Eq. 14: B_k(Σ) = Σ_i w_ik x_i x_iᵀ.
 // Entries of w may be any sign. If w is nil, unit weights are used.
+//
+// Only the lower triangle is accumulated (rank-4 panels of rows); the
+// upper triangle is mirrored at the end, so the result is exactly
+// symmetric.
 func WeightedGram(dst *Dense, x *Dense, w []float64) *Dense {
+	return WeightedGramWS(nil, dst, x, w)
+}
+
+// WeightedGramWS is WeightedGram with the per-worker partial buffers of
+// the parallel reduction drawn from ws (acquired and returned on the
+// calling goroutine, so the single-owner workspace contract holds); hot
+// loops that rebuild Gram blocks every iteration reuse them instead of
+// re-allocating O(workers·d²) per call.
+func WeightedGramWS(ws *Workspace, dst *Dense, x *Dense, w []float64) *Dense {
 	d := x.Cols
 	dst = prepDst(dst, d, d)
+	// Per-row cost is O(d²), so cap workers well below ForChunk's scalar
+	// floor; a few dozen rows per worker already amortize the fork.
 	nw := parallel.Workers()
-	if nw > x.Rows {
-		nw = x.Rows
+	if lim := x.Rows / 64; nw > lim {
+		nw = lim
 	}
 	if nw <= 1 {
 		weightedGramRange(dst, x, w, 0, x.Rows)
+		mirrorLower(dst)
 		return dst
 	}
 	// Each worker accumulates into a private d×d buffer; buffers are summed
 	// serially so the result is deterministic for a fixed worker count.
+	// Fork (not For) because the task count equals the worker count, far
+	// below For's per-worker iteration floor, which would serialize it.
 	partials := make([]*Dense, nw)
+	for i := range partials {
+		partials[i] = ws.Matrix(d, d)
+	}
 	chunk := (x.Rows + nw - 1) / nw
-	parallel.For(nw, func(widx int) {
+	parallel.Fork(nw, func(widx int) {
 		lo := widx * chunk
-		hi := lo + chunk
-		if hi > x.Rows {
-			hi = x.Rows
-		}
+		hi := min(lo+chunk, x.Rows)
+		p := partials[widx]
+		p.Zero() // workspace contents are unspecified
 		if lo >= hi {
 			return
 		}
-		p := NewDense(d, d)
 		weightedGramRange(p, x, w, lo, hi)
-		partials[widx] = p
 	})
 	for _, p := range partials {
-		if p != nil {
-			dst.AddScaled(1, p)
-		}
+		dst.AddScaled(1, p)
+		ws.PutMatrix(p)
 	}
+	mirrorLower(dst)
 	return dst
 }
 
+// weightedGramRange accumulates the lower triangle of Σ_i w_i x_i x_iᵀ for
+// rows [lo, hi), four rows at a time so each loaded dst element absorbs
+// four multiply-adds.
 func weightedGramRange(dst *Dense, x *Dense, w []float64, lo, hi int) {
 	d := x.Cols
-	for i := lo; i < hi; i++ {
+	i := lo
+	for ; i+4 <= hi; i += 4 {
+		w0, w1, w2, w3 := 1.0, 1.0, 1.0, 1.0
+		if w != nil {
+			w0, w1, w2, w3 = w[i], w[i+1], w[i+2], w[i+3]
+			if w0 == 0 && w1 == 0 && w2 == 0 && w3 == 0 {
+				continue
+			}
+		}
+		x0 := x.Row(i)
+		x1 := x.Row(i + 1)
+		x2 := x.Row(i + 2)
+		x3 := x.Row(i + 3)
+		for r := 0; r < d; r++ {
+			v0 := w0 * x0[r]
+			v1 := w1 * x1[r]
+			v2 := w2 * x2[r]
+			v3 := w3 * x3[r]
+			row := dst.Row(r)[: r+1 : r+1]
+			for c := range row {
+				row[c] += v0*x0[c] + v1*x1[c] + v2*x2[c] + v3*x3[c]
+			}
+		}
+	}
+	for ; i < hi; i++ {
 		wi := 1.0
 		if w != nil {
 			wi = w[i]
@@ -182,10 +588,20 @@ func weightedGramRange(dst *Dense, x *Dense, w []float64, lo, hi int) {
 			if v == 0 {
 				continue
 			}
-			row := dst.Row(r)
-			for c := 0; c < d; c++ {
+			row := dst.Row(r)[: r+1 : r+1]
+			for c := range row {
 				row[c] += v * xi[c]
 			}
+		}
+	}
+}
+
+// mirrorLower copies the strict lower triangle into the upper.
+func mirrorLower(dst *Dense) {
+	for r := 1; r < dst.Rows; r++ {
+		row := dst.Row(r)
+		for c := 0; c < r; c++ {
+			dst.Set(c, r, row[c])
 		}
 	}
 }
@@ -200,12 +616,20 @@ func RowDots(dst []float64, a, b *Dense) []float64 {
 	if dst == nil {
 		dst = make([]float64, a.Rows)
 	}
+	if parallel.Serial(a.Rows) {
+		rowDotsRange(dst, a, b, 0, a.Rows)
+		return dst
+	}
 	parallel.ForChunk(a.Rows, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			dst[i] = Dot(a.Row(i), b.Row(i))
-		}
+		rowDotsRange(dst, a, b, lo, hi)
 	})
 	return dst
+}
+
+func rowDotsRange(dst []float64, a, b *Dense, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		dst[i] = dotu(a.Row(i), b.Row(i))
+	}
 }
 
 func prepDst(dst *Dense, r, c int) *Dense {

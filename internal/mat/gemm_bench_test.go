@@ -1,0 +1,70 @@
+package mat
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// GEMM benchmarks: the blocked kernels against the unblocked reference at
+// the dimensions the ROADMAP targets (d ≥ 256 feature blocks). Run with
+//
+//	go test -bench 'Gemm|MatVec' -benchmem ./internal/mat
+func benchDims(d int) (*Dense, *Dense) {
+	rng := rand.New(rand.NewSource(42))
+	return randDense(rng, d, d), randDense(rng, d, d)
+}
+
+func benchmarkGemm(b *testing.B, d int, f func(dst, x, y *Dense) *Dense) {
+	x, y := benchDims(d)
+	dst := NewDense(d, d)
+	b.SetBytes(int64(8 * d * d))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f(dst, x, y)
+	}
+}
+
+func BenchmarkGemmBlocked(b *testing.B) {
+	for _, d := range []int{64, 256, 512} {
+		b.Run(fmt.Sprintf("d%d", d), func(b *testing.B) { benchmarkGemm(b, d, Mul) })
+	}
+}
+
+func BenchmarkGemmNaive(b *testing.B) {
+	for _, d := range []int{64, 256, 512} {
+		b.Run(fmt.Sprintf("d%d", d), func(b *testing.B) { benchmarkGemm(b, d, RefMul) })
+	}
+}
+
+func BenchmarkGemmTransABlocked(b *testing.B) {
+	benchmarkGemm(b, 256, MulTransA)
+}
+
+func BenchmarkGemmTransANaive(b *testing.B) {
+	benchmarkGemm(b, 256, RefMulTransA)
+}
+
+func BenchmarkMatVec(b *testing.B) {
+	a, _ := benchDims(512)
+	x := make([]float64, 512)
+	dst := make([]float64, 512)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatVec(dst, a, x)
+	}
+}
+
+func BenchmarkWeightedGram(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	x := randDense(rng, 2000, 64)
+	w := make([]float64, 2000)
+	for i := range w {
+		w[i] = rng.Float64()
+	}
+	dst := NewDense(64, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		WeightedGram(dst, x, w)
+	}
+}

@@ -1,0 +1,10 @@
+//go:build !amd64
+
+package mat
+
+// useAsmKernel is false off amd64; the scalar micro-kernel runs instead.
+const useAsmKernel = false
+
+func micro4x4sse(kc int, ap, bp, acc *float64) {
+	panic("mat: asm micro-kernel unavailable on this architecture")
+}

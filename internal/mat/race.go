@@ -1,0 +1,8 @@
+//go:build race
+
+package mat
+
+// RaceEnabled reports whether the race detector is compiled in. Its
+// instrumentation allocates, so the AllocsPerRun regression tests skip
+// their zero-allocation assertions under -race.
+const RaceEnabled = true

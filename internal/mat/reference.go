@@ -1,0 +1,122 @@
+package mat
+
+// Reference (unblocked) kernels: the straightforward row-sweep loops the
+// blocked kernels of gemm.go replaced. They remain the correctness oracle
+// for the property tests and the baseline side of the GEMM benchmarks, and
+// they still serve the small-matrix fast paths where packing overhead
+// would dominate.
+
+// RefMul computes dst = a*b with the unblocked row-sweep kernel (serial).
+func RefMul(dst, a, b *Dense) *Dense {
+	if a.Cols != b.Rows {
+		panic("mat: Mul inner dimension mismatch")
+	}
+	dst = prepDst(dst, a.Rows, b.Cols)
+	refMulRange(dst, a, b, 0, a.Rows)
+	return dst
+}
+
+func refMulRange(dst, a, b *Dense, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		ar := a.Row(i)
+		dr := dst.Row(i)
+		for j := range dr {
+			dr[j] = 0
+		}
+		for k, av := range ar {
+			if av == 0 {
+				continue
+			}
+			br := b.Row(k)
+			for j, bv := range br {
+				dr[j] += av * bv
+			}
+		}
+	}
+}
+
+// RefMulTransA computes dst = aᵀ*b with the unblocked kernel (serial).
+// Note the column-strided a.At(k, i) access — this is the cache behaviour
+// the packed kernel exists to avoid.
+func RefMulTransA(dst, a, b *Dense) *Dense {
+	if a.Rows != b.Rows {
+		panic("mat: MulTransA row mismatch")
+	}
+	dst = prepDst(dst, a.Cols, b.Cols)
+	for i := 0; i < a.Cols; i++ {
+		dr := dst.Row(i)
+		for j := range dr {
+			dr[j] = 0
+		}
+		for k := 0; k < a.Rows; k++ {
+			av := a.At(k, i)
+			if av == 0 {
+				continue
+			}
+			br := b.Row(k)
+			for j, bv := range br {
+				dr[j] += av * bv
+			}
+		}
+	}
+	return dst
+}
+
+// RefMulTransB computes dst = a*bᵀ with the unblocked kernel (serial).
+func RefMulTransB(dst, a, b *Dense) *Dense {
+	if a.Cols != b.Cols {
+		panic("mat: MulTransB column mismatch")
+	}
+	dst = prepDst(dst, a.Rows, b.Rows)
+	for i := 0; i < a.Rows; i++ {
+		ar := a.Row(i)
+		dr := dst.Row(i)
+		for j := 0; j < b.Rows; j++ {
+			dr[j] = Dot(ar, b.Row(j))
+		}
+	}
+	return dst
+}
+
+// RefMatVec computes dst = a*x with per-row serial dot products.
+func RefMatVec(dst []float64, a *Dense, x []float64) []float64 {
+	if a.Cols != len(x) {
+		panic("mat: MatVec dimension mismatch")
+	}
+	if dst == nil {
+		dst = make([]float64, a.Rows)
+	} else if len(dst) != a.Rows {
+		panic("mat: MatVec dst length mismatch")
+	}
+	for i := 0; i < a.Rows; i++ {
+		dst[i] = Dot(a.Row(i), x)
+	}
+	return dst
+}
+
+// RefWeightedGram computes dst = Xᵀ diag(w) X with serial rank-1 updates.
+func RefWeightedGram(dst *Dense, x *Dense, w []float64) *Dense {
+	d := x.Cols
+	dst = prepDst(dst, d, d)
+	for i := 0; i < x.Rows; i++ {
+		wi := 1.0
+		if w != nil {
+			wi = w[i]
+		}
+		if wi == 0 {
+			continue
+		}
+		xi := x.Row(i)
+		for r := 0; r < d; r++ {
+			v := wi * xi[r]
+			if v == 0 {
+				continue
+			}
+			row := dst.Row(r)
+			for c := 0; c < d; c++ {
+				row[c] += v * xi[c]
+			}
+		}
+	}
+	return dst
+}

@@ -1,0 +1,101 @@
+package mat
+
+// Workspace is a size-keyed free list of float64 scratch buffers and Dense
+// headers. The hot solver loops (the Lemma-2 Hessian matvec, CG
+// iterations, and the ROUND scoring pass) acquire their temporaries from a
+// Workspace and return them when done; after one warm-up pass every
+// steady-state acquisition is a free-list hit, so the loops run
+// allocation-free (guarded by AllocsPerRun regression tests).
+//
+// Ownership contract:
+//
+//   - A Workspace is owned by exactly one goroutine; it is NOT safe for
+//     concurrent use. Parallel code (e.g. the simulated MPI ranks of
+//     internal/distfiral) creates one Workspace per goroutine.
+//   - A buffer obtained from Vec/Matrix/View is owned by the caller until
+//     it is returned with the matching Put*; returning it and continuing
+//     to use it is a bug, as the next Vec/Matrix call may hand it out
+//     again.
+//   - Buffer contents are unspecified on acquisition; callers that need
+//     zeros must clear them (the mat kernels zero their destinations).
+//
+// A nil *Workspace is valid everywhere one is accepted: every acquisition
+// falls back to a plain allocation and every Put* is a no-op, restoring
+// the allocate-per-call behaviour.
+type Workspace struct {
+	vecs  map[int][][]float64
+	views []*Dense
+}
+
+// NewWorkspace returns an empty Workspace.
+func NewWorkspace() *Workspace {
+	return &Workspace{vecs: make(map[int][][]float64)}
+}
+
+// Vec returns a length-n buffer with unspecified contents.
+func (w *Workspace) Vec(n int) []float64 {
+	if w == nil {
+		return make([]float64, n)
+	}
+	free := w.vecs[n]
+	if len(free) == 0 {
+		return make([]float64, n)
+	}
+	v := free[len(free)-1]
+	w.vecs[n] = free[:len(free)-1]
+	return v
+}
+
+// PutVec returns a buffer to the free list, keyed by its length.
+func (w *Workspace) PutVec(v []float64) {
+	if w == nil || len(v) == 0 {
+		return
+	}
+	w.vecs[len(v)] = append(w.vecs[len(v)], v)
+}
+
+// View returns a Dense header (recycled when possible) wrapping data as an
+// r×c row-major matrix with compact stride. The data is shared, not
+// copied; release the header with PutView when done.
+func (w *Workspace) View(data []float64, r, c int) *Dense {
+	if len(data) < r*c {
+		panic("mat: Workspace.View data too short")
+	}
+	if w == nil || len(w.views) == 0 {
+		return &Dense{Rows: r, Cols: c, Stride: c, Data: data}
+	}
+	m := w.views[len(w.views)-1]
+	w.views = w.views[:len(w.views)-1]
+	m.Rows, m.Cols, m.Stride, m.Data = r, c, c, data
+	return m
+}
+
+// PutView returns a header obtained from View; the data it wrapped stays
+// with its owner.
+func (w *Workspace) PutView(m *Dense) {
+	if w == nil || m == nil {
+		return
+	}
+	m.Data = nil
+	w.views = append(w.views, m)
+}
+
+// Matrix returns an r×c matrix (compact stride) with unspecified contents,
+// backed by workspace memory. Release it with PutMatrix.
+func (w *Workspace) Matrix(r, c int) *Dense {
+	return w.View(w.Vec(r*c), r, c)
+}
+
+// PutMatrix returns a matrix obtained from Matrix, recycling both its data
+// and its header. Matrices with non-compact stride are not poolable and
+// are rejected.
+func (w *Workspace) PutMatrix(m *Dense) {
+	if w == nil || m == nil {
+		return
+	}
+	if m.Stride != m.Cols {
+		panic("mat: Workspace.PutMatrix of non-compact matrix")
+	}
+	w.PutVec(m.Data[:m.Rows*m.Cols])
+	w.PutView(m)
+}

@@ -12,7 +12,11 @@ import (
 )
 
 // minWork is the smallest amount of per-worker work worth forking a
-// goroutine for. Loops smaller than this run serially.
+// goroutine for: the worker count is capped at n/minWork, so workers
+// receive at least minWork iterations (the final chunk may fall slightly
+// short of the floor from ceil-division rounding), and loops smaller
+// than 2·minWork run serially rather than forking a goroutine for a
+// sliver of work.
 const minWork = 256
 
 // maxWorkers bounds the number of workers; 0 means GOMAXPROCS. Atomic so
@@ -51,20 +55,80 @@ func For(n int, fn func(i int)) {
 	})
 }
 
-// ForChunk splits [0, n) into at most Workers() contiguous chunks and runs
-// fn(lo, hi) on each chunk, possibly concurrently. fn must be safe to call
-// concurrently for disjoint ranges.
-func ForChunk(n int, fn func(lo, hi int)) {
+// Fork runs fn(0), …, fn(n-1) each on its own goroutine and waits. Unlike
+// For it always forks — no work floor — so it is for coarse-grained tasks
+// whose count the caller has already sized to the available workers
+// (e.g. one pre-partitioned reduction chunk per worker).
+func Fork(n int, fn func(i int)) {
 	if n <= 0 {
 		return
 	}
-	w := Workers()
-	if w <= 1 || n < minWork {
-		fn(0, n)
+	if n == 1 {
+		fn(0)
 		return
 	}
-	if w > n {
-		w = n
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			fn(i)
+		}(i)
+	}
+	wg.Wait()
+}
+
+// chunkWorkers returns the number of workers a chunked loop will fork for
+// n iterations with a per-worker floor of minPer: at most Workers(), and
+// at most n/minPer so that every worker gets at least minPer iterations of
+// real work.
+func chunkWorkers(n, minPer int) int {
+	w := Workers()
+	if lim := n / minPer; w > lim {
+		w = lim
+	}
+	return w
+}
+
+// Serial reports whether ForChunk(n, …) would run its body on the calling
+// goroutine. Hot kernels use it to skip building the chunk closure — and
+// its per-call allocation — when the loop would be serial anyway.
+func Serial(n int) bool { return chunkWorkers(n, minWork) <= 1 }
+
+// SerialMin is Serial for ForChunkMin's caller-chosen floor.
+func SerialMin(n, minPer int) bool {
+	if minPer < 1 {
+		minPer = 1
+	}
+	return chunkWorkers(n, minPer) <= 1
+}
+
+// ForChunk splits [0, n) into at most Workers() contiguous chunks of at
+// least minWork iterations each and runs fn(lo, hi) on each chunk,
+// possibly concurrently. fn must be safe to call concurrently for
+// disjoint ranges.
+func ForChunk(n int, fn func(lo, hi int)) {
+	forChunk(n, minWork, fn)
+}
+
+// ForChunkMin is ForChunk with a caller-chosen per-worker iteration floor,
+// for loops whose per-iteration cost is far above the scalar work minWork
+// is calibrated for (e.g. a GEMM output row costing n·k flops).
+func ForChunkMin(n, minPer int, fn func(lo, hi int)) {
+	if minPer < 1 {
+		minPer = 1
+	}
+	forChunk(n, minPer, fn)
+}
+
+func forChunk(n, minPer int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	w := chunkWorkers(n, minPer)
+	if w <= 1 {
+		fn(0, n)
+		return
 	}
 	var wg sync.WaitGroup
 	chunk := (n + w - 1) / w

@@ -1,6 +1,7 @@
 package parallel
 
 import (
+	"sync"
 	"sync/atomic"
 	"testing"
 )
@@ -58,6 +59,72 @@ func TestSetMaxWorkers(t *testing.T) {
 	if Workers() < 1 {
 		t.Fatal("default workers < 1")
 	}
+}
+
+func TestForChunkCapsWorkersByMinWork(t *testing.T) {
+	prev := SetMaxWorkers(64)
+	defer SetMaxWorkers(prev)
+	// n barely above minWork: forking 64 goroutines of ~5 iterations each
+	// is the bug this guards against — every worker must get at least
+	// minWork iterations, so n=300 runs serially and n=1024 uses ≤4 chunks.
+	var chunks int64
+	var smallest int64 = 1 << 60
+	ForChunk(300, func(lo, hi int) {
+		atomic.AddInt64(&chunks, 1)
+	})
+	if chunks != 1 {
+		t.Fatalf("n=300 with 64 workers ran %d chunks, want 1 (serial)", chunks)
+	}
+	chunks = 0
+	ForChunk(1024, func(lo, hi int) {
+		atomic.AddInt64(&chunks, 1)
+		for {
+			s := atomic.LoadInt64(&smallest)
+			if int64(hi-lo) >= s || atomic.CompareAndSwapInt64(&smallest, s, int64(hi-lo)) {
+				break
+			}
+		}
+	})
+	if chunks > 4 {
+		t.Fatalf("n=1024 ran %d chunks, want ≤ 4", chunks)
+	}
+	// n=1024 divides evenly into 4 chunks of exactly minWork; in general
+	// the final chunk may fall slightly short from ceil-division rounding.
+	if chunks > 1 && smallest < 256 {
+		t.Fatalf("smallest chunk %d < minWork for evenly divisible n", smallest)
+	}
+	if !Serial(300) {
+		t.Fatal("Serial(300) should be true under the n/minWork cap")
+	}
+	if Serial(10000) {
+		t.Fatal("Serial(10000) should be false with 64 workers allowed")
+	}
+}
+
+func TestForkAlwaysRunsConcurrently(t *testing.T) {
+	// Fork must not inherit For's per-worker iteration floor: all n tasks
+	// must be in flight at once. Every task blocks on a barrier that only
+	// opens when all n have started, so a serializing Fork deadlocks the
+	// test (caught by the test timeout) instead of passing silently.
+	const n = 4
+	var barrier sync.WaitGroup
+	barrier.Add(n)
+	var count atomic.Int32
+	Fork(n, func(i int) {
+		barrier.Done()
+		barrier.Wait()
+		count.Add(1)
+	})
+	if count.Load() != n {
+		t.Fatalf("Fork ran %d of %d tasks", count.Load(), n)
+	}
+	// Degenerate sizes.
+	ran := false
+	Fork(1, func(i int) { ran = true })
+	if !ran {
+		t.Fatal("Fork(1) did not run")
+	}
+	Fork(0, func(i int) { t.Error("Fork(0) ran") })
 }
 
 func TestForChunkEmpty(t *testing.T) {

@@ -8,13 +8,9 @@ import (
 	"repro/internal/rnd"
 )
 
-// RademacherMatrix returns an n×s matrix whose columns are independent
-// Rademacher probe vectors (the matrix V of Algorithm 2, line 4).
-func RademacherMatrix(rng *rnd.Source, n, s int) *mat.Dense {
-	v := mat.NewDense(n, s)
-	rng.Rademacher(v.Data)
-	return v
-}
+// The probe block of Algorithm 2, line 4 is drawn directly into a hoisted
+// buffer with rnd.Source.Rademacher (the RELAX solvers reuse one Dense
+// across iterations), so no matrix-returning helper exists here.
 
 // Probes returns s independent length-n Rademacher vectors as slices.
 func Probes(rng *rnd.Source, n, s int) [][]float64 {

@@ -8,19 +8,6 @@ import (
 	"repro/internal/rnd"
 )
 
-func TestRademacherMatrixEntries(t *testing.T) {
-	rng := rnd.New(1)
-	v := RademacherMatrix(rng, 20, 5)
-	if v.Rows != 20 || v.Cols != 5 {
-		t.Fatalf("shape %dx%d", v.Rows, v.Cols)
-	}
-	for _, e := range v.Data {
-		if e != 1 && e != -1 {
-			t.Fatalf("non-Rademacher entry %g", e)
-		}
-	}
-}
-
 func TestHutchinsonUnbiasedOnDiagonal(t *testing.T) {
 	// For diagonal A, vᵀAv = Σ a_ii v_i² = Trace(A) exactly for Rademacher
 	// probes, so even one probe is exact.
@@ -55,7 +42,8 @@ func TestTraceFromProbes(t *testing.T) {
 	n, s := 12, 64
 	a := mat.Eye(n)
 	a.Scale(3)
-	v := RademacherMatrix(rng, n, s)
+	v := mat.NewDense(n, s)
+	rng.Rademacher(v.Data)
 	av := mat.Mul(nil, a, v)
 	got := TraceFromProbes(v, av)
 	if math.Abs(got-3*float64(n)) > 1e-9 {

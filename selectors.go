@@ -210,15 +210,21 @@ func DistributedFIRAL(ranks int, o FIRALOptions) Selector {
 		ranks = 1
 	}
 	return SelectorFunc("Approx-FIRAL(dist)", func(ctx context.Context, s *State, b int) ([]int, error) {
-		var selected []int
-		var firstErr error
+		// Every rank reports its selection and error; failures on ranks
+		// r>0 must surface too, or rank 0 could return a partial/garbage
+		// selection with a nil error.
+		selected := make([][]int, ranks)
+		errs := make([]error, ranks)
 		mpi.Run(ranks, func(c *mpi.Comm) {
 			sh := distfiral.MakeShard(s.labeled, s.pool, ranks, c.Rank())
 			sel, _, _, err := distfiral.Select(ctx, c, sh, b, o.Eta, o.relax(s.seed))
-			if c.Rank() == 0 {
-				selected, firstErr = sel, err
-			}
+			selected[c.Rank()], errs[c.Rank()] = sel, err
 		})
-		return selected, firstErr
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+		}
+		return selected[0], nil
 	})
 }

@@ -104,6 +104,21 @@ func TestMaxDurationStops(t *testing.T) {
 	}
 }
 
+func TestMaxDurationAnchorsAtFirstReport(t *testing.T) {
+	// Time spent before the first report (learner construction, warm-up)
+	// must not count against the budget: the deadline anchors when the
+	// criterion first sees a report, not at construction.
+	crit := firal.MaxDuration(80 * time.Millisecond)
+	time.Sleep(100 * time.Millisecond) // longer than the whole budget
+	if stop, _ := crit(&firal.RoundReport{}); stop {
+		t.Fatal("budget charged for pre-run setup time")
+	}
+	time.Sleep(100 * time.Millisecond)
+	if stop, _ := crit(&firal.RoundReport{}); !stop {
+		t.Fatal("budget did not fire after elapsing from first report")
+	}
+}
+
 func TestPoolExhaustedCriterionAndReportField(t *testing.T) {
 	cfg := smallConfig(25)
 	l, err := firal.NewLearner(cfg)

@@ -2,6 +2,7 @@ package firal
 
 import (
 	"fmt"
+	"sync"
 	"time"
 )
 
@@ -42,12 +43,28 @@ func TargetAccuracy(target float64) StopCriterion {
 }
 
 // MaxDuration stops the session once d of wall-clock time has elapsed,
-// measured from the criterion's construction. The running round is always
-// finished — for a hard mid-round abort, use a context deadline instead.
+// measured from the first round report rather than from construction — a
+// criterion built before an expensive NewLearner or warm-up must not have
+// that setup time charged against the run budget. The running round is
+// always finished — for a hard mid-round abort, use a context deadline
+// instead.
+//
+// The lazy anchor makes the criterion stateful: build a fresh one per
+// run (reusing an instance carries the first run's anchor into the
+// next). The anchor itself is mutex-guarded, so sharing one instance
+// across concurrent runs is memory-safe, just not meaningful.
 func MaxDuration(d time.Duration) StopCriterion {
-	deadline := time.Now().Add(d)
+	var mu sync.Mutex
+	var deadline time.Time
 	return func(r *RoundReport) (bool, string) {
-		if time.Now().After(deadline) {
+		now := time.Now()
+		mu.Lock()
+		if deadline.IsZero() {
+			deadline = now.Add(d)
+		}
+		expired := now.After(deadline)
+		mu.Unlock()
+		if expired {
 			return true, fmt.Sprintf("wall-clock budget %s exhausted", d)
 		}
 		return false, ""
