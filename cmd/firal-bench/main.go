@@ -9,6 +9,14 @@
 //	firal-bench                 # full run, writes BENCH_round.json
 //	firal-bench -quick          # CI smoke: one short pass per benchmark
 //	firal-bench -out results.json
+//	firal-bench -against BENCH_round.json -tol 10   # diff vs a baseline
+//
+// With -against, results are compared to the baseline file after the
+// run: a benchmark fails the diff when its ns/op exceeds baseline×tol
+// (machines differ; keep tol generous) or its allocs/op regresses beyond
+// baseline + max(8, baseline/4) — a gross-regression tripwire; the exact
+// zero-alloc pins live in the AllocsPerRun tests. Any failure exits
+// nonzero, which is how CI keeps the recorded trajectory from rotting.
 package main
 
 import (
@@ -19,6 +27,7 @@ import (
 	"log"
 	"os"
 	"runtime"
+	"strings"
 	"testing"
 	"time"
 
@@ -26,6 +35,7 @@ import (
 	"repro/internal/firal"
 	"repro/internal/krylov"
 	"repro/internal/mat"
+	"repro/internal/parallel"
 	"repro/internal/rnd"
 	"repro/internal/timing"
 )
@@ -53,8 +63,10 @@ func main() {
 	log.SetPrefix("firal-bench: ")
 	testing.Init() // registers -test.benchtime, which testing.Benchmark reads
 	var (
-		out   = flag.String("out", "BENCH_round.json", "output JSON path")
-		quick = flag.Bool("quick", false, "single short pass per benchmark (CI smoke)")
+		out     = flag.String("out", "BENCH_round.json", "output JSON path")
+		quick   = flag.Bool("quick", false, "single short pass per benchmark (CI smoke)")
+		against = flag.String("against", "", "baseline JSON to diff results against")
+		tol     = flag.Float64("tol", 6, "allowed ns/op factor over the baseline")
 	)
 	flag.Parse()
 
@@ -93,12 +105,19 @@ func main() {
 	rng.Normal(ga.Data, 0, 1)
 	rng.Normal(gb.Data, 0, 1)
 	gdst := mat.NewDense(gd, gd)
+	// Benchmarks measure the steady state: warm each op before the timed
+	// loop so quick mode (b.N may be 1) doesn't charge cold-start pool,
+	// packing-scratch, and worker-spawn allocations to the measurement.
 	blocked := run("gemm_blocked_d256", func(b *testing.B) {
+		mat.Mul(gdst, ga, gb)
+		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			mat.Mul(gdst, ga, gb)
 		}
 	})
 	naive := run("gemm_naive_d256", func(b *testing.B) {
+		mat.RefMul(gdst, ga, gb)
+		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			mat.RefMul(gdst, ga, gb)
 		}
@@ -115,6 +134,8 @@ func main() {
 	rnd.New(3).Normal(v, 0, 1)
 	mat.Fill(w, 0.5)
 	rep.Results = append(rep.Results, run("hessian_matvec_n2000_d64_c9", func(b *testing.B) {
+		pool.MatVecWS(ws, dst, v, w) // warm the workspace
+		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			pool.MatVecWS(ws, dst, v, w)
 		}
@@ -134,6 +155,9 @@ func main() {
 	rnd.New(4).Rademacher(rhs)
 	cgOpt := krylov.Options{Tol: 1e-6, MaxIter: 400, Workspace: ws}
 	rep.Results = append(rep.Results, run("pcg_solve_ed576", func(b *testing.B) {
+		mat.Fill(sol, 0)
+		krylov.PCG(context.Background(), sigMV, precond, rhs, sol, cgOpt) // warm the workspace
+		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			mat.Fill(sol, 0)
 			krylov.PCG(context.Background(), sigMV, precond, rhs, sol, cgOpt)
@@ -168,6 +192,42 @@ func main() {
 		}
 	}))
 
+	// --- Steady-state ROUND candidate step at 4 workers. ---
+	// One rescone-and-update of the n=600 round config with warm state and
+	// the persistent worker pool engaged: the zero-alloc multicore
+	// guarantee of the pool + in-place Cholesky work, pinned here as
+	// allocs_per_op = 0 in the recorded trajectory.
+	rep.Results = append(rep.Results, run("round_steady_n600_d32_w4", func(b *testing.B) {
+		prevW := parallel.SetMaxWorkers(4)
+		defer parallel.SetMaxWorkers(prevW)
+		z := make([]float64, sprob.N())
+		mat.Fill(z, 5/float64(sprob.N()))
+		ph := timing.New()
+		st, serr := firal.NewRoundState(sprob.SigmaBlocks(z), sprob.Labeled.BlockDiagSum(nil),
+			5, sprob.DefaultEta(), ph)
+		if serr != nil {
+			b.Fatal(serr)
+		}
+		sscores := make([]float64, sprob.N())
+		step := func() {
+			st.Scores(sprob.Pool, sscores)
+			best, bestV := 0, sscores[0]
+			for i, s := range sscores {
+				if s > bestV {
+					best, bestV = i, s
+				}
+			}
+			if _, err := st.Update(sprob.Pool.X.Row(best), sprob.Pool.H.Row(best), ph); err != nil {
+				b.Fatal(err)
+			}
+		}
+		step() // warm scratch, factor storage, task pools
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			step()
+		}
+	}))
+
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		log.Fatal(err)
@@ -177,4 +237,56 @@ func main() {
 		log.Fatal(err)
 	}
 	log.Printf("wrote %s (%d benchmarks)", *out, len(rep.Results))
+
+	if *against != "" {
+		if err := diffAgainst(*against, rep, *tol); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("within tolerance of baseline %s", *against)
+	}
+}
+
+// diffAgainst compares the fresh results to a recorded baseline. Timing
+// gets a multiplicative tolerance (CI machines differ from the recording
+// machine); allocation counts are near-exact, since they are what the
+// zero-alloc work pins.
+func diffAgainst(path string, rep report, tol float64) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var base report
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("parse baseline %s: %w", path, err)
+	}
+	byName := make(map[string]entry, len(base.Results))
+	for _, e := range base.Results {
+		byName[e.Name] = e
+	}
+	var failures []string
+	for _, e := range rep.Results {
+		b, ok := byName[e.Name]
+		if !ok {
+			continue // new benchmark, no baseline yet
+		}
+		if maxNs := b.NsPerOp * tol; e.NsPerOp > maxNs {
+			failures = append(failures, fmt.Sprintf(
+				"%s: %.0f ns/op exceeds baseline %.0f × tol %g", e.Name, e.NsPerOp, b.NsPerOp, tol))
+		}
+		// Allocation counts catch gross regressions (a reintroduced
+		// per-iteration or O(n) allocation) with a small absolute slack:
+		// quick mode runs few iterations, so a GC purging the sync.Pools
+		// mid-measurement can charge a handful of one-off refills to a
+		// single op. The exact zero-alloc guarantees are enforced by the
+		// warmed AllocsPerRun pins (CI alloc-multicore job), not here.
+		allowedAllocs := b.AllocsPerOp + max(8, b.AllocsPerOp/4)
+		if e.AllocsPerOp > allowedAllocs {
+			failures = append(failures, fmt.Sprintf(
+				"%s: %d allocs/op exceeds baseline %d (allowed %d)", e.Name, e.AllocsPerOp, b.AllocsPerOp, allowedAllocs))
+		}
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("benchmark regression vs %s:\n  %s", path, strings.Join(failures, "\n  "))
+	}
+	return nil
 }

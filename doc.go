@@ -56,13 +56,25 @@
 // (the simulated MPI ranks each carry their own); buffers obtained from
 // it belong to the caller until returned; contents are unspecified on
 // acquisition; and a nil workspace degrades to allocate-per-call
-// everywhere one is accepted. With a warm workspace the Lemma-2 Hessian
-// matvec, CG iterations, and the ROUND pool-rescoring loop run
-// allocation-free in the serial regime (pinned by AllocsPerRun
-// regression tests); when a kernel's loop is large enough to fan out
-// across cores, the fork itself costs O(workers) transient allocations
-// per call, amortized by the per-worker work floor. cmd/firal-bench
-// records the kernel trajectory in BENCH_round.json.
+// everywhere one is accepted.
+//
+// Parallel loops run on a persistent worker pool (internal/parallel):
+// workers live for the life of the process, parked on channels when
+// idle, so a steady-state kernel call forks no goroutines. The pool is
+// sized by GOMAXPROCS (or parallel.SetMaxWorkers, which resizes it);
+// sessions cap their own parallelism with scoped parallel limits
+// (WithParallelism), which compose by minimum across concurrent
+// sessions instead of racing on process state. Hot paths hand the pool
+// pre-built dispatch funcs from pooled task records — never fresh
+// closures, whose captures would heap-allocate per call.
+//
+// With a warm workspace the Lemma-2 Hessian matvec, CG iterations, the
+// preconditioner rebuild (in-place Cholesky refactorization), and the
+// full ROUND candidate loop — rescore, eigensolves, ν bisection, block
+// inverse rebuild — run at 0 allocs/op on multicore as well as serial
+// (pinned by AllocsPerRun regression tests and a dedicated CI job).
+// cmd/firal-bench records the kernel trajectory in BENCH_round.json and
+// can diff a fresh run against it (-against/-tol).
 //
 // Implementation packages live under internal/: internal/firal holds the
 // RELAX/ROUND solvers, internal/mat the dense linear algebra,

@@ -45,6 +45,10 @@ type Shard struct {
 	labBlocks []*mat.Dense // cached z-independent labeled block diagonal
 	sigCache  []*mat.Dense // reusable Σz blocks for the RELAX iterations
 	mvBuf     []float64    // labeled-term buffer for sigmaMatVec
+	// bp holds the rank's CG preconditioner state; its Cholesky factor
+	// storage is refactored in place every RELAX iteration and reused
+	// round to round.
+	bp *firal.BlockPreconditionerWS
 }
 
 // workspace lazily creates the rank-local workspace.
@@ -53,6 +57,25 @@ func (s *Shard) workspace() *mat.Workspace {
 		s.ws = mat.NewWorkspace()
 	}
 	return s.ws
+}
+
+// precond lazily creates the rank-local preconditioner state.
+func (s *Shard) precond() *firal.BlockPreconditionerWS {
+	if s.bp == nil {
+		s.bp = firal.NewBlockPreconditionerWS()
+	}
+	return s.bp
+}
+
+// labeledDiag lazily builds and caches the replicated labeled
+// block-diagonal Σ_i∈Xo h_ik(1−h_ik) x_i x_iᵀ. The blocks are read-only
+// after construction: sigmaBlocks adds them into its accumulators and
+// the ROUND state retains them as (Ho)_k without mutating either.
+func (s *Shard) labeledDiag() []*mat.Dense {
+	if s.labBlocks == nil {
+		s.labBlocks = s.Labeled.BlockDiagSumInto(s.workspace(), nil, nil)
+	}
+	return s.labBlocks
 }
 
 // MakeShard cuts rank's partition out of a global pool, mirroring the
@@ -127,11 +150,9 @@ func (s *Shard) sigmaBlocks(c *mpi.Comm, z []float64, ph *timing.Phases, reuse b
 	stop()
 	s.allreduceBlocks(c, blocks, ph)
 	stop = ph.Start("precond")
-	if s.labBlocks == nil {
-		s.labBlocks = s.Labeled.BlockDiagSumInto(s.workspace(), nil, nil)
-	}
+	lab := s.labeledDiag()
 	for k := range blocks {
-		blocks[k].AddScaled(1, s.labBlocks[k])
+		blocks[k].AddScaled(1, lab[k])
 	}
 	stop()
 	return blocks
@@ -277,6 +298,8 @@ func Relax(ctx context.Context, c *mpi.Comm, s *Shard, b int, o firal.RelaxOptio
 	cgOpt := krylov.Options{Tol: o.CGTol, MaxIter: o.CGMaxIter, Workspace: ws}
 	sigMV := s.sigmaMatVec(c, z, ph) // reads z live; z is updated in place
 	poolMV := s.poolMatVec(c, ph)
+	bp := s.precond()
+	applyPrec := krylov.Op(bp.Apply)
 
 	for t := 1; t <= o.MaxIter; t++ {
 		if collectiveCancelled(ctx, c, ph) {
@@ -293,10 +316,11 @@ func Relax(ctx context.Context, c *mpi.Comm, s *Shard, b int, o firal.RelaxOptio
 		c.Bcast(0, v.Data)
 		stop()
 
-		// Preconditioner from allreduced blocks (reused round to round).
+		// Preconditioner from allreduced blocks, refactored into the
+		// Shard's persistent factor storage (reused round to round).
 		blocks := s.sigmaBlocks(c, z, ph, true)
 		stop = ph.Start("precond")
-		precond, err := firal.BlockPreconditioner(blocks)
+		err := bp.Update(blocks)
 		stop()
 		if err != nil {
 			return nil, err
@@ -310,7 +334,7 @@ func Relax(ctx context.Context, c *mpi.Comm, s *Shard, b int, o firal.RelaxOptio
 		// guess: buffer reuse must not introduce warm starts.
 		stop = ph.Start("cg")
 		w.Zero()
-		cgRes := krylov.SolveColumns(context.Background(), sigMV, precond, v, w, cgOpt)
+		cgRes := krylov.SolveColumns(context.Background(), sigMV, applyPrec, v, w, cgOpt)
 		res.CGIterations += krylov.TotalIterations(cgRes)
 		stop()
 
@@ -327,7 +351,7 @@ func Relax(ctx context.Context, c *mpi.Comm, s *Shard, b int, o firal.RelaxOptio
 		// W ← Σz⁻¹ W.
 		stop = ph.Start("cg")
 		w2.Zero()
-		cgRes = krylov.SolveColumns(context.Background(), sigMV, precond, hpw, w2, cgOpt)
+		cgRes = krylov.SolveColumns(context.Background(), sigMV, applyPrec, hpw, w2, cgOpt)
 		res.CGIterations += krylov.TotalIterations(cgRes)
 		stop()
 

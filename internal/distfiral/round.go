@@ -39,7 +39,7 @@ func Round(ctx context.Context, c *mpi.Comm, s *Shard, zLocal []float64, b int, 
 	// not the Shard's reusable RELAX cache.
 	sig := s.sigmaBlocks(c, zLocal, ph, false)
 	stop := ph.Start("other")
-	ho := s.Labeled.BlockDiagSum(nil)
+	ho := s.labeledDiag()
 	stop()
 	st, err := firal.NewRoundState(sig, ho, b, eta, ph)
 	if err != nil {

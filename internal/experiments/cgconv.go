@@ -69,10 +69,13 @@ func RunCGConvergence(ctx context.Context, cfg dataset.Config, scale float64, se
 
 	sigMV := p.SigmaMatVec(z)
 	blocks := p.SigmaBlocks(z)
-	precond, err := firal.BlockPreconditioner(blocks)
-	if err != nil {
+	// One-iteration experiment, but use the reusable state so this path
+	// exercises the same preconditioner code the RELAX loop runs.
+	bp := firal.NewBlockPreconditionerWS()
+	if err := bp.Update(blocks); err != nil {
 		return nil, err
 	}
+	precond := bp.Apply
 
 	rng := rnd.New(seed + 99)
 	b := make([]float64, ed)

@@ -1,16 +1,17 @@
 package firal
 
 import (
+	"math"
 	"testing"
 
 	"repro/internal/mat"
+	"repro/internal/parallel"
 	"repro/internal/timing"
 )
 
 // BenchmarkScores measures the ROUND pool-scoring pass with warm
-// persistent state; -benchmem must report 0 allocs/op when run on a
-// single core (on multicore the parallel fan-out adds O(workers)
-// transient allocations per kernel call).
+// persistent state; -benchmem must report 0 allocs/op on any core count
+// (the persistent worker pool dispatches without forking or allocating).
 func BenchmarkScores(b *testing.B) {
 	p := testProblem(32, 20, 2000, 64, 10)
 	z := make([]float64, p.N())
@@ -47,5 +48,78 @@ func TestScoresZeroAllocWarm(t *testing.T) {
 		st.Scores(p.Pool, scores)
 	}); allocs != 0 {
 		t.Fatalf("Scores allocates %.1f objects per call with warm state", allocs)
+	}
+}
+
+// TestRoundSteadyStateZeroAllocMulticore pins the tentpole guarantee:
+// with four workers engaged, a full steady-state ROUND candidate step —
+// rescoring the pool, the argmax, AddPoint, the block eigensolves, the ν
+// bisection, and the in-place Cholesky rebuild of every (B_t)⁻¹ block —
+// allocates nothing once the state is warm. Before the persistent worker
+// pool and the in-place factorization this path allocated O(workers) per
+// kernel call plus fresh Cholesky factors and inverses per candidate.
+func TestRoundSteadyStateZeroAllocMulticore(t *testing.T) {
+	if mat.RaceEnabled {
+		t.Skip("allocation counts are meaningless under -race")
+	}
+	prev := parallel.SetMaxWorkers(4)
+	defer parallel.SetMaxWorkers(prev)
+	p := testProblem(17, 20, 600, 32, 8)
+	z := make([]float64, p.N())
+	mat.Fill(z, 5/float64(p.N()))
+	ph := timing.New()
+	st, err := newRoundState(p, z, 5, p.DefaultEta(), ph)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scores := make([]float64, p.N())
+	step := func() {
+		st.Scores(p.Pool, scores)
+		best, bestV := -1, math.Inf(-1)
+		for i := range scores {
+			if scores[i] > bestV {
+				best, bestV = i, scores[i]
+			}
+		}
+		if _, err := st.Update(p.Pool.X.Row(best), p.Pool.H.Row(best), ph); err != nil {
+			t.Fatal(err)
+		}
+	}
+	step() // warm scratch, eigen buffers, factor storage, task pools
+	step()
+	if allocs := testing.AllocsPerRun(20, step); allocs != 0 {
+		t.Fatalf("steady-state ROUND step allocates %.1f objects per candidate at 4 workers", allocs)
+	}
+}
+
+// TestBlockPreconditionerWSZeroAllocWarm pins the RELAX preconditioner
+// rebuild: refactoring the Σz blocks into the persistent factor storage
+// and applying the preconditioner allocates nothing once warm, even with
+// the worker pool engaged.
+func TestBlockPreconditionerWSZeroAllocWarm(t *testing.T) {
+	if mat.RaceEnabled {
+		t.Skip("allocation counts are meaningless under -race")
+	}
+	prev := parallel.SetMaxWorkers(4)
+	defer parallel.SetMaxWorkers(prev)
+	p := testProblem(23, 15, 600, 16, 5)
+	z := make([]float64, p.N())
+	mat.Fill(z, 1/float64(p.N()))
+	ws := mat.NewWorkspace()
+	var blocks []*mat.Dense
+	bp := NewBlockPreconditionerWS()
+	v := make([]float64, p.Ed())
+	dst := make([]float64, p.Ed())
+	mat.Fill(v, 1)
+	iter := func() {
+		blocks = p.SigmaBlocksInto(ws, blocks, z)
+		if err := bp.Update(blocks); err != nil {
+			t.Fatal(err)
+		}
+		bp.Apply(dst, v)
+	}
+	iter() // warm
+	if allocs := testing.AllocsPerRun(20, iter); allocs != 0 {
+		t.Fatalf("preconditioner rebuild allocates %.1f objects per iteration", allocs)
 	}
 }

@@ -129,25 +129,69 @@ func (p *Problem) DenseSigma(z []float64) *mat.Dense {
 	return s
 }
 
+// choleskyRidge is the initial ridge floor shared by every Cholesky
+// factorization in the solver: the CG block preconditioner, the ROUND
+// (B_t)⁻¹ construction and rebuild, and the iterative-ν rebuild. The
+// preconditioner historically used 1e-10 while the ROUND rebuilds used
+// 1e-12, so the two paths factored subtly different matrices for the
+// same rank-deficient block; one constant keeps them in lockstep.
+const choleskyRidge = 1e-12
+
+// BlockPreconditionerWS is the reusable state behind the CG
+// preconditioner B(Σz)⁻¹ of § III-A: one Cholesky factor per diagonal
+// block, with the factor storage owned by the state. Update refactors
+// the current blocks in place, so the RELAX loop — which rebuilds the
+// preconditioner every mirror-descent iteration — reuses the same
+// O(cd²) storage instead of allocating fresh factors per iteration.
+// A BlockPreconditionerWS is owned by one goroutine.
+type BlockPreconditionerWS struct {
+	d     int
+	chols []mat.Cholesky
+}
+
+// NewBlockPreconditionerWS returns an empty preconditioner state; the
+// factor storage is sized lazily by the first Update.
+func NewBlockPreconditionerWS() *BlockPreconditionerWS {
+	return &BlockPreconditionerWS{}
+}
+
+// Update refactors the given diagonal blocks into the state's factor
+// storage. Rank-deficient blocks (a class with no effective weight yet)
+// are regularized with an automatic ridge. On error the state must not
+// be applied until a successful Update.
+func (bp *BlockPreconditionerWS) Update(blocks []*mat.Dense) error {
+	if len(bp.chols) != len(blocks) {
+		bp.chols = make([]mat.Cholesky, len(blocks))
+	}
+	bp.d = blocks[0].Rows
+	for k, b := range blocks {
+		if _, err := bp.chols[k].FactorRidge(b, choleskyRidge); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Apply computes dst = B(Σz)⁻¹ v block by block. Hot loops hoist the
+// method value (apply := bp.Apply) once; the solve itself is
+// allocation-free.
+func (bp *BlockPreconditionerWS) Apply(dst, v []float64) {
+	d := bp.d
+	for k := range bp.chols {
+		bp.chols[k].SolveVec(dst[k*d:(k+1)*d], v[k*d:(k+1)*d])
+	}
+}
+
 // BlockPreconditioner builds the CG preconditioner B(Σz)⁻¹ of § III-A
 // from the diagonal blocks: each d×d block is factorized once and applied
-// per class. Rank-deficient blocks (a class with no effective weight yet)
-// are regularized with an automatic ridge.
+// per class. One-shot form of BlockPreconditionerWS; loops that rebuild
+// the preconditioner per iteration should hold a WS state instead.
 func BlockPreconditioner(blocks []*mat.Dense) (func(dst, v []float64), error) {
-	chols := make([]*mat.Cholesky, len(blocks))
-	for k, b := range blocks {
-		ch, _, err := mat.NewCholeskyRidge(b, 1e-10)
-		if err != nil {
-			return nil, err
-		}
-		chols[k] = ch
+	bp := NewBlockPreconditionerWS()
+	if err := bp.Update(blocks); err != nil {
+		return nil, err
 	}
-	d := blocks[0].Rows
-	return func(dst, v []float64) {
-		for k, ch := range chols {
-			ch.SolveVec(dst[k*d:(k+1)*d], v[k*d:(k+1)*d])
-		}
-	}, nil
+	return bp.Apply, nil
 }
 
 // uniformSimplex returns the initial mirror-descent iterate

@@ -169,9 +169,10 @@ func RelaxFast(ctx context.Context, p *Problem, b int, o RelaxOptions) (*RelaxRe
 	ph := res.Timings
 
 	// All per-iteration buffers are hoisted and every solver below draws
-	// its scratch from ws, so the mirror-descent loop is allocation-free
-	// after the first iteration (aside from the preconditioner
-	// factorizations and the recorded histories).
+	// its scratch from ws — including the preconditioner state, whose
+	// Cholesky factors are refactored in place each iteration — so the
+	// mirror-descent loop is allocation-free after the first iteration
+	// (aside from the recorded histories).
 	ws := mat.NewWorkspace()
 	g := make([]float64, n)
 	vj := make([]float64, ed)
@@ -188,6 +189,8 @@ func RelaxFast(ctx context.Context, p *Problem, b int, o RelaxOptions) (*RelaxRe
 	poolMV := p.PoolMatVecWS(ws)
 	// The operator closes over z, which the mirror step updates in place.
 	sigmaMV := p.SigmaMatVecWS(ws, z)
+	bp := NewBlockPreconditionerWS()
+	precond := krylov.Op(bp.Apply)
 
 	for t := 1; t <= o.MaxIter; t++ {
 		if err := ctx.Err(); err != nil {
@@ -198,10 +201,11 @@ func RelaxFast(ctx context.Context, p *Problem, b int, o RelaxOptions) (*RelaxRe
 		rng.Rademacher(v.Data)
 		stop()
 
-		// Line 5: block-diagonal preconditioner for Σz.
+		// Line 5: block-diagonal preconditioner for Σz, refactored into the
+		// state's persistent storage.
 		stop = ph.Start("precond")
 		sigBlocks = p.SigmaBlocksInto(ws, sigBlocks, z)
-		precond, err := BlockPreconditioner(sigBlocks)
+		err := bp.Update(sigBlocks)
 		stop()
 		if err != nil {
 			return nil, err

@@ -216,6 +216,9 @@ func roundExactNaiveObjective(p *Problem, k, isqrt *mat.Dense, eta float64, ri [
 
 // solveNu finds ν with Σ_j (ν + λ_j)⁻² = 1 by bisection on the provable
 // bracket ν ∈ [−λ_min + ẽd^{-1/2}, −λ_min + ẽd^{1/2}] (DESIGN.md § 5).
+// The bisection is inlined (mirroring opt.Bisect) rather than passing a
+// closure: solveNu runs once per ROUND candidate inside the 0-allocs/op
+// steady-state loop, and a closure over lam would heap-allocate there.
 func solveNu(lam []float64, edF float64) (float64, error) {
 	lmin := lam[0]
 	for _, l := range lam {
@@ -223,17 +226,43 @@ func solveNu(lam []float64, edF float64) (float64, error) {
 			lmin = l
 		}
 	}
-	f := func(nu float64) float64 {
-		var s float64
-		for _, l := range lam {
-			d := nu + l
-			s += 1 / (d * d)
-		}
-		return s - 1
-	}
 	lo := -lmin + 1/math.Sqrt(edF)
 	hi := -lmin + math.Sqrt(edF)
-	return opt.Bisect(f, lo, hi, 1e-12*(1+math.Abs(hi)), 0)
+	tol := 1e-12 * (1 + math.Abs(hi))
+	flo, fhi := nuResidual(lam, lo), nuResidual(lam, hi)
+	if flo == 0 {
+		return lo, nil
+	}
+	if fhi == 0 {
+		return hi, nil
+	}
+	if (flo > 0) == (fhi > 0) {
+		return 0, opt.ErrNoBracket
+	}
+	for i := 0; i < 200 && hi-lo > tol; i++ {
+		mid := 0.5 * (lo + hi)
+		fm := nuResidual(lam, mid)
+		if fm == 0 {
+			return mid, nil
+		}
+		if (fm > 0) == (flo > 0) {
+			lo, flo = mid, fm
+		} else {
+			hi = mid
+		}
+	}
+	return 0.5 * (lo + hi), nil
+}
+
+// nuResidual evaluates Σ_j (ν + λ_j)⁻² − 1, the FTRL normalization
+// residual of Algorithm 3 line 10.
+func nuResidual(lam []float64, nu float64) float64 {
+	var s float64
+	for _, l := range lam {
+		d := nu + l
+		s += 1 / (d * d)
+	}
+	return s - 1
 }
 
 // minEigSelectedBlocks computes min_k λ_min((H)_k) where H = Ho + Σ_t H_it

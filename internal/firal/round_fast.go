@@ -29,20 +29,22 @@ type RoundState struct {
 	// Scores/Eigvals/FinishUpdate loop stays allocation-free after
 	// warm-up. A RoundState is owned by one goroutine.
 	ws     *mat.Workspace
-	tmp    *mat.Dense // d×d product scratch
-	pk     *mat.Dense // d×d product scratch (P_k, H̃_k)
-	xm     *mat.Dense // n×d Scores scratch (lazily sized to the pool)
-	qp, qb []float64  // n Scores row-dot scratch
-	lamBuf []float64  // concatenated eigenvalues (Eigvals)
-	valBuf []float64  // single-block eigenvalues (Eigvals)
-	nuBuf  []float64  // scaled eigenvalues (FinishUpdate)
+	tmp    *mat.Dense   // d×d product scratch
+	pk     *mat.Dense   // d×d product scratch (P_k, H̃_k)
+	chol   mat.Cholesky // persistent factor storage for the (B_t)⁻¹ rebuild
+	xm     *mat.Dense   // n×d Scores scratch (lazily sized to the pool)
+	qp, qb []float64    // n Scores row-dot scratch
+	lamBuf []float64    // concatenated eigenvalues (Eigvals)
+	valBuf []float64    // single-block eigenvalues (Eigvals)
+	nuBuf  []float64    // scaled eigenvalues (FinishUpdate)
 }
 
 // NewRoundState performs lines 3–5 of Algorithm 3 given the diagonal
 // blocks of Σ⋄ and Ho: it builds the inverse square roots (Σ⋄)_k^{-1/2}
 // (for the eigenvalue transform of line 9), the initial (B_1)⁻¹_k, and
 // zeroed accumulators (H)_k. The blocks are retained by the state and
-// must not be mutated by the caller afterwards.
+// must not be mutated by the caller afterwards; the state itself only
+// reads them (callers may pass cached blocks they also keep).
 func NewRoundState(sig, ho []*mat.Dense, b int, eta float64, ph *timing.Phases) (*RoundState, error) {
 	c := len(sig)
 	if c == 0 || len(ho) != c {
@@ -74,14 +76,14 @@ func NewRoundState(sig, ho []*mat.Dense, b int, eta float64, ph *timing.Phases) 
 	stop = ph.Start("other")
 	sqrtEd := math.Sqrt(st.edF)
 	for k := 0; k < c; k++ {
-		b1 := st.sig[k].Clone()
+		b1 := st.tmp
+		b1.CopyFrom(st.sig[k])
 		b1.Scale(sqrtEd)
 		b1.AddScaled(eta/float64(b), st.ho[k])
-		ch, _, err := mat.NewCholeskyRidge(b1, 1e-12)
-		if err != nil {
+		if _, err := st.chol.FactorRidge(b1, choleskyRidge); err != nil {
 			return nil, err
 		}
-		st.binv[k] = ch.Inverse()
+		st.binv[k] = st.chol.InverseInto(st.ws, nil)
 		st.hacc[k] = mat.NewDense(d, d)
 	}
 	stop()
@@ -202,17 +204,19 @@ func (st *RoundState) FinishUpdate(lam []float64, ph *timing.Phases) (float64, e
 	if err != nil {
 		return 0, err
 	}
+	// Rebuild (B_{t+1})⁻¹_k in place: the persistent factor storage and
+	// the retained binv blocks absorb the per-iteration Cholesky work, so
+	// the rebuild allocates nothing after the state is warm.
 	for k := 0; k < st.c; k++ {
 		bt := st.tmp
 		bt.CopyFrom(st.sig[k])
 		bt.Scale(nu)
 		bt.AddScaled(st.eta, st.hacc[k])
 		bt.AddScaled(st.eta/float64(st.b), st.ho[k])
-		ch, _, err := mat.NewCholeskyRidge(bt, 1e-12)
-		if err != nil {
+		if _, err := st.chol.FactorRidge(bt, choleskyRidge); err != nil {
 			return 0, err
 		}
-		st.binv[k] = ch.Inverse()
+		st.chol.InverseInto(st.ws, st.binv[k])
 	}
 	return nu, nil
 }
@@ -234,11 +238,14 @@ func (st *RoundState) MinEig() float64 {
 }
 
 // newRoundState assembles the blocks from a serial Problem and delegates
-// to NewRoundState.
+// to NewRoundState. The Σ⋄ blocks are freshly allocated (the state
+// retains them); the Ho blocks alias the Problem's labeled-block cache,
+// which SigmaBlocks just warmed — safe because both the cache and the
+// RoundState treat them as read-only.
 func newRoundState(p *Problem, z []float64, b int, eta float64, ph *timing.Phases) (*RoundState, error) {
 	stop := ph.Start("other")
 	sig := p.SigmaBlocks(z)
-	ho := p.Labeled.BlockDiagSum(nil)
+	ho := p.labeledBlocks()
 	stop()
 	return NewRoundState(sig, ho, b, eta, ph)
 }

@@ -132,15 +132,15 @@ func (st *RoundState) FinishUpdateIterative(o IterativeNuOptions) (float64, erro
 		return 0, err
 	}
 	for k := 0; k < st.c; k++ {
-		bt := st.sig[k].Clone()
+		bt := st.tmp
+		bt.CopyFrom(st.sig[k])
 		bt.Scale(nu)
 		bt.AddScaled(st.eta, st.hacc[k])
 		bt.AddScaled(st.eta/float64(st.b), st.ho[k])
-		ch, _, err := mat.NewCholeskyRidge(bt, 1e-12)
-		if err != nil {
+		if _, err := st.chol.FactorRidge(bt, choleskyRidge); err != nil {
 			return 0, err
 		}
-		st.binv[k] = ch.Inverse()
+		st.chol.InverseInto(st.ws, st.binv[k])
 	}
 	return nu, nil
 }

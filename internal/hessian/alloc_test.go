@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"repro/internal/mat"
+	"repro/internal/parallel"
 	"repro/internal/rnd"
 )
 
@@ -37,9 +38,6 @@ func allocSet(n, d, c int) *Set {
 
 // TestMatVecWSZeroAlloc pins the steady-state allocation behaviour of the
 // Lemma-2 fast matvec with a warm Workspace: after the first call, none.
-// The guarantee is for the serial regime (AllocsPerRun pins GOMAXPROCS=1);
-// on multicore, kernels large enough to fan out additionally pay the
-// O(workers) transient cost of the goroutine fork itself.
 func TestMatVecWSZeroAlloc(t *testing.T) {
 	skipUnderRace(t)
 	s := allocSet(300, 24, 7)
@@ -73,9 +71,8 @@ func TestQuadAccumWSZeroAlloc(t *testing.T) {
 }
 
 // BenchmarkMatVecWS measures the Lemma-2 fast matvec with a warm
-// workspace; -benchmem must report 0 allocs/op when run on a single core
-// (on multicore the parallel fan-out adds O(workers) transient
-// allocations per kernel call).
+// workspace; -benchmem must report 0 allocs/op on any core count
+// (the persistent worker pool dispatches without forking or allocating).
 func BenchmarkMatVecWS(b *testing.B) {
 	s := allocSet(2000, 64, 9)
 	ws := mat.NewWorkspace()
@@ -100,4 +97,34 @@ func TestBlockDiagSumIntoZeroAlloc(t *testing.T) {
 	}); allocs != 0 {
 		t.Fatalf("BlockDiagSumInto allocates %.1f objects per call with reused blocks", allocs)
 	}
+}
+
+// TestHessianKernelsZeroAllocMulticore re-pins the three workspace-backed
+// kernels with four workers engaged: with the persistent worker pool and
+// the pooled chunk tasks the parallel fan-out no longer costs O(workers)
+// transient allocations per call — multicore is as clean as serial.
+func TestHessianKernelsZeroAllocMulticore(t *testing.T) {
+	skipUnderRace(t)
+	prev := parallel.SetMaxWorkers(4)
+	defer parallel.SetMaxWorkers(prev)
+	s := allocSet(2000, 64, 9)
+	ws := mat.NewWorkspace()
+	u := make([]float64, s.Ed())
+	v := make([]float64, s.Ed())
+	dst := make([]float64, s.Ed())
+	g := make([]float64, s.N())
+	w := make([]float64, s.N())
+	rnd.New(3).Normal(u, 0, 1)
+	rnd.New(4).Normal(v, 0, 1)
+	mat.Fill(w, 0.5)
+	blocks := s.BlockDiagSumInto(ws, nil, w)
+	warmAndPin := func(name string, fn func()) {
+		fn()
+		if allocs := testing.AllocsPerRun(30, fn); allocs != 0 {
+			t.Errorf("%s allocates %.1f objects per call at 4 workers", name, allocs)
+		}
+	}
+	warmAndPin("MatVecWS", func() { s.MatVecWS(ws, dst, v, w) })
+	warmAndPin("QuadAccumWS", func() { s.QuadAccumWS(ws, g, u, v, -0.1) })
+	warmAndPin("BlockDiagSumInto", func() { s.BlockDiagSumInto(ws, blocks, w) })
 }

@@ -15,6 +15,8 @@
 package hessian
 
 import (
+	"sync"
+
 	"repro/internal/mat"
 	"repro/internal/parallel"
 )
@@ -168,9 +170,10 @@ func (s *Set) MatVecWS(ws *mat.Workspace, dst, v, w []float64) []float64 {
 	if parallel.Serial(n) {
 		gammaRange(g, s.H, w, 0, n)
 	} else {
-		parallel.ForChunk(n, func(lo, hi int) {
-			gammaRange(g, s.H, w, lo, hi)
-		})
+		t := gammaTasks.Get().(*chunkTask)
+		t.g, t.h, t.w = g, s.H, w
+		parallel.ForChunk(n, t.fn)
+		t.put(gammaTasks)
 	}
 	dt := ws.View(dst, c, d)
 	mat.MulTransA(dt, g, s.X) // c×d: row k = Σ_i Γ_ik x_iᵀ
@@ -179,6 +182,34 @@ func (s *Set) MatVecWS(ws *mat.Workspace, dst, v, w []float64) []float64 {
 	ws.PutMatrix(g)
 	return dst
 }
+
+// chunkTask carries the operands of a parallel loop in pooled storage
+// with a dispatch func bound once at pool-New time, so the hot MatVecWS
+// and QuadAccumWS paths hand the worker pool a func without allocating a
+// closure per call (see the kernel task pools in internal/mat).
+type chunkTask struct {
+	g, gv, h *mat.Dense
+	dst, w   []float64
+	scale    float64
+	fn       func(lo, hi int)
+}
+
+func (t *chunkTask) put(p *sync.Pool) {
+	t.g, t.gv, t.h, t.dst, t.w = nil, nil, nil, nil, nil
+	p.Put(t)
+}
+
+var gammaTasks = &sync.Pool{New: func() any {
+	t := &chunkTask{}
+	t.fn = func(lo, hi int) { gammaRange(t.g, t.h, t.w, lo, hi) }
+	return t
+}}
+
+var quadTasks = &sync.Pool{New: func() any {
+	t := &chunkTask{}
+	t.fn = func(lo, hi int) { quadRange(t.dst, t.g, t.gv, t.h, t.scale, lo, hi) }
+	return t
+}}
 
 // gammaRange rewrites rows [lo, hi) of g in place:
 // g_ik ← w_i (g_ik − α_i) h_ik with α_i = Σ_k g_ik h_ik.
@@ -246,9 +277,10 @@ func (s *Set) QuadAccumWS(ws *mat.Workspace, dst []float64, u, v []float64, scal
 	if parallel.Serial(n) {
 		quadRange(dst, gu, gv, s.H, scale, 0, n)
 	} else {
-		parallel.ForChunk(n, func(lo, hi int) {
-			quadRange(dst, gu, gv, s.H, scale, lo, hi)
-		})
+		t := quadTasks.Get().(*chunkTask)
+		t.dst, t.g, t.gv, t.h, t.scale = dst, gu, gv, s.H, scale
+		parallel.ForChunk(n, t.fn)
+		t.put(quadTasks)
 	}
 	ws.PutView(ut)
 	ws.PutView(vt)

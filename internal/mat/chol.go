@@ -10,51 +10,43 @@ import (
 var ErrNotSPD = errors.New("mat: matrix is not positive definite")
 
 // Cholesky holds the lower-triangular factor L with A = L Lᵀ.
+//
+// The zero value is ready for use with FactorInto/FactorRidge, which
+// reuse the factor storage across refactorizations — the in-place path
+// behind the RELAX preconditioner and the ROUND block-inverse rebuild,
+// which refactor the same-sized blocks every iteration and must not
+// allocate per call.
 type Cholesky struct {
 	L *Dense
 }
 
 // NewCholesky factors the symmetric positive definite matrix a. Only the
-// lower triangle of a is read. It returns ErrNotSPD when a pivot is not
-// positive.
+// lower triangle of a is read; a is not modified. It returns ErrNotSPD
+// when a pivot is not positive.
 func NewCholesky(a *Dense) (*Cholesky, error) {
-	n := a.Rows
-	if a.Cols != n {
-		panic("mat: Cholesky of non-square matrix")
+	var c Cholesky
+	if err := c.FactorInto(a); err != nil {
+		return nil, err
 	}
-	l := NewDense(n, n)
-	for j := 0; j < n; j++ {
-		d := a.At(j, j)
-		lj := l.Row(j)
-		for k := 0; k < j; k++ {
-			d -= lj[k] * lj[k]
-		}
-		if d <= 0 || math.IsNaN(d) {
-			return nil, ErrNotSPD
-		}
-		d = math.Sqrt(d)
-		lj[j] = d
-		inv := 1 / d
-		for i := j + 1; i < n; i++ {
-			s := a.At(i, j)
-			li := l.Row(i)
-			for k := 0; k < j; k++ {
-				s -= li[k] * lj[k]
-			}
-			li[j] = s * inv
-		}
-	}
-	return &Cholesky{L: l}, nil
+	return &c, nil
 }
 
-// NewCholeskyRidge factors a, retrying with geometrically increasing
-// diagonal ridge terms when a is numerically semidefinite. It returns the
-// factorization and the ridge that was finally applied. This backs the
-// preconditioner and block-inverse construction, which must survive
-// rank-deficient Σ blocks (e.g. a class with no weight yet).
-func NewCholeskyRidge(a *Dense, ridge0 float64) (*Cholesky, float64, error) {
-	if ch, err := NewCholesky(a); err == nil {
-		return ch, 0, nil
+// FactorInto factors a into c, reusing c.L's storage when it has the
+// right shape and allocating it otherwise. Only the lower triangle of a
+// is read; a is not modified. On error the factor contents are
+// unspecified but the storage remains reusable.
+func (c *Cholesky) FactorInto(a *Dense) error {
+	return c.factor(a, 0)
+}
+
+// FactorRidge factors a + r·I into c, starting from r = 0 and retrying
+// with geometrically increasing diagonal ridge terms when a is
+// numerically semidefinite, exactly as NewCholeskyRidge but without
+// cloning a per retry: the ridge is added to the pivots on the fly. It
+// returns the ridge that was finally applied.
+func (c *Cholesky) FactorRidge(a *Dense, ridge0 float64) (float64, error) {
+	if err := c.factor(a, 0); err == nil {
+		return 0, nil
 	}
 	// Scale the ridge to the matrix magnitude so behaviour is unit-free.
 	scale := 0.0
@@ -68,14 +60,68 @@ func NewCholeskyRidge(a *Dense, ridge0 float64) (*Cholesky, float64, error) {
 	}
 	ridge := ridge0 * scale
 	for iter := 0; iter < 40; iter++ {
-		b := a.Clone()
-		b.AddDiag(ridge)
-		if ch, err := NewCholesky(b); err == nil {
-			return ch, ridge, nil
+		if err := c.factor(a, ridge); err == nil {
+			return ridge, nil
 		}
 		ridge *= 10
 	}
-	return nil, ridge, ErrNotSPD
+	return ridge, ErrNotSPD
+}
+
+// factor runs the left-looking factorization of a + ridge·I, reading
+// only the lower triangle of a and writing c.L (which never aliases a's
+// storage in supported use; factoring a matrix into itself is not
+// supported).
+func (c *Cholesky) factor(a *Dense, ridge float64) error {
+	n := a.Rows
+	if a.Cols != n {
+		panic("mat: Cholesky of non-square matrix")
+	}
+	if c.L == nil || c.L.Rows != n || c.L.Cols != n {
+		c.L = NewDense(n, n)
+	}
+	l := c.L
+	for j := 0; j < n; j++ {
+		d := a.At(j, j) + ridge
+		lj := l.Row(j)
+		for k := 0; k < j; k++ {
+			d -= lj[k] * lj[k]
+		}
+		if d <= 0 || math.IsNaN(d) {
+			return ErrNotSPD
+		}
+		d = math.Sqrt(d)
+		lj[j] = d
+		// Keep the strict upper triangle zeroed so a reused factor is
+		// identical to a freshly allocated one.
+		for k := j + 1; k < n; k++ {
+			lj[k] = 0
+		}
+		inv := 1 / d
+		for i := j + 1; i < n; i++ {
+			s := a.At(i, j)
+			li := l.Row(i)
+			for k := 0; k < j; k++ {
+				s -= li[k] * lj[k]
+			}
+			li[j] = s * inv
+		}
+	}
+	return nil
+}
+
+// NewCholeskyRidge factors a, retrying with geometrically increasing
+// diagonal ridge terms when a is numerically semidefinite. It returns the
+// factorization and the ridge that was finally applied. This backs the
+// preconditioner and block-inverse construction, which must survive
+// rank-deficient Σ blocks (e.g. a class with no weight yet).
+func NewCholeskyRidge(a *Dense, ridge0 float64) (*Cholesky, float64, error) {
+	var c Cholesky
+	ridge, err := c.FactorRidge(a, ridge0)
+	if err != nil {
+		return nil, ridge, err
+	}
+	return &c, ridge, nil
 }
 
 // SolveVec solves A x = b in place of dst (dst may be b itself).
@@ -112,25 +158,47 @@ func (c *Cholesky) SolveVec(dst, b []float64) []float64 {
 
 // Solve solves A X = B column-by-column; dst may be nil or B itself.
 func (c *Cholesky) Solve(dst, b *Dense) *Dense {
+	return c.SolveInto(nil, dst, b)
+}
+
+// SolveInto is Solve with the column buffer drawn from ws, so repeated
+// solves against a warm workspace are allocation-free.
+func (c *Cholesky) SolveInto(ws *Workspace, dst, b *Dense) *Dense {
 	if dst == nil {
 		dst = b.Clone()
 	} else if dst != b {
 		dst.CopyFrom(b)
 	}
-	col := make([]float64, dst.Rows)
+	col := ws.Vec(dst.Rows)
 	for j := 0; j < dst.Cols; j++ {
 		dst.Col(col, j)
 		c.SolveVec(col, col)
 		dst.SetCol(j, col)
 	}
+	ws.PutVec(col)
 	return dst
 }
 
 // Inverse returns A⁻¹.
 func (c *Cholesky) Inverse() *Dense {
+	return c.InverseInto(nil, nil)
+}
+
+// InverseInto writes A⁻¹ into dst (allocated when nil) with scratch from
+// ws — the in-place counterpart of Inverse for hot loops that rebuild the
+// same-sized inverse every iteration.
+func (c *Cholesky) InverseInto(ws *Workspace, dst *Dense) *Dense {
 	n := c.L.Rows
-	inv := Eye(n)
-	return c.Solve(inv, inv)
+	if dst == nil {
+		dst = NewDense(n, n)
+	} else if dst.Rows != n || dst.Cols != n {
+		panic("mat: Cholesky InverseInto shape mismatch")
+	}
+	dst.Zero()
+	for i := 0; i < n; i++ {
+		dst.Set(i, i, 1)
+	}
+	return c.SolveInto(ws, dst, dst)
 }
 
 // LogDet returns log det A = 2 Σ log L_ii.

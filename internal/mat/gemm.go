@@ -70,11 +70,16 @@ func Mul(dst, a, b *Dense) *Dense {
 		refMulRange(dst, a, b, 0, a.Rows)
 		return dst
 	}
-	parallel.ForChunk(a.Rows, func(lo, hi int) {
-		refMulRange(dst, a, b, lo, hi)
-	})
+	t := mulTasks.Get().(*kernelTask)
+	t.m1, t.m2, t.m3 = dst, a, b
+	parallel.ForChunk(a.Rows, t.fn)
+	t.release(mulTasks)
 	return dst
 }
+
+var mulTasks = newChunkTaskPool(func(t *kernelTask, lo, hi int) {
+	refMulRange(t.m1, t.m2, t.m3, lo, hi)
+})
 
 // MulTransA computes dst = aᵀ*b for a (n×r) and b (n×c), yielding r×c.
 // dst must not alias a or b.
@@ -93,11 +98,16 @@ func MulTransA(dst, a, b *Dense) *Dense {
 		mulTransASmallRange(dst, a, b, 0, a.Cols)
 		return dst
 	}
-	parallel.ForChunkMin(a.Cols, gemmRowFloor, func(lo, hi int) {
-		mulTransASmallRange(dst, a, b, lo, hi)
-	})
+	t := mulTransATasks.Get().(*kernelTask)
+	t.m1, t.m2, t.m3 = dst, a, b
+	parallel.ForChunkMin(a.Cols, gemmRowFloor, t.fn)
+	t.release(mulTransATasks)
 	return dst
 }
+
+var mulTransATasks = newChunkTaskPool(func(t *kernelTask, lo, hi int) {
+	mulTransASmallRange(t.m1, t.m2, t.m3, lo, hi)
+})
 
 func mulTransASmallRange(dst, a, b *Dense, lo, hi int) {
 	for k := 0; k < a.Rows; k++ {
@@ -130,11 +140,16 @@ func MulTransB(dst, a, b *Dense) *Dense {
 		mulTransBSmallRange(dst, a, b, 0, a.Rows)
 		return dst
 	}
-	parallel.ForChunkMin(a.Rows, gemmRowFloor, func(lo, hi int) {
-		mulTransBSmallRange(dst, a, b, lo, hi)
-	})
+	t := mulTransBTasks.Get().(*kernelTask)
+	t.m1, t.m2, t.m3 = dst, a, b
+	parallel.ForChunkMin(a.Rows, gemmRowFloor, t.fn)
+	t.release(mulTransBTasks)
 	return dst
 }
+
+var mulTransBTasks = newChunkTaskPool(func(t *kernelTask, lo, hi int) {
+	mulTransBSmallRange(t.m1, t.m2, t.m3, lo, hi)
+})
 
 func mulTransBSmallRange(dst, a, b *Dense, lo, hi int) {
 	for i := lo; i < hi; i++ {
@@ -181,13 +196,19 @@ func gemm(dst, a, b *Dense, transA, transB bool) {
 // gemmTileParallel fans the row loop of one packed-B tile out across
 // workers; each worker packs its own A blocks from pooled scratch.
 func gemmTileParallel(dst, a *Dense, transA bool, bp []float64, pc, jc, kc, nc, m int) {
-	parallel.ForChunkMin(m, gemmRowFloor, func(lo, hi int) {
-		wsc := gemmPool.Get().(*gemmScratch)
-		ap := growBuf(&wsc.a, gemmMC*gemmKC)
-		gemmRowRange(dst, a, transA, ap, bp, pc, jc, kc, nc, lo, hi)
-		gemmPool.Put(wsc)
-	})
+	t := gemmTileTasks.Get().(*kernelTask)
+	t.m1, t.m2, t.b1, t.v1 = dst, a, transA, bp
+	t.i1, t.i2, t.i3, t.i4 = pc, jc, kc, nc
+	parallel.ForChunkMin(m, gemmRowFloor, t.fn)
+	t.release(gemmTileTasks)
 }
+
+var gemmTileTasks = newChunkTaskPool(func(t *kernelTask, lo, hi int) {
+	wsc := gemmPool.Get().(*gemmScratch)
+	ap := growBuf(&wsc.a, gemmMC*gemmKC)
+	gemmRowRange(t.m1, t.m2, t.b1, ap, t.v1, t.i1, t.i2, t.i3, t.i4, lo, hi)
+	gemmPool.Put(wsc)
+})
 
 // gemmRowRange runs the packed micro-kernels for output rows [lo, hi) of
 // one (pc, jc) tile, packing A blocks into ap and reading the shared
@@ -448,11 +469,16 @@ func MatVec(dst []float64, a *Dense, x []float64) []float64 {
 		matVecRange(dst, a, x, 0, a.Rows)
 		return dst
 	}
-	parallel.ForChunk(a.Rows, func(lo, hi int) {
-		matVecRange(dst, a, x, lo, hi)
-	})
+	t := matVecTasks.Get().(*kernelTask)
+	t.v1, t.m1, t.v2 = dst, a, x
+	parallel.ForChunk(a.Rows, t.fn)
+	t.release(matVecTasks)
 	return dst
 }
+
+var matVecTasks = newChunkTaskPool(func(t *kernelTask, lo, hi int) {
+	matVecRange(t.v1, t.m1, t.v2, lo, hi)
+})
 
 func matVecRange(dst []float64, a *Dense, x []float64, lo, hi int) {
 	for i := lo; i < hi; i++ {
@@ -518,32 +544,43 @@ func WeightedGramWS(ws *Workspace, dst *Dense, x *Dense, w []float64) *Dense {
 		mirrorLower(dst)
 		return dst
 	}
-	// Each worker accumulates into a private d×d buffer; buffers are summed
-	// serially so the result is deterministic for a fixed worker count.
-	// Fork (not For) because the task count equals the worker count, far
-	// below For's per-worker iteration floor, which would serialize it.
-	partials := make([]*Dense, nw)
-	for i := range partials {
-		partials[i] = ws.Matrix(d, d)
+	// Each worker accumulates into a private d×d region of one workspace
+	// buffer; regions are summed serially so the result is deterministic
+	// for a fixed worker count. Fork (not For) because the task count
+	// equals the worker count, far below For's per-worker iteration floor,
+	// which would serialize it. The per-worker Dense headers live on the
+	// pooled task record, so the whole reduction is allocation-free with a
+	// warm workspace.
+	buf := ws.Vec(nw * d * d)
+	t := gramTasks.Get().(*kernelTask)
+	if cap(t.hdrs) < nw {
+		t.hdrs = make([]Dense, nw)
 	}
-	chunk := (x.Rows + nw - 1) / nw
-	parallel.Fork(nw, func(widx int) {
-		lo := widx * chunk
-		hi := min(lo+chunk, x.Rows)
-		p := partials[widx]
-		p.Zero() // workspace contents are unspecified
-		if lo >= hi {
-			return
-		}
-		weightedGramRange(p, x, w, lo, hi)
-	})
-	for _, p := range partials {
-		dst.AddScaled(1, p)
-		ws.PutMatrix(p)
+	t.m1, t.v1, t.v2 = x, w, buf
+	t.i1, t.i2, t.i3 = d, (x.Rows+nw-1)/nw, x.Rows
+	parallel.Fork(nw, t.forkFn)
+	for i := 0; i < nw; i++ {
+		dst.AddScaled(1, &t.hdrs[i])
 	}
+	t.release(gramTasks)
+	ws.PutVec(buf)
 	mirrorLower(dst)
 	return dst
 }
+
+var gramTasks = newForkTaskPool(func(t *kernelTask, widx int) {
+	d, chunk, rows := t.i1, t.i2, t.i3
+	p := &t.hdrs[widx]
+	p.Rows, p.Cols, p.Stride = d, d, d
+	p.Data = t.v2[widx*d*d : (widx+1)*d*d]
+	p.Zero() // workspace contents are unspecified
+	lo := widx * chunk
+	hi := min(lo+chunk, rows)
+	if lo >= hi {
+		return
+	}
+	weightedGramRange(p, t.m1, t.v1, lo, hi)
+})
 
 // weightedGramRange accumulates the lower triangle of Σ_i w_i x_i x_iᵀ for
 // rows [lo, hi), four rows at a time so each loaded dst element absorbs
@@ -620,11 +657,16 @@ func RowDots(dst []float64, a, b *Dense) []float64 {
 		rowDotsRange(dst, a, b, 0, a.Rows)
 		return dst
 	}
-	parallel.ForChunk(a.Rows, func(lo, hi int) {
-		rowDotsRange(dst, a, b, lo, hi)
-	})
+	t := rowDotsTasks.Get().(*kernelTask)
+	t.v1, t.m1, t.m2 = dst, a, b
+	parallel.ForChunk(a.Rows, t.fn)
+	t.release(rowDotsTasks)
 	return dst
 }
+
+var rowDotsTasks = newChunkTaskPool(func(t *kernelTask, lo, hi int) {
+	rowDotsRange(t.v1, t.m1, t.m2, lo, hi)
+})
 
 func rowDotsRange(dst []float64, a, b *Dense, lo, hi int) {
 	for i := lo; i < hi; i++ {

@@ -1,8 +1,9 @@
-//go:build race
-
 package mat
+
+import "repro/internal/parallel"
 
 // RaceEnabled reports whether the race detector is compiled in. Its
 // instrumentation allocates, so the AllocsPerRun regression tests skip
-// their zero-allocation assertions under -race.
-const RaceEnabled = true
+// their zero-allocation assertions under -race. Aliased from
+// internal/parallel so there is a single build-tag pair to maintain.
+const RaceEnabled = parallel.RaceEnabled

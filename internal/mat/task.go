@@ -1,0 +1,63 @@
+package mat
+
+import "sync"
+
+// Kernel task pools: the allocation-free bridge between the mat kernels
+// and the persistent worker pool of internal/parallel.
+//
+// A closure literal at a parallel call site captures the kernel operands
+// and is therefore heap-allocated on every call — one object per kernel
+// invocation, which the repeated full-pool sweeps of a FIRAL round turn
+// into the last remaining steady-state allocation source on multicore.
+// Instead, each parallel kernel keeps a sync.Pool of kernelTask records
+// whose dispatch func was built once, closing over the record itself;
+// a call checks out a record, fills in the operand slots, hands the
+// pre-built func to parallel.ForChunk/Fork, and clears the slots on
+// return. Steady state: zero allocations and zero goroutine forks.
+type kernelTask struct {
+	m1, m2, m3, m4 *Dense
+	v1, v2         []float64
+	f1             float64
+	i1, i2, i3, i4 int
+	b1             bool
+	hdrs           []Dense // per-worker matrix headers (Fork reductions)
+
+	// fn/forkFn are bound to this record at pool-New time; exactly one is
+	// non-nil per pool.
+	fn     func(lo, hi int)
+	forkFn func(i int)
+}
+
+// release clears every reference slot (so pooled records don't pin
+// operand memory) and returns the record to its pool.
+func (t *kernelTask) release(p *sync.Pool) {
+	t.m1, t.m2, t.m3, t.m4 = nil, nil, nil, nil
+	t.v1, t.v2 = nil, nil
+	for i := range t.hdrs {
+		t.hdrs[i].Data = nil
+	}
+	p.Put(t)
+}
+
+// newChunkTaskPool builds a pool of records whose fn runs body over the
+// record's operand slots.
+func newChunkTaskPool(body func(t *kernelTask, lo, hi int)) *sync.Pool {
+	p := &sync.Pool{}
+	p.New = func() any {
+		t := &kernelTask{}
+		t.fn = func(lo, hi int) { body(t, lo, hi) }
+		return t
+	}
+	return p
+}
+
+// newForkTaskPool is newChunkTaskPool for Fork-style (per-index) bodies.
+func newForkTaskPool(body func(t *kernelTask, i int)) *sync.Pool {
+	p := &sync.Pool{}
+	p.New = func() any {
+		t := &kernelTask{}
+		t.forkFn = func(i int) { body(t, i) }
+		return t
+	}
+	return p
+}

@@ -3,45 +3,147 @@
 // kernels; here the device is the set of host cores, and every batched
 // kernel in internal/mat and internal/firal funnels through these helpers so
 // the degree of parallelism is controlled in one place.
+//
+// # Worker-pool contract
+//
+// Loop bodies execute on a persistent pool of worker goroutines (see
+// pool.go) plus the calling goroutine itself. The contract for hot paths:
+//
+//   - Workers live for the life of the process (parked on a channel when
+//     idle) and are shared by every caller; the pool is resized by
+//     SetMaxWorkers and grows lazily up to the target.
+//   - A steady-state For/ForChunk/Fork call forks no goroutines and
+//     performs no allocations of its own. The function value passed in is
+//     the caller's responsibility: a closure literal that captures loop
+//     variables is heap-allocated at every call site, so allocation-free
+//     kernels must pass a func stored in reusable (pooled) state instead
+//     of capturing ad hoc — see the kernel task pools in internal/mat.
+//   - ForChunk bodies must not rely on chunks running concurrently with
+//     one another (the pool may run them sequentially on the caller);
+//     Fork is the primitive that guarantees all n tasks are in flight at
+//     once.
+//   - Loop bodies must not hold locks that the code launching the loop
+//     also holds, as the caller participates in its own loop.
 package parallel
 
 import (
+	"math"
 	"runtime"
 	"sync"
 	"sync/atomic"
 )
 
-// minWork is the smallest amount of per-worker work worth forking a
-// goroutine for: the worker count is capped at n/minWork, so workers
+// minWork is the smallest amount of per-worker work worth engaging a
+// pool worker for: the worker count is capped at n/minWork, so workers
 // receive at least minWork iterations (the final chunk may fall slightly
 // short of the floor from ceil-division rounding), and loops smaller
-// than 2·minWork run serially rather than forking a goroutine for a
-// sliver of work.
+// than 2·minWork run serially rather than waking a worker for a sliver
+// of work.
 const minWork = 256
 
-// maxWorkers bounds the number of workers; 0 means GOMAXPROCS. Atomic so
-// concurrent sessions adjusting it (WithParallelism) never race with
-// worker loops reading it — though the setting itself remains
-// process-wide, not per-session.
+// maxWorkers overrides the base worker count; 0 means GOMAXPROCS.
 var maxWorkers atomic.Int64
 
-// SetMaxWorkers overrides the worker count used by For and ForChunk.
-// n <= 0 restores the default (GOMAXPROCS). It returns the previous value.
+// limitMin caches the smallest active session Limit (0 = none) so the
+// hot Workers() read stays a single atomic load.
+var limitMin atomic.Int64
+
+// limits is the registry of active session limits.
+var limits struct {
+	mu     sync.Mutex
+	active map[*Limit]int
+}
+
+// SetMaxWorkers overrides the process-wide base worker count used by For,
+// ForChunk and Fork, and resizes the persistent pool to match. n <= 0
+// restores the default (GOMAXPROCS). It returns the previous value.
+//
 // The setting is process-wide; concurrent callers don't race, but the
-// last restore wins.
+// last restore wins. Scoped callers (one session among several) should
+// use AcquireLimit instead, which composes safely.
 func SetMaxWorkers(n int) int {
 	if n < 0 {
 		n = 0
 	}
-	return int(maxWorkers.Swap(int64(n)))
+	prev := int(maxWorkers.Swap(int64(n)))
+	defaultPool.resize()
+	return prev
 }
 
-// Workers reports the number of workers parallel loops will use.
-func Workers() int {
+// baseWorkers is the process-wide worker target, before session limits:
+// the SetMaxWorkers override, or GOMAXPROCS. This also sizes the pool.
+func baseWorkers() int {
 	if n := maxWorkers.Load(); n > 0 {
 		return int(n)
 	}
 	return runtime.GOMAXPROCS(0)
+}
+
+// Workers reports the number of workers parallel loops will use: the
+// process-wide base capped by the strictest active Limit.
+func Workers() int {
+	n := baseWorkers()
+	if l := limitMin.Load(); l > 0 && int(l) < n {
+		n = int(l)
+	}
+	return n
+}
+
+// Limit is a scoped cap on the parallelism a session observes, acquired
+// with AcquireLimit and ended with Release. Unlike SetMaxWorkers —
+// whose save/restore pattern races between concurrent sessions, with
+// the last restore clobbering the rest — limits compose: while several
+// are active, Workers() reports the smallest, and releasing one exactly
+// removes its own contribution. A session therefore never observes MORE
+// parallelism than it asked for, though it may observe less while a
+// stricter session is active. Limits do not shrink the shared worker
+// pool; they only cap how many pool workers a dispatch engages.
+type Limit struct {
+	n        int
+	released atomic.Bool
+}
+
+// AcquireLimit registers a cap of n workers (n < 1 is treated as 1) and
+// returns the Limit to Release when the session ends. Release is
+// idempotent and safe to defer.
+func AcquireLimit(n int) *Limit {
+	if n < 1 {
+		n = 1
+	}
+	l := &Limit{n: n}
+	limits.mu.Lock()
+	if limits.active == nil {
+		limits.active = make(map[*Limit]int)
+	}
+	limits.active[l] = n
+	recomputeLimitLocked()
+	limits.mu.Unlock()
+	return l
+}
+
+// Release removes the limit's contribution to Workers().
+func (l *Limit) Release() {
+	if l == nil || l.released.Swap(true) {
+		return
+	}
+	limits.mu.Lock()
+	delete(limits.active, l)
+	recomputeLimitLocked()
+	limits.mu.Unlock()
+}
+
+func recomputeLimitLocked() {
+	m := math.MaxInt
+	for _, n := range limits.active {
+		if n < m {
+			m = n
+		}
+	}
+	if m == math.MaxInt {
+		limitMin.Store(0)
+	} else {
+		limitMin.Store(int64(m))
+	}
 }
 
 // For runs fn(i) for every i in [0, n), distributing iterations across
@@ -55,10 +157,13 @@ func For(n int, fn func(i int)) {
 	})
 }
 
-// Fork runs fn(0), …, fn(n-1) each on its own goroutine and waits. Unlike
-// For it always forks — no work floor — so it is for coarse-grained tasks
-// whose count the caller has already sized to the available workers
-// (e.g. one pre-partitioned reduction chunk per worker).
+// Fork runs fn(0), …, fn(n-1) concurrently — all n tasks are guaranteed
+// to be in flight at once — and waits. Unlike For it has no work floor,
+// so it is for coarse-grained tasks whose count the caller has already
+// sized to the available workers (e.g. one pre-partitioned reduction
+// chunk per worker). Tasks run on idle pool workers when possible;
+// any shortfall is covered by freshly spawned goroutines, so the
+// concurrency guarantee holds even when the pool is busy.
 func Fork(n int, fn func(i int)) {
 	if n <= 0 {
 		return
@@ -67,21 +172,25 @@ func Fork(n int, fn func(i int)) {
 		fn(0)
 		return
 	}
-	var wg sync.WaitGroup
-	for i := 0; i < n; i++ {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			fn(i)
-		}(i)
+	j := forkJobPool.Get().(*forkJob)
+	j.fn = fn
+	j.exits.Store(int64(n))
+	h := defaultPool.claim(nil, j, 1, n-1)
+	for i := h + 1; i < n; i++ {
+		go spawnedFork(j, i)
 	}
-	wg.Wait()
+	fn(0)
+	if j.exits.Add(-1) > 0 {
+		<-j.done
+	}
+	j.fn = nil
+	forkJobPool.Put(j)
 }
 
-// chunkWorkers returns the number of workers a chunked loop will fork for
-// n iterations with a per-worker floor of minPer: at most Workers(), and
-// at most n/minPer so that every worker gets at least minPer iterations of
-// real work.
+// chunkWorkers returns the number of workers a chunked loop will engage
+// for n iterations with a per-worker floor of minPer: at most Workers(),
+// and at most n/minPer so that every worker gets at least minPer
+// iterations of real work.
 func chunkWorkers(n, minPer int) int {
 	w := Workers()
 	if lim := n / minPer; w > lim {
@@ -106,7 +215,7 @@ func SerialMin(n, minPer int) bool {
 // ForChunk splits [0, n) into at most Workers() contiguous chunks of at
 // least minWork iterations each and runs fn(lo, hi) on each chunk,
 // possibly concurrently. fn must be safe to call concurrently for
-// disjoint ranges.
+// disjoint ranges, and is never called with an empty range.
 func ForChunk(n int, fn func(lo, hi int)) {
 	forChunk(n, minWork, fn)
 }
@@ -130,18 +239,28 @@ func forChunk(n, minPer int, fn func(lo, hi int)) {
 		fn(0, n)
 		return
 	}
-	var wg sync.WaitGroup
 	chunk := (n + w - 1) / w
-	for lo := 0; lo < n; lo += chunk {
-		hi := lo + chunk
-		if hi > n {
-			hi = n
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			fn(lo, hi)
-		}(lo, hi)
+	// Ceil division can produce fewer chunks than workers when n is just
+	// over a chunk boundary (e.g. n = 2·chunk + 1 at w = 4); clamp so no
+	// worker is woken for a guaranteed-empty range.
+	if nchunks := (n + chunk - 1) / chunk; w > nchunks {
+		w = nchunks
 	}
-	wg.Wait()
+	j := chunkJobPool.Get().(*chunkJob)
+	j.fn, j.n, j.chunk = fn, n, chunk
+	j.next.Store(0)
+	// Participants = claimed helpers + the caller. exits starts at the
+	// upper bound w and is corrected after claiming; it stays positive
+	// throughout because at most h+1 participants can decrement it.
+	j.exits.Store(int64(w))
+	h := defaultPool.claim(j, nil, 0, w-1)
+	if h+1 < w {
+		j.exits.Add(int64(h + 1 - w))
+	}
+	j.run()
+	if j.exits.Add(-1) > 0 {
+		<-j.done
+	}
+	j.fn = nil
+	chunkJobPool.Put(j)
 }

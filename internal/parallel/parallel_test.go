@@ -138,3 +138,198 @@ func TestForChunkEmpty(t *testing.T) {
 		t.Fatal("negative n should not call fn")
 	}
 }
+
+// TestForChunkBoundaryChunkCounts is the regression test for the
+// ceil-division fan-out bug: when n is just over a chunk boundary the old
+// dispatch could engage a worker whose [lo, hi) range was empty. For
+// boundary values of n the body must see exactly ceil(n/chunk) non-empty,
+// disjoint, complete ranges.
+func TestForChunkBoundaryChunkCounts(t *testing.T) {
+	prev := SetMaxWorkers(4)
+	defer SetMaxWorkers(prev)
+	cases := []int{
+		1, 2, 255, 256, 257, // below/at/just above one chunk of work
+		511, 512, 513, // serial/parallel threshold at w=4
+		767, 768, 769, // 3-chunk boundary
+		1023, 1024, 1025, // 4-chunk boundary
+		2047, 2048, 2049,
+	}
+	for _, n := range cases {
+		w := 4
+		if lim := n / minWork; w > lim {
+			w = lim
+		}
+		wantChunks := 1
+		if w > 1 {
+			chunk := (n + w - 1) / w
+			wantChunks = (n + chunk - 1) / chunk
+		}
+		var calls int64
+		seen := make([]int32, n)
+		ForChunk(n, func(lo, hi int) {
+			atomic.AddInt64(&calls, 1)
+			if lo >= hi {
+				t.Errorf("n=%d: empty chunk [%d,%d)", n, lo, hi)
+			}
+			for i := lo; i < hi; i++ {
+				atomic.AddInt32(&seen[i], 1)
+			}
+		})
+		if int(calls) != wantChunks {
+			t.Errorf("n=%d: %d chunks, want %d", n, calls, wantChunks)
+		}
+		for i, v := range seen {
+			if v != 1 {
+				t.Fatalf("n=%d: index %d visited %d times", n, i, v)
+			}
+		}
+	}
+}
+
+func TestAcquireLimitComposesByMin(t *testing.T) {
+	prev := SetMaxWorkers(8)
+	defer SetMaxWorkers(prev)
+	if Workers() != 8 {
+		t.Fatalf("base workers = %d, want 8", Workers())
+	}
+	a := AcquireLimit(4)
+	if Workers() != 4 {
+		t.Fatalf("Workers() = %d under limit 4", Workers())
+	}
+	b := AcquireLimit(2)
+	if Workers() != 2 {
+		t.Fatalf("Workers() = %d under limits {4,2}", Workers())
+	}
+	// Releasing the looser limit keeps the stricter one in force.
+	a.Release()
+	if Workers() != 2 {
+		t.Fatalf("Workers() = %d after releasing looser limit", Workers())
+	}
+	b.Release()
+	if Workers() != 8 {
+		t.Fatalf("Workers() = %d after releasing all limits", Workers())
+	}
+	// Release is idempotent; a limit below 1 is clamped.
+	b.Release()
+	c := AcquireLimit(0)
+	if Workers() != 1 {
+		t.Fatalf("Workers() = %d under clamped limit", Workers())
+	}
+	c.Release()
+}
+
+// TestConcurrentLimitsNeverExceedOwnCap is the safety property that
+// replaced the SetMaxWorkers save/restore pattern: a session holding a
+// limit never observes more parallelism than it asked for, no matter what
+// other sessions do concurrently.
+func TestConcurrentLimitsNeverExceedOwnCap(t *testing.T) {
+	prev := SetMaxWorkers(8)
+	defer SetMaxWorkers(prev)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(cap int) {
+			defer wg.Done()
+			for iter := 0; iter < 50; iter++ {
+				l := AcquireLimit(cap)
+				if w := Workers(); w > cap {
+					t.Errorf("Workers() = %d exceeds own cap %d", w, cap)
+				}
+				ForChunk(2048, func(lo, hi int) {})
+				l.Release()
+			}
+		}(g + 1)
+	}
+	wg.Wait()
+	if Workers() != 8 {
+		t.Fatalf("Workers() = %d after all limits released", Workers())
+	}
+}
+
+// TestPoolStress hammers the pool from many goroutines mixing chunked
+// loops, forks, nested dispatch, and live resizes — the -race companion
+// of the pool's channel/atomic protocol.
+func TestPoolStress(t *testing.T) {
+	prev := SetMaxWorkers(4)
+	defer SetMaxWorkers(prev)
+	var wg sync.WaitGroup
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for iter := 0; iter < 30; iter++ {
+				var sum int64
+				ForChunk(3000, func(lo, hi int) {
+					// Nested dispatch: the caller participates, so this
+					// must complete even with every worker busy.
+					Fork(2, func(i int) {
+						atomic.AddInt64(&sum, int64(hi-lo))
+					})
+				})
+				if sum != 2*3000 {
+					t.Errorf("goroutine %d: sum = %d", g, sum)
+				}
+				if iter%10 == 0 {
+					SetMaxWorkers(2 + iter%3)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// TestPoolResize checks that growing and shrinking the worker target
+// keeps dispatch correct (retired workers drain; new ones join).
+func TestPoolResize(t *testing.T) {
+	prev := SetMaxWorkers(2)
+	defer SetMaxWorkers(prev)
+	covered := func(n int) {
+		seen := make([]int32, n)
+		ForChunk(n, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				atomic.AddInt32(&seen[i], 1)
+			}
+		})
+		for i, v := range seen {
+			if v != 1 {
+				t.Fatalf("index %d visited %d times", i, v)
+			}
+		}
+	}
+	covered(4096)
+	SetMaxWorkers(8)
+	covered(8192)
+	SetMaxWorkers(1)
+	covered(4096)
+	SetMaxWorkers(6)
+	covered(8192)
+}
+
+// TestForChunkZeroAllocSteadyState pins the tentpole property: a warm
+// dispatch through the persistent pool neither forks goroutines nor
+// allocates. The body func is stored in a struct so the call site itself
+// is capture-free, mirroring how the mat kernels dispatch.
+func TestForChunkZeroAllocSteadyState(t *testing.T) {
+	if RaceEnabled {
+		t.Skip("allocation counts are meaningless under -race")
+	}
+	prev := SetMaxWorkers(4)
+	defer SetMaxWorkers(prev)
+	var sink int64
+	body := struct{ fn func(lo, hi int) }{}
+	body.fn = func(lo, hi int) { atomic.AddInt64(&sink, int64(hi-lo)) }
+	fork := struct{ fn func(i int) }{}
+	fork.fn = func(i int) { atomic.AddInt64(&sink, 1) }
+	ForChunk(4096, body.fn) // warm the job pools and spawn the workers
+	Fork(4, fork.fn)
+	if allocs := testing.AllocsPerRun(50, func() {
+		ForChunk(4096, body.fn)
+	}); allocs != 0 {
+		t.Errorf("ForChunk allocates %.1f objects per warm call", allocs)
+	}
+	if allocs := testing.AllocsPerRun(50, func() {
+		Fork(4, fork.fn)
+	}); allocs != 0 {
+		t.Errorf("Fork allocates %.1f objects per warm call", allocs)
+	}
+}

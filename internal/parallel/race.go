@@ -1,0 +1,7 @@
+//go:build race
+
+package parallel
+
+// RaceEnabled reports whether the race detector is active. Allocation
+// pins skip under -race: instrumentation allocates behind every kernel.
+const RaceEnabled = true

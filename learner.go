@@ -281,8 +281,12 @@ func (l *Learner) RunContext(ctx context.Context, sel Selector, opts ...RunOptio
 		return nil, fmt.Errorf("%w: non-positive budget (set Config.Budget or WithBudget)", ErrBadConfig)
 	}
 	if rc.workers > 0 {
-		prev := parallel.SetMaxWorkers(rc.workers)
-		defer parallel.SetMaxWorkers(prev)
+		// A scoped limit rather than SetMaxWorkers: concurrent sessions
+		// compose by min instead of racing on save/restore, so this
+		// session never observes more parallelism than requested and
+		// releasing never clobbers another session's setting.
+		lim := parallel.AcquireLimit(rc.workers)
+		defer lim.Release()
 	}
 	var reports []*RoundReport
 	for r := 0; (rc.rounds <= 0 || r < rc.rounds) && len(l.alive) > 0; r++ {

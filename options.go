@@ -64,11 +64,16 @@ func WithObserver(o RoundObserver) RunOption {
 	}
 }
 
-// WithParallelism pins the data-parallel worker count (internal/parallel)
-// for the duration of the session and restores the previous setting when
-// the session ends. n = 1 simulates a single-threaded device; n <= 0 is
-// ignored. The worker count is a process-wide setting — sessions running
-// concurrently in one process should not both set it.
+// WithParallelism caps the data-parallel worker count (internal/parallel)
+// for the duration of the session. n = 1 simulates a single-threaded
+// device; n <= 0 is ignored. The cap cannot raise the worker count above
+// the process-wide base (GOMAXPROCS, or parallel.SetMaxWorkers).
+//
+// Sessions running concurrently in one process are safe: each holds its
+// own scoped limit and the effective worker count is the minimum of the
+// active limits, so a session never observes more parallelism than it
+// asked for — though it may observe less while a stricter concurrent
+// session is running — and ending a session removes exactly its own cap.
 func WithParallelism(n int) RunOption {
 	return func(rc *runConfig) {
 		if n > 0 {
