@@ -15,6 +15,14 @@
 // Rows must be numeric; a non-numeric first row is treated as a header
 // and skipped.
 //
+// Streaming selection: with -shards the pool is served block by block
+// from memory-mapped float32 shard files (see dataset.ShardWriter for the
+// format) instead of a resident CSV matrix, so it may exceed RAM. This
+// mode runs one selection round — the production "which points should I
+// get labeled next?" query — and prints the selected global row indices;
+// there is no oracle to reveal labels, so no retraining loop. Pack a CSV
+// into shards with -pack.
+//
 // Usage:
 //
 //	firal -pool pool.csv -labeled seed.csv -select approx-firal -rounds 3 -budget 10
@@ -22,6 +30,9 @@
 //	firal -select help                # list registered strategies
 //	firal -demo -target-acc 0.9      # stop once eval accuracy reaches 0.9
 //	firal -pool pool.csv -labeled seed.csv -select random -csv
+//	firal -pack pool.shard -pool pool.csv             # CSV → shard file
+//	firal -shards pool.shard -labeled seed.csv -budget 10
+//	firal -shards a.shard,b.shard -labeled seed.csv -select dist-firal -ranks 4
 package main
 
 import (
@@ -58,8 +69,28 @@ func main() {
 		maxTime   = flag.Duration("max-time", 0, "wall-clock budget, e.g. 30s (0 = off)")
 		asCSV     = flag.Bool("csv", false, "emit per-round results as CSV")
 		demo      = flag.Bool("demo", false, "ignore -pool/-labeled and run a built-in synthetic demo")
+		shards    = flag.String("shards", "", "comma-separated float32 shard files: stream-select one batch from an out-of-core pool")
+		blockRows = flag.Int("block", 0, "streaming row-block size (0 = default)")
+		pack      = flag.String("pack", "", "write the -pool CSV (features only) to this shard file and exit")
 	)
 	flag.Parse()
+
+	if *pack != "" {
+		if err := packShard(*pack, *poolPath, *labelCol); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if *shards != "" {
+		if err := streamSelect(streamConfig{
+			shards: strings.Split(*shards, ","), labeled: *labPath, labelCol: *labelCol,
+			selector: *selName, ranks: *ranks, budget: *budget, block: *blockRows,
+			seed: *seed, probes: *probes, cgtol: *cgtol, relaxIters: *relaxIt, workers: *workers,
+		}); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	if strings.EqualFold(*selName, "help") || strings.EqualFold(*selName, "list") {
 		fmt.Println("registered strategies:")

@@ -1,0 +1,180 @@
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	"repro/internal/cli"
+	"repro/internal/csvdata"
+	"repro/internal/dataset"
+	"repro/internal/distfiral"
+	"repro/internal/firal"
+	"repro/internal/hessian"
+	"repro/internal/logreg"
+	"repro/internal/mat"
+	"repro/internal/mpi"
+	"repro/internal/parallel"
+	"repro/internal/softmax"
+)
+
+// packShard converts a numeric CSV into the float32 shard format, block
+// by block — the one-time step that makes a pool cheap to re-score.
+func packShard(out, csvPath string, labelCol int) error {
+	if csvPath == "" {
+		return fmt.Errorf("-pack needs -pool pointing at the CSV to convert")
+	}
+	src, err := dataset.NewCSVSource(csvPath, labelCol)
+	if err != nil {
+		return err
+	}
+	defer src.Close()
+	w, err := dataset.CreateShard(out, src.Dim())
+	if err != nil {
+		return err
+	}
+	block := mat.NewDense(dataset.DefaultBlockRows, src.Dim())
+	for lo := 0; lo < src.NumRows(); lo += block.Rows {
+		hi := min(lo+block.Rows, src.NumRows())
+		b := block.RowSlice(0, hi-lo)
+		if err := src.ReadRows(lo, hi, b); err != nil {
+			return err
+		}
+		if err := w.AppendBlock(b); err != nil {
+			return err
+		}
+	}
+	if err := w.Close(); err != nil {
+		return err
+	}
+	log.Printf("packed %d×%d rows of %s into %s (features only; labels are not stored)",
+		src.NumRows(), src.Dim(), csvPath, out)
+	return nil
+}
+
+// streamConfig carries the flag subset of the streaming selection mode.
+type streamConfig struct {
+	shards     []string
+	labeled    string
+	labelCol   int
+	selector   string
+	ranks      int
+	budget     int
+	block      int
+	seed       int64
+	probes     int
+	cgtol      float64
+	relaxIters int
+	workers    int
+}
+
+// streamSelect runs one Approx-FIRAL batch selection over a pool served
+// from shard files: train on the labeled CSV, stream the pool once to
+// compute the classifier probabilities (the only resident per-point
+// state, O(n·c)), then select through the block-streaming solver path and
+// print the chosen global row indices.
+//
+// Cost shape: ROUND streams one decode sweep per rescoring pass, but
+// RELAX re-decodes the pool once per CG matvec (each probe column's CG
+// trajectory is data-dependent, so columns cannot share a block visit).
+// For very large pools keep -probes/-relaxiters modest, raise -cgtol, or
+// use -select dist-firal so each rank decodes only its own slice.
+func streamSelect(cfg streamConfig) error {
+	if cfg.labeled == "" {
+		return fmt.Errorf("streaming selection needs -labeled (the classifier trains on it)")
+	}
+	name := strings.ToLower(cfg.selector)
+	if name != "approx-firal" && name != "dist-firal" {
+		return fmt.Errorf("streaming selection supports -select approx-firal or dist-firal, not %q", cfg.selector)
+	}
+	if cfg.workers > 0 {
+		lim := parallel.AcquireLimit(cfg.workers)
+		defer lim.Release()
+	}
+
+	labX, labY, err := csvdata.Load(cfg.labeled, cfg.labelCol)
+	if err != nil {
+		return fmt.Errorf("labeled: %w", err)
+	}
+	classes := csvdata.NumClasses(labY)
+	if classes < 2 {
+		return fmt.Errorf("labeled set has %d class(es); need at least 2", classes)
+	}
+	labM := mat.FromRows(labX)
+	model, err := logreg.Train(labM, labY, classes, nil, logreg.Options{})
+	if err != nil {
+		return err
+	}
+
+	src, err := dataset.OpenShards(cfg.shards...)
+	if err != nil {
+		return err
+	}
+	defer src.Close()
+	if src.Dim() != labM.Cols {
+		return fmt.Errorf("shard dimension %d does not match labeled dimension %d", src.Dim(), labM.Cols)
+	}
+	n := src.NumRows()
+	log.Printf("pool: %d × %d from %d shard(s), %d classes", n, src.Dim(), len(cfg.shards), classes)
+
+	// One streamed pass to attach reduced probabilities (Eq. 1): per
+	// block, softmax under the trained model, last class dropped. Only
+	// the n×(c−1) reduced matrix stays resident.
+	t0 := time.Now()
+	reduced := mat.NewDense(n, classes-1)
+	block := mat.NewDense(dataset.DefaultBlockRows, src.Dim())
+	probsBlock := mat.NewDense(dataset.DefaultBlockRows, classes)
+	for lo := 0; lo < n; lo += block.Rows {
+		hi := min(lo+block.Rows, n)
+		xb := block.RowSlice(0, hi-lo)
+		if err := src.ReadRows(lo, hi, xb); err != nil {
+			return err
+		}
+		pb := softmax.Probabilities(probsBlock.RowSlice(0, hi-lo), xb, model.Theta)
+		for i := lo; i < hi; i++ {
+			copy(reduced.Row(i), pb.Row(i - lo)[:classes-1])
+		}
+	}
+	log.Printf("probabilities attached in %.2fs", time.Since(t0).Seconds())
+
+	labProbs := hessian.ReduceProbs(softmax.Probabilities(nil, labM, model.Theta))
+	labeled := hessian.NewSet(labM, labProbs)
+	relax := firal.RelaxOptions{
+		Probes: cfg.probes, CGTol: cfg.cgtol, MaxIter: cfg.relaxIters, Seed: cfg.seed,
+	}
+
+	ctx, cancel := cli.InterruptContext()
+	defer cancel()
+	t0 = time.Now()
+	var picked []int
+	if name == "dist-firal" {
+		ranks := max(cfg.ranks, 1)
+		selected := make([][]int, ranks)
+		errs := make([]error, ranks)
+		mpi.Run(ranks, func(c *mpi.Comm) {
+			sh := distfiral.MakeStreamShard(labeled, src, reduced, cfg.block, ranks, c.Rank())
+			sel, _, _, err := distfiral.Select(ctx, c, sh, cfg.budget, 0, relax)
+			selected[c.Rank()], errs[c.Rank()] = sel, err
+		})
+		for _, err := range errs {
+			if err != nil {
+				return err
+			}
+		}
+		picked = selected[0]
+	} else {
+		pool := hessian.NewStream(src, reduced, cfg.block)
+		p := firal.NewProblem(labeled, pool)
+		res, err := firal.SelectApprox(ctx, p, cfg.budget, firal.Options{Relax: relax})
+		if err != nil {
+			return err
+		}
+		picked = res.Selected
+	}
+	log.Printf("selected %d of %d points in %.2fs", len(picked), n, time.Since(t0).Seconds())
+	for _, i := range picked {
+		fmt.Println(i)
+	}
+	return nil
+}

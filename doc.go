@@ -58,6 +58,29 @@
 // acquisition; and a nil workspace degrades to allocate-per-call
 // everywhere one is accepted.
 //
+// # Streaming pools
+//
+// Pool features are consumed through a block-streaming abstraction
+// rather than one resident matrix. A dataset.PoolSource serves an n×d
+// pool in contiguous row windows (NumRows, Dim, ReadRows, Close) with
+// three implementations — an in-memory matrix (zero-copy), memory-mapped
+// little-endian float32 shard files, and numeric CSV — and the solver
+// kernels visit it block by block through the hessian.Pool interface
+// (resident hessian.Set or streaming hessian.Stream). The contract:
+// sources surface data errors at open/validation time and tolerate
+// concurrent in-range ReadRows; class probabilities stay resident (n×c,
+// a factor d/c smaller than the features); scratch is bounded by one
+// block (dataset.DefaultBlockRows rows) regardless of pool size; and a
+// pool that fits one block takes a path identical to the historical
+// resident kernels, so the zero-alloc steady-state pins hold for
+// resident and streamed pools alike. Selection from a million-point pool
+// therefore runs without materializing an n×d float64 matrix (see the
+// pool_stream_n1e6_d64 entry in BENCH_round.json, cmd/firal's -shards
+// mode, and examples/streaming); only the exact Algorithm-1 solvers,
+// which assemble dense pool Hessians, require residency and refuse a
+// streamed pool with a typed error. ARCHITECTURE.md documents the full
+// contract.
+//
 // Parallel loops run on a persistent worker pool (internal/parallel):
 // workers live for the life of the process, parked on channels when
 // idle, so a steady-state kernel call forks no goroutines. The pool is

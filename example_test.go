@@ -1,0 +1,53 @@
+package firal_test
+
+import (
+	"context"
+	"fmt"
+
+	firal "repro"
+)
+
+// ExampleNew shows the selector registry: strategies are instantiated by
+// case-insensitive name, and custom strategies Register themselves
+// alongside the built-ins.
+func ExampleNew() {
+	sel, err := firal.New("approx-firal", firal.SelectorOptions{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(sel.Name())
+
+	// Unknown names report the registered alternatives.
+	if _, err := firal.New("no-such-strategy", firal.SelectorOptions{}); err != nil {
+		fmt.Println("unknown strategies are rejected")
+	}
+	// Output:
+	// Approx-FIRAL
+	// unknown strategies are rejected
+}
+
+// ExampleLearner_RunContext drives a tiny end-to-end session: a synthetic
+// CIFAR-10-like instance, the Random baseline selector, and per-round
+// reports streaming through an observer.
+func ExampleLearner_RunContext() {
+	cfg := firal.CIFAR10Like().Scale(0.01).Generate(42)
+	learner, err := firal.NewLearner(cfg)
+	if err != nil {
+		panic(err)
+	}
+	sel, err := firal.New("random", firal.SelectorOptions{})
+	if err != nil {
+		panic(err)
+	}
+	reports, err := learner.RunContext(context.Background(), sel,
+		firal.WithRounds(2), firal.WithBudget(5))
+	if err != nil {
+		panic(err)
+	}
+	for _, r := range reports {
+		fmt.Printf("round %d: %d labels\n", r.Round, r.LabeledCount)
+	}
+	// Output:
+	// round 1: 15 labels
+	// round 2: 20 labels
+}

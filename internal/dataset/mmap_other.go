@@ -1,0 +1,16 @@
+//go:build !unix
+
+package dataset
+
+import (
+	"errors"
+	"os"
+)
+
+// mmapFile always fails on platforms without unix mmap; ShardSource then
+// serves reads through pread, which is slower but semantically identical.
+func mmapFile(f *os.File, size int64) ([]byte, error) {
+	return nil, errors.New("dataset: mmap unsupported on this platform")
+}
+
+func munmapFile(data []byte) {}

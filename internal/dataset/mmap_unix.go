@@ -1,0 +1,22 @@
+//go:build unix
+
+package dataset
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapFile maps the whole file read-only. The mapping is shared and
+// demand-paged, so opening a shard far larger than RAM is cheap and the
+// kernel evicts cold pages under pressure.
+func mmapFile(f *os.File, size int64) ([]byte, error) {
+	if size == 0 {
+		return nil, syscall.EINVAL
+	}
+	return syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+}
+
+func munmapFile(data []byte) {
+	_ = syscall.Munmap(data)
+}

@@ -16,6 +16,7 @@ import (
 	"context"
 	"math"
 
+	"repro/internal/dataset"
 	"repro/internal/firal"
 	"repro/internal/hessian"
 	"repro/internal/krylov"
@@ -32,7 +33,7 @@ import (
 // buffers are reused round to round and are not safe for sharing.
 type Shard struct {
 	Labeled   *hessian.Set // Xo, replicated
-	PoolLocal *hessian.Set // local slice of Xu
+	PoolLocal hessian.Pool // local slice of Xu (resident or block-streaming)
 	// PoolOffset is the global index of the first local pool point.
 	PoolOffset int
 	// PoolTotal is the global pool size n.
@@ -79,7 +80,8 @@ func (s *Shard) labeledDiag() []*mat.Dense {
 }
 
 // MakeShard cuts rank's partition out of a global pool, mirroring the
-// paper's even distribution of x_i and h_i.
+// paper's even distribution of x_i and h_i. The partition is materialized
+// (copied); MakeStreamShard shards without materializing.
 func MakeShard(labeled, pool *hessian.Set, size, rank int) *Shard {
 	lo, hi := mpi.Partition(pool.N(), size, rank)
 	idx := make([]int, hi-lo)
@@ -91,6 +93,24 @@ func MakeShard(labeled, pool *hessian.Set, size, rank int) *Shard {
 		PoolLocal:  pool.Subset(idx),
 		PoolOffset: lo,
 		PoolTotal:  pool.N(),
+	}
+}
+
+// MakeStreamShard cuts rank's partition out of a streamed global pool:
+// the rank-local pool is a hessian.Stream over a Subrange view of src, so
+// nothing is materialized — every rank reads its contiguous row window of
+// the shared source (safe: dataset sources support concurrent ReadRows)
+// and indexes its slice of the replicated probability matrix. blockRows ≤
+// 0 selects the default block granularity.
+func MakeStreamShard(labeled *hessian.Set, src dataset.PoolSource, probs *mat.Dense, blockRows, size, rank int) *Shard {
+	n := src.NumRows()
+	lo, hi := mpi.Partition(n, size, rank)
+	local := hessian.NewStream(dataset.Subrange(src, lo, hi), probs.RowSlice(lo, hi), blockRows)
+	return &Shard{
+		Labeled:    labeled,
+		PoolLocal:  local,
+		PoolOffset: lo,
+		PoolTotal:  n,
 	}
 }
 
@@ -295,6 +315,7 @@ func Relax(ctx context.Context, c *mpi.Comm, s *Shard, b int, o firal.RelaxOptio
 	hpw := mat.NewDense(ed, o.Probes)
 	w2 := mat.NewDense(ed, o.Probes)
 	var fHist []float64
+	var cgRes []krylov.Result // reused across iterations by SolveColumnsInto
 	cgOpt := krylov.Options{Tol: o.CGTol, MaxIter: o.CGMaxIter, Workspace: ws}
 	sigMV := s.sigmaMatVec(c, z, ph) // reads z live; z is updated in place
 	poolMV := s.poolMatVec(c, ph)
@@ -334,7 +355,7 @@ func Relax(ctx context.Context, c *mpi.Comm, s *Shard, b int, o firal.RelaxOptio
 		// guess: buffer reuse must not introduce warm starts.
 		stop = ph.Start("cg")
 		w.Zero()
-		cgRes := krylov.SolveColumns(context.Background(), sigMV, applyPrec, v, w, cgOpt)
+		cgRes = krylov.SolveColumnsInto(context.Background(), sigMV, applyPrec, v, w, cgRes, cgOpt)
 		res.CGIterations += krylov.TotalIterations(cgRes)
 		stop()
 
@@ -351,7 +372,7 @@ func Relax(ctx context.Context, c *mpi.Comm, s *Shard, b int, o firal.RelaxOptio
 		// W ← Σz⁻¹ W.
 		stop = ph.Start("cg")
 		w2.Zero()
-		cgRes = krylov.SolveColumns(context.Background(), sigMV, applyPrec, hpw, w2, cgOpt)
+		cgRes = krylov.SolveColumnsInto(context.Background(), sigMV, applyPrec, hpw, w2, cgRes, cgOpt)
 		res.CGIterations += krylov.TotalIterations(cgRes)
 		stop()
 

@@ -49,6 +49,8 @@ func Round(ctx context.Context, c *mpi.Comm, s *Shard, zLocal []float64, b int, 
 	nLocal := s.PoolLocal.N()
 	scores := make([]float64, nLocal)
 	selectedLocal := make(map[int]bool, b)
+	probsLocal := s.PoolLocal.Probs()
+	rowBuf := make([]float64, d)
 	// Winner broadcast buffer: x (d), h (c), global index (1).
 	xh := make([]float64, d+cc+1)
 	kLo, kHi := mpi.Partition(cc, c.Size(), c.Rank())
@@ -93,8 +95,8 @@ func Round(ctx context.Context, c *mpi.Comm, s *Shard, zLocal []float64, b int, 
 		stop = ph.Start("other")
 		if c.Rank() == ownerRank {
 			selectedLocal[ownerLoc] = true
-			copy(xh[:d], s.PoolLocal.X.Row(ownerLoc))
-			copy(xh[d:d+cc], s.PoolLocal.H.Row(ownerLoc))
+			copy(xh[:d], s.PoolLocal.Row(ownerLoc, rowBuf))
+			copy(xh[d:d+cc], probsLocal.Row(ownerLoc))
 			xh[d+cc] = float64(s.PoolOffset + ownerLoc)
 		}
 		stop()

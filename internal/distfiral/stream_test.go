@@ -1,0 +1,62 @@
+package distfiral
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/firal"
+	"repro/internal/mpi"
+)
+
+// TestStreamShardMatchesResidentShard runs the full distributed selection
+// (RELAX + ROUND over the simulated MPI ranks) twice — once with
+// materialized per-rank Subset shards, once with MakeStreamShard views
+// over one shared in-memory source — and requires identical selections.
+// The streaming shards use a small block size so every rank crosses block
+// boundaries inside its partition.
+func TestStreamShardMatchesResidentShard(t *testing.T) {
+	labeled, pool := testSets(31, 20, 151, 8, 3)
+	const ranks, b = 3, 5
+	opts := firal.RelaxOptions{FixedIterations: 3, Seed: 2}
+
+	run := func(mk func(rank int) *Shard) [][]int {
+		selected := make([][]int, ranks)
+		mpi.Run(ranks, func(c *mpi.Comm) {
+			sel, _, _, err := Select(context.Background(), c, mk(c.Rank()), b, 0, opts)
+			if err != nil {
+				t.Errorf("rank %d: %v", c.Rank(), err)
+				return
+			}
+			selected[c.Rank()] = sel
+		})
+		return selected
+	}
+
+	resident := run(func(rank int) *Shard {
+		return MakeShard(labeled, pool, ranks, rank)
+	})
+	src := dataset.NewMatrixSource(pool.X)
+	streamed := run(func(rank int) *Shard {
+		return MakeStreamShard(labeled, src, pool.H, 16, ranks, rank)
+	})
+
+	for r := 0; r < ranks; r++ {
+		if len(streamed[r]) != b || len(resident[r]) != b {
+			t.Fatalf("rank %d: selected %d streamed / %d resident, want %d", r, len(streamed[r]), len(resident[r]), b)
+		}
+		for i := range resident[r] {
+			if streamed[r][i] != resident[r][i] {
+				t.Fatalf("rank %d selection %d: streamed %d, resident %d", r, i, streamed[r][i], resident[r][i])
+			}
+		}
+	}
+	// All ranks agree with each other too.
+	for r := 1; r < ranks; r++ {
+		for i := range streamed[0] {
+			if streamed[r][i] != streamed[0][i] {
+				t.Fatalf("streamed ranks disagree at %d: %v vs %v", i, streamed[r], streamed[0])
+			}
+		}
+	}
+}

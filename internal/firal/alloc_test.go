@@ -16,7 +16,7 @@ func BenchmarkScores(b *testing.B) {
 	p := testProblem(32, 20, 2000, 64, 10)
 	z := make([]float64, p.N())
 	mat.Fill(z, 10/float64(p.N()))
-	st, err := newRoundState(p, z, 10, p.DefaultEta(), timing.New())
+	st, err := testRoundState(p, z, 10, p.DefaultEta(), timing.New())
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -38,7 +38,7 @@ func TestScoresZeroAllocWarm(t *testing.T) {
 	p := testProblem(31, 10, 400, 12, 4)
 	z := make([]float64, p.N())
 	mat.Fill(z, 3/float64(p.N()))
-	st, err := newRoundState(p, z, 3, p.DefaultEta(), timing.New())
+	st, err := testRoundState(p, z, 3, p.DefaultEta(), timing.New())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -68,7 +68,7 @@ func TestRoundSteadyStateZeroAllocMulticore(t *testing.T) {
 	z := make([]float64, p.N())
 	mat.Fill(z, 5/float64(p.N()))
 	ph := timing.New()
-	st, err := newRoundState(p, z, 5, p.DefaultEta(), ph)
+	st, err := testRoundState(p, z, 5, p.DefaultEta(), ph)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -81,7 +81,7 @@ func TestRoundSteadyStateZeroAllocMulticore(t *testing.T) {
 				best, bestV = i, scores[i]
 			}
 		}
-		if _, err := st.Update(p.Pool.X.Row(best), p.Pool.H.Row(best), ph); err != nil {
+		if _, err := st.Update(p.ResidentPool().X.Row(best), p.ResidentPool().H.Row(best), ph); err != nil {
 			t.Fatal(err)
 		}
 	}

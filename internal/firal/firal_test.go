@@ -118,7 +118,7 @@ func TestProposition4Equivalence(t *testing.T) {
 	for i := range z {
 		z[i] = rng.Float64()
 	}
-	st, err := newRoundState(p, z, b, eta, timing.New())
+	st, err := testRoundState(p, z, b, eta, timing.New())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -139,8 +139,8 @@ func TestProposition4Equivalence(t *testing.T) {
 	d, c := p.D(), p.C()
 	for i := 0; i < n; i++ {
 		// Dense H_i truncated to diagonal blocks.
-		hi := p.Pool.H.Row(i)
-		xi := p.Pool.X.Row(i)
+		hi := p.ResidentPool().H.Row(i)
+		xi := p.ResidentPool().X.Row(i)
 		hiBD := mat.NewDense(d*c, d*c)
 		for k := 0; k < c; k++ {
 			blk := mat.NewDense(d, d)
@@ -270,11 +270,11 @@ func TestNuSolvesFTRLEquation(t *testing.T) {
 	z := uniformSimplex(p.N())
 	mat.Scal(3, z)
 	eta := 4.0
-	st, err := newRoundState(p, z, 3, eta, timing.New())
+	st, err := testRoundState(p, z, 3, eta, timing.New())
 	if err != nil {
 		t.Fatal(err)
 	}
-	nu, err := st.Update(p.Pool.X.Row(0), p.Pool.H.Row(0), timing.New())
+	nu, err := st.Update(p.ResidentPool().X.Row(0), p.ResidentPool().H.Row(0), timing.New())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -405,4 +405,11 @@ func TestBudgetLargerThanPool(t *testing.T) {
 	if len(res.Selected) != 4 {
 		t.Fatalf("expected all 4 pool points, got %d", len(res.Selected))
 	}
+}
+
+// testRoundState builds a fresh RoundState from a Problem — the
+// non-pooled form of the RoundFast setup, for tests that exercise the
+// state directly.
+func testRoundState(p *Problem, z []float64, b int, eta float64, ph *timing.Phases) (*RoundState, error) {
+	return NewRoundState(p.SigmaBlocks(z), p.labeledBlocks(), b, eta, ph)
 }

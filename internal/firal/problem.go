@@ -14,6 +14,7 @@
 package firal
 
 import (
+	"errors"
 	"math"
 
 	"repro/internal/hessian"
@@ -29,9 +30,16 @@ import (
 // output. C() below therefore reports the number of Fisher blocks (c−1),
 // and ẽd = d·(c−1). The full-softmax parametrization would make every Σz
 // singular along the gauge directions 1 ⊗ u and stall the CG solves.
+//
+// The pool is a hessian.Pool: a resident Set or a block-streaming Stream
+// over a dataset.PoolSource. The fast RELAX/ROUND path only touches the
+// pool through the blocked Pool kernels, so Approx-FIRAL selects from
+// pools that never materialize as one matrix; the exact Algorithm-1
+// solvers assemble dense pool Hessians and require residency (see
+// ResidentPool).
 type Problem struct {
 	Labeled *hessian.Set // Xo
-	Pool    *hessian.Set // Xu
+	Pool    hessian.Pool // Xu
 
 	// labBlocks caches the z-independent labeled block-diagonal
 	// Σ_i∈Xo h_ik(1−h_ik) x_i x_iᵀ, which every SigmaBlocks call reuses.
@@ -40,11 +48,23 @@ type Problem struct {
 }
 
 // NewProblem validates dimensions and builds a Problem.
-func NewProblem(labeled, pool *hessian.Set) *Problem {
+func NewProblem(labeled *hessian.Set, pool hessian.Pool) *Problem {
 	if labeled.D() != pool.D() || labeled.C() != pool.C() {
 		panic("firal: labeled/pool dimension mismatch")
 	}
 	return &Problem{Labeled: labeled, Pool: pool}
+}
+
+// ErrResidentPool is returned by the exact Algorithm-1 solvers when the
+// pool streams from a PoolSource: they assemble dense pool Hessians and
+// per-point outer products, which requires the resident representation.
+var ErrResidentPool = errors.New("firal: exact FIRAL requires a resident pool (hessian.Set)")
+
+// ResidentPool returns the pool as a resident Set, or nil when the pool
+// is block-streaming.
+func (p *Problem) ResidentPool() *hessian.Set {
+	s, _ := p.Pool.(*hessian.Set)
+	return s
 }
 
 // D returns the feature dimension d.
@@ -123,9 +143,10 @@ func (p *Problem) SigmaBlocksInto(ws *mat.Workspace, dst []*mat.Dense, z []float
 }
 
 // DenseSigma assembles Σz densely (Exact-FIRAL only; O((dc)²) storage).
+// It panics on a streaming pool — exact callers check ResidentPool first.
 func (p *Problem) DenseSigma(z []float64) *mat.Dense {
 	s := p.Labeled.DenseSum(nil)
-	s.AddScaled(1, p.Pool.DenseSum(z))
+	s.AddScaled(1, p.ResidentPool().DenseSum(z))
 	return s
 }
 

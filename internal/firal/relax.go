@@ -3,6 +3,7 @@ package firal
 import (
 	"context"
 	"math"
+	"sync"
 
 	"repro/internal/krylov"
 	"repro/internal/mat"
@@ -10,6 +11,59 @@ import (
 	"repro/internal/sketch"
 	"repro/internal/timing"
 )
+
+// relaxScratch pools the per-call setup of RelaxFast: the workspace, the
+// hoisted probe/gradient buffers, the preconditioner factor storage, the
+// Σz block cache, and the CG result and objective-history slices. For the
+// paper-scale solves this setup is noise, but a session running many
+// small rounds (the Table V schedules select 5–10 points per round) used
+// to pay it per selection; with the pool a steady-state round reuses the
+// previous round's storage whenever the shapes match. Only z and the
+// RelaxResult escape and stay per-call.
+type relaxScratch struct {
+	n, ed, s, c, d int
+	ws             *mat.Workspace
+	g              []float64
+	vj, wj, col    []float64
+	v, w, hpw, w2  *mat.Dense
+	sigBlocks      []*mat.Dense
+	fHist          []float64
+	cg             []krylov.Result
+	bp             *BlockPreconditionerWS
+}
+
+var relaxScratchPool = sync.Pool{New: func() any {
+	return &relaxScratch{ws: mat.NewWorkspace(), bp: NewBlockPreconditionerWS()}
+}}
+
+// getRelaxScratch draws a scratch set from the pool, resizing whichever
+// buffers do not match the requested shape (a reuse with the same shape
+// allocates nothing).
+func getRelaxScratch(n, ed, s, c, d int) *relaxScratch {
+	sc := relaxScratchPool.Get().(*relaxScratch)
+	if sc.n != n {
+		sc.g = make([]float64, n)
+	}
+	if sc.ed != ed {
+		sc.vj = make([]float64, ed)
+		sc.wj = make([]float64, ed)
+		sc.col = make([]float64, ed)
+	}
+	if sc.ed != ed || sc.s != s {
+		sc.v = mat.NewDense(ed, s)
+		sc.w = mat.NewDense(ed, s)
+		sc.hpw = mat.NewDense(ed, s)
+		sc.w2 = mat.NewDense(ed, s)
+	}
+	if sc.c != c || sc.d != d {
+		sc.sigBlocks = nil // SigmaBlocksInto re-allocates to the new shape
+	}
+	sc.n, sc.ed, sc.s, sc.c, sc.d = n, ed, s, c, d
+	sc.fHist = sc.fHist[:0]
+	return sc
+}
+
+func (sc *relaxScratch) release() { relaxScratchPool.Put(sc) }
 
 // RelaxOptions configure the RELAX solvers (exact Algorithm 1 lines 1–9
 // and fast Algorithm 2).
@@ -168,28 +222,25 @@ func RelaxFast(ctx context.Context, p *Problem, b int, o RelaxOptions) (*RelaxRe
 	res := &RelaxResult{Timings: timing.New()}
 	ph := res.Timings
 
-	// All per-iteration buffers are hoisted and every solver below draws
-	// its scratch from ws — including the preconditioner state, whose
-	// Cholesky factors are refactored in place each iteration — so the
-	// mirror-descent loop is allocation-free after the first iteration
-	// (aside from the recorded histories).
-	ws := mat.NewWorkspace()
-	g := make([]float64, n)
-	vj := make([]float64, ed)
-	wj := make([]float64, ed)
-	col := make([]float64, ed)
-	v := mat.NewDense(ed, s)
-	w := mat.NewDense(ed, s)
-	hpw := mat.NewDense(ed, s)
-	w2 := mat.NewDense(ed, s)
-	var sigBlocks []*mat.Dense
-	var fHist []float64
+	// All per-iteration buffers are hoisted — drawn from the pooled
+	// scratch, so consecutive same-shaped selections reuse them across
+	// calls — and every solver below draws its transient scratch from ws,
+	// including the preconditioner state, whose Cholesky factors are
+	// refactored in place each iteration. The mirror-descent loop is
+	// therefore allocation-free after the first iteration (aside from the
+	// recorded histories).
+	sc := getRelaxScratch(n, ed, s, p.C(), p.D())
+	defer sc.release()
+	ws := sc.ws
+	g := sc.g
+	vj, wj, col := sc.vj, sc.wj, sc.col
+	v, w, hpw, w2 := sc.v, sc.w, sc.hpw, sc.w2
 
 	cgOpt := krylov.Options{Tol: o.CGTol, MaxIter: o.CGMaxIter, Workspace: ws}
 	poolMV := p.PoolMatVecWS(ws)
 	// The operator closes over z, which the mirror step updates in place.
 	sigmaMV := p.SigmaMatVecWS(ws, z)
-	bp := NewBlockPreconditionerWS()
+	bp := sc.bp
 	precond := krylov.Op(bp.Apply)
 
 	for t := 1; t <= o.MaxIter; t++ {
@@ -204,8 +255,8 @@ func RelaxFast(ctx context.Context, p *Problem, b int, o RelaxOptions) (*RelaxRe
 		// Line 5: block-diagonal preconditioner for Σz, refactored into the
 		// state's persistent storage.
 		stop = ph.Start("precond")
-		sigBlocks = p.SigmaBlocksInto(ws, sigBlocks, z)
-		err := bp.Update(sigBlocks)
+		sc.sigBlocks = p.SigmaBlocksInto(ws, sc.sigBlocks, z)
+		err := bp.Update(sc.sigBlocks)
 		stop()
 		if err != nil {
 			return nil, err
@@ -215,10 +266,10 @@ func RelaxFast(ctx context.Context, p *Problem, b int, o RelaxOptions) (*RelaxRe
 		// the buffer reuse must not introduce warm starts).
 		stop = ph.Start("cg")
 		w.Zero()
-		cgRes := krylov.SolveColumns(ctx, sigmaMV, precond, v, w, cgOpt)
-		res.CGIterations += krylov.TotalIterations(cgRes)
+		sc.cg = krylov.SolveColumnsInto(ctx, sigmaMV, precond, v, w, sc.cg, cgOpt)
+		res.CGIterations += krylov.TotalIterations(sc.cg)
 		stop()
-		if err := krylov.FirstError(cgRes); err != nil {
+		if err := krylov.FirstError(sc.cg); err != nil {
 			return nil, err
 		}
 
@@ -237,10 +288,10 @@ func RelaxFast(ctx context.Context, p *Problem, b int, o RelaxOptions) (*RelaxRe
 		// Line 8: W ← Σz⁻¹ W by preconditioned CG.
 		stop = ph.Start("cg")
 		w2.Zero()
-		cgRes = krylov.SolveColumns(ctx, sigmaMV, precond, hpw, w2, cgOpt)
-		res.CGIterations += krylov.TotalIterations(cgRes)
+		sc.cg = krylov.SolveColumnsInto(ctx, sigmaMV, precond, hpw, w2, sc.cg, cgOpt)
+		res.CGIterations += krylov.TotalIterations(sc.cg)
 		stop()
-		if err := krylov.FirstError(cgRes); err != nil {
+		if err := krylov.FirstError(sc.cg); err != nil {
 			return nil, err
 		}
 
@@ -260,11 +311,11 @@ func RelaxFast(ctx context.Context, p *Problem, b int, o RelaxOptions) (*RelaxRe
 		stop()
 
 		res.Iterations = t
-		fHist = append(fHist, f)
+		sc.fHist = append(sc.fHist, f)
 		if o.RecordObjective {
 			res.Objectives = append(res.Objectives, f)
 		}
-		if o.FixedIterations == 0 && StochasticConverged(fHist, o.ObjTol) {
+		if o.FixedIterations == 0 && StochasticConverged(sc.fHist, o.ObjTol) {
 			break
 		}
 	}

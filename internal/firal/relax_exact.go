@@ -16,6 +16,10 @@ import (
 // motivates Approx-FIRAL (Table II). The context is checked once per
 // mirror-descent iteration.
 func RelaxExact(ctx context.Context, p *Problem, b int, o RelaxOptions) (*RelaxResult, error) {
+	pool := p.ResidentPool()
+	if pool == nil {
+		return nil, ErrResidentPool
+	}
 	o.defaults()
 	n, d, c := p.N(), p.D(), p.C()
 	z := uniformSimplex(n)
@@ -24,7 +28,7 @@ func RelaxExact(ctx context.Context, p *Problem, b int, o RelaxOptions) (*RelaxR
 
 	// Hp is constant across iterations.
 	stop := ph.Start("dense")
-	hp := p.Pool.DenseSum(nil)
+	hp := pool.DenseSum(nil)
 	stop()
 
 	g := make([]float64, n)
@@ -58,15 +62,15 @@ func RelaxExact(ctx context.Context, p *Problem, b int, o RelaxOptions) (*RelaxR
 		for k := 0; k < c; k++ {
 			for l := k; l < c; l++ {
 				blk := mat.Block(m, k, l, d)
-				mat.Mul(xm, p.Pool.X, blk)
-				mat.RowDots(q, p.Pool.X, xm)
+				mat.Mul(xm, pool.X, blk)
+				mat.RowDots(q, pool.X, xm)
 				mult := 1.0
 				if l != k {
 					mult = 2 // symmetric pair (k,l) and (l,k)
 				}
 				for i := 0; i < n; i++ {
-					hik := p.Pool.H.At(i, k)
-					hil := p.Pool.H.At(i, l)
+					hik := pool.H.At(i, k)
+					hil := pool.H.At(i, l)
 					s := -hik * hil
 					if k == l {
 						s += hik

@@ -19,7 +19,7 @@ func TestExactGradientFiniteDifference(t *testing.T) {
 
 	// Analytic gradient (the inner loop of RelaxExact, recomputed here
 	// explicitly from the dense operators).
-	hp := p.Pool.DenseSum(nil)
+	hp := p.ResidentPool().DenseSum(nil)
 	sigma := p.DenseSigma(z)
 	sigInv, err := mat.InvSPD(sigma)
 	if err != nil {
@@ -28,7 +28,7 @@ func TestExactGradientFiniteDifference(t *testing.T) {
 	m := mat.Mul(nil, mat.Mul(nil, sigInv, hp), sigInv)
 	grad := make([]float64, n)
 	for i := 0; i < n; i++ {
-		hi := hessian.DensePoint(p.Pool.X.Row(i), p.Pool.H.Row(i))
+		hi := hessian.DensePoint(p.ResidentPool().X.Row(i), p.ResidentPool().H.Row(i))
 		grad[i] = -mat.FrobDot(hi, m)
 	}
 
@@ -59,7 +59,7 @@ func TestExactGradientFiniteDifference(t *testing.T) {
 func TestRelaxFastHandlesConfidentModel(t *testing.T) {
 	p := testProblem(40, 8, 20, 3, 3)
 	// Push probabilities to near-one-hot.
-	for _, set := range []*hessian.Set{p.Labeled, p.Pool} {
+	for _, set := range []*hessian.Set{p.Labeled, p.ResidentPool()} {
 		for i := 0; i < set.N(); i++ {
 			row := set.H.Row(i)
 			for k := range row {
@@ -89,8 +89,8 @@ func TestRoundFastHandlesDegeneratePool(t *testing.T) {
 	x := mat.NewDense(8, 3)
 	h := mat.NewDense(8, 2)
 	for i := 0; i < 8; i++ {
-		copy(x.Row(i), base.Pool.X.Row(0))
-		copy(h.Row(i), base.Pool.H.Row(0))
+		copy(x.Row(i), base.ResidentPool().X.Row(0))
+		copy(h.Row(i), base.ResidentPool().H.Row(0))
 	}
 	p := NewProblem(base.Labeled, hessian.NewSet(x, h))
 	z := uniformSimplex(8)

@@ -43,6 +43,10 @@ type RoundResult struct {
 // candidate after an O((dc)³) per-round setup; RoundOptions.Naive selects
 // the direct dense inverse per candidate instead.
 func RoundExact(p *Problem, z []float64, b int, o RoundOptions) (*RoundResult, error) {
+	pool := p.ResidentPool()
+	if pool == nil {
+		return nil, ErrResidentPool
+	}
 	if o.Eta <= 0 {
 		o.Eta = p.DefaultEta()
 	}
@@ -99,15 +103,15 @@ func RoundExact(p *Problem, z []float64, b int, o RoundOptions) (*RoundResult, e
 			for kk := 0; kk < c; kk++ {
 				for ll := kk; ll < c; ll++ {
 					blk := mat.Block(m1, kk, ll, d)
-					mat.Mul(xm, p.Pool.X, blk)
+					mat.Mul(xm, pool.X, blk)
 					buf := make([]float64, n)
-					mat.RowDots(buf, p.Pool.X, xm)
+					mat.RowDots(buf, pool.X, xm)
 					gAll[kk*c+ll] = buf
 					gAll[ll*c+kk] = buf
 					blk2 := mat.Block(m2, kk, ll, d)
-					mat.Mul(xm, p.Pool.X, blk2)
+					mat.Mul(xm, pool.X, blk2)
 					buf2 := make([]float64, n)
-					mat.RowDots(buf2, p.Pool.X, xm)
+					mat.RowDots(buf2, pool.X, xm)
 					pAll[kk*c+ll] = buf2
 					pAll[ll*c+kk] = buf2
 				}
@@ -117,7 +121,7 @@ func RoundExact(p *Problem, z []float64, b int, o RoundOptions) (*RoundResult, e
 			pi := mat.NewDense(c, c)
 			si := mat.NewDense(c, c)
 			for i := 0; i < n; i++ {
-				hi := p.Pool.H.Row(i)
+				hi := pool.H.Row(i)
 				for kk := 0; kk < c; kk++ {
 					for ll := 0; ll < c; ll++ {
 						gi.Set(kk, ll, gAll[kk*c+ll][i])
@@ -163,7 +167,7 @@ func RoundExact(p *Problem, z []float64, b int, o RoundOptions) (*RoundResult, e
 		res.Objectives = append(res.Objectives, bestV)
 
 		// Line 15: H̃ ← H̃ + (1/b)H̃o + H̃_it.
-		hit := hessian.DensePoint(p.Pool.X.Row(best), p.Pool.H.Row(best))
+		hit := hessian.DensePoint(pool.X.Row(best), pool.H.Row(best))
 		hitT := mat.Mul(nil, mat.Mul(nil, isqrt, hit), isqrt)
 		hTilde.AddScaled(1/float64(b), hoTilde)
 		hTilde.AddScaled(1, hitT)
@@ -199,8 +203,9 @@ func RoundExact(p *Problem, z []float64, b int, o RoundOptions) (*RoundResult, e
 // inverse per candidate — the literal line 14 of Algorithm 1, used as the
 // ground truth in tests.
 func roundExactNaiveObjective(p *Problem, k, isqrt *mat.Dense, eta float64, ri []float64) {
+	pool := p.ResidentPool()
 	for i := 0; i < p.N(); i++ {
-		hit := hessian.DensePoint(p.Pool.X.Row(i), p.Pool.H.Row(i))
+		hit := hessian.DensePoint(pool.X.Row(i), pool.H.Row(i))
 		hitT := mat.Mul(nil, mat.Mul(nil, isqrt, hit), isqrt)
 		m := k.Clone()
 		m.AddScaled(eta, hitT)
@@ -271,9 +276,10 @@ func minEigSelectedBlocks(p *Problem, selected []int, b float64) float64 {
 	if len(selected) == 0 {
 		return 0
 	}
+	pool := p.ResidentPool()
 	blocks := p.Labeled.BlockDiagSum(nil)
 	for _, i := range selected {
-		hessian.AddBlockDiagPoint(blocks, p.Pool.X.Row(i), p.Pool.H.Row(i), 1)
+		hessian.AddBlockDiagPoint(blocks, pool.X.Row(i), pool.H.Row(i), 1)
 	}
 	minEig := math.Inf(1)
 	for _, blk := range blocks {

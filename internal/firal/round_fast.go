@@ -2,6 +2,7 @@ package firal
 
 import (
 	"math"
+	"sync"
 
 	"repro/internal/hessian"
 	"repro/internal/mat"
@@ -30,10 +31,11 @@ type RoundState struct {
 	// warm-up. A RoundState is owned by one goroutine.
 	ws     *mat.Workspace
 	tmp    *mat.Dense   // d×d product scratch
-	pk     *mat.Dense   // d×d product scratch (P_k, H̃_k)
+	pk     *mat.Dense   // d×d product scratch (H̃_k)
 	chol   mat.Cholesky // persistent factor storage for the (B_t)⁻¹ rebuild
-	xm     *mat.Dense   // n×d Scores scratch (lazily sized to the pool)
-	qp, qb []float64    // n Scores row-dot scratch
+	pks    []*mat.Dense // per-class P_k = B⁻¹_k (Σ⋄)_k B⁻¹_k (Scores)
+	xmBuf  []float64    // block×d Scores product scratch (lazily sized)
+	qp, qb []float64    // block Scores row-dot scratch
 	lamBuf []float64    // concatenated eigenvalues (Eigvals)
 	valBuf []float64    // single-block eigenvalues (Eigvals)
 	nuBuf  []float64    // scaled eigenvalues (FinishUpdate)
@@ -46,24 +48,39 @@ type RoundState struct {
 // must not be mutated by the caller afterwards; the state itself only
 // reads them (callers may pass cached blocks they also keep).
 func NewRoundState(sig, ho []*mat.Dense, b int, eta float64, ph *timing.Phases) (*RoundState, error) {
+	return newRoundStateInto(nil, sig, ho, b, eta, ph)
+}
+
+// newRoundStateInto is NewRoundState reusing a previous state's storage
+// (pooled by RoundFast): when prev matches the block shape, its scratch,
+// accumulators, and inverse-block storage are recycled and only the
+// genuinely input-dependent eigendecompositions behind (Σ⋄)_k^{-1/2}
+// allocate. A nil or mismatched prev builds fresh storage.
+func newRoundStateInto(prev *RoundState, sig, ho []*mat.Dense, b int, eta float64, ph *timing.Phases) (*RoundState, error) {
 	c := len(sig)
 	if c == 0 || len(ho) != c {
 		panic("firal: RoundState needs matching non-empty block sets")
 	}
 	d := sig[0].Rows
-	st := &RoundState{
-		eta: eta, b: b, d: d, c: c, edF: float64(d * c),
-		sig:  sig,
-		ho:   ho,
-		hacc: make([]*mat.Dense, c),
-		binv: make([]*mat.Dense, c),
-		ws:   mat.NewWorkspace(),
-		tmp:  mat.NewDense(d, d),
-		pk:   mat.NewDense(d, d),
+	st := prev
+	if st == nil || st.d != d || st.c != c {
+		st = &RoundState{
+			d: d, c: c,
+			hacc:  make([]*mat.Dense, c),
+			binv:  make([]*mat.Dense, c),
+			isqrt: make([]*mat.Dense, c),
+			ws:    mat.NewWorkspace(),
+			tmp:   mat.NewDense(d, d),
+			pk:    mat.NewDense(d, d),
+		}
+		for k := 0; k < c; k++ {
+			st.hacc[k] = mat.NewDense(d, d)
+		}
 	}
+	st.eta, st.b, st.edF = eta, b, float64(d*c)
+	st.sig, st.ho = sig, ho
 
 	stop := ph.Start("eig")
-	st.isqrt = make([]*mat.Dense, c)
 	for k := 0; k < c; k++ {
 		sf, err := mat.NewSPDFuncs(st.sig[k], 1e-10)
 		if err != nil {
@@ -83,8 +100,8 @@ func NewRoundState(sig, ho []*mat.Dense, b int, eta float64, ph *timing.Phases) 
 		if _, err := st.chol.FactorRidge(b1, choleskyRidge); err != nil {
 			return nil, err
 		}
-		st.binv[k] = st.chol.InverseInto(st.ws, nil)
-		st.hacc[k] = mat.NewDense(d, d)
+		st.binv[k] = st.chol.InverseInto(st.ws, st.binv[k])
+		st.hacc[k].Zero()
 	}
 	stop()
 	return st, nil
@@ -94,14 +111,18 @@ func NewRoundState(sig, ho []*mat.Dense, b int, eta float64, ph *timing.Phases) 
 func (st *RoundState) NumBlocks() int { return st.c }
 
 // Scores evaluates the equivalent ROUND objective of Proposition 4 /
-// Eq. 17 for every point of set (scores to maximize):
+// Eq. 17 for every point of pool (scores to maximize):
 //
 //	r_i = Σ_k γ_ik · x_iᵀ B⁻¹_k (Σ⋄)_k B⁻¹_k x_i / (1 + η γ_ik x_iᵀ B⁻¹_k x_i)
 //
-// with γ_ik = h_ik(1 − h_ik). Each class contributes two batched GEMM +
-// row-dot passes, so the cost is O(n c d²) per round (Table II).
-func (st *RoundState) Scores(set *hessian.Set, dst []float64) {
-	n := set.N()
+// with γ_ik = h_ik(1 − h_ik). The pool is visited in row blocks
+// (outermost) with all c classes evaluated per block, so a streamed pool
+// is read exactly once per rescoring pass; each class contributes two
+// batched GEMM + row-dot passes per block and the cost is O(n c d²) per
+// round (Table II). The per-class P_k products are hoisted into
+// persistent state before the sweep.
+func (st *RoundState) Scores(pool hessian.Pool, dst []float64) {
+	n := pool.N()
 	if len(dst) != n {
 		panic("firal: scores destination length mismatch")
 	}
@@ -109,28 +130,46 @@ func (st *RoundState) Scores(set *hessian.Set, dst []float64) {
 	if n == 0 {
 		return
 	}
-	if st.xm == nil || st.xm.Rows != n {
-		st.xm = mat.NewDense(n, st.d)
-		st.qp = make([]float64, n)
-		st.qb = make([]float64, n)
-	}
-	xm, qp, qb := st.xm, st.qp, st.qb
-	for k := 0; k < st.c; k++ {
-		// P_k = B⁻¹_k (Σ⋄)_k B⁻¹_k.
-		mat.Mul(st.tmp, st.binv[k], st.sig[k])
-		mat.Mul(st.pk, st.tmp, st.binv[k])
-		mat.Mul(xm, set.X, st.pk)
-		mat.RowDots(qp, set.X, xm)
-		mat.Mul(xm, set.X, st.binv[k])
-		mat.RowDots(qb, set.X, xm)
-		for i := 0; i < n; i++ {
-			h := set.H.At(i, k)
-			gamma := h * (1 - h)
-			if gamma == 0 {
-				continue
-			}
-			dst[i] += gamma * qp[i] / (1 + st.eta*gamma*qb[i])
+	// P_k = B⁻¹_k (Σ⋄)_k B⁻¹_k, shared by every block of this pass.
+	if st.pks == nil {
+		st.pks = make([]*mat.Dense, st.c)
+		for k := range st.pks {
+			st.pks[k] = mat.NewDense(st.d, st.d)
 		}
+	}
+	for k := 0; k < st.c; k++ {
+		mat.Mul(st.tmp, st.binv[k], st.sig[k])
+		mat.Mul(st.pks[k], st.tmp, st.binv[k])
+	}
+	h := pool.Probs()
+	bs := min(pool.BlockRows(), n)
+	if cap(st.xmBuf) < bs*st.d {
+		st.xmBuf = make([]float64, bs*st.d)
+		st.qp = make([]float64, bs)
+		st.qb = make([]float64, bs)
+	}
+	for lo := 0; lo < n; lo += bs {
+		hi := min(lo+bs, n)
+		m := hi - lo
+		xb := pool.Block(st.ws, lo, hi)
+		xm := st.ws.View(st.xmBuf[:m*st.d], m, st.d)
+		qp, qb := st.qp[:m], st.qb[:m]
+		for k := 0; k < st.c; k++ {
+			mat.Mul(xm, xb, st.pks[k])
+			mat.RowDots(qp, xb, xm)
+			mat.Mul(xm, xb, st.binv[k])
+			mat.RowDots(qb, xb, xm)
+			for i := 0; i < m; i++ {
+				hv := h.At(lo+i, k)
+				gamma := hv * (1 - hv)
+				if gamma == 0 {
+					continue
+				}
+				dst[lo+i] += gamma * qp[i] / (1 + st.eta*gamma*qb[i])
+			}
+		}
+		st.ws.PutView(xm)
+		pool.PutBlock(st.ws, xb)
 	}
 }
 
@@ -237,17 +276,63 @@ func (st *RoundState) MinEig() float64 {
 	return minEig
 }
 
+// roundScratch pools RoundFast's per-call setup: the score and selection
+// vectors plus the previous RoundState and Σ⋄ blocks, whose storage the
+// next same-shaped call reuses (the state retains the blocks, so both
+// recycle together — a pooled state never outlives its blocks). Like the
+// RELAX scratch pool this only matters for tiny rounds, where the setup
+// used to rival the solve.
+type roundScratch struct {
+	n, d, c  int
+	ws       *mat.Workspace // block-setup scratch (SigmaBlocksInto)
+	scores   []float64
+	selected []bool
+	rowBuf   []float64
+	sig      []*mat.Dense
+	st       *RoundState
+}
+
+var roundScratchPool = sync.Pool{New: func() any { return &roundScratch{ws: mat.NewWorkspace()} }}
+
+func getRoundScratch(n, d, c int) *roundScratch {
+	sc := roundScratchPool.Get().(*roundScratch)
+	if sc.n != n {
+		sc.scores = make([]float64, n)
+		sc.selected = make([]bool, n)
+	} else {
+		for i := range sc.selected {
+			sc.selected[i] = false
+		}
+	}
+	if sc.d != d {
+		sc.rowBuf = make([]float64, d)
+	}
+	if sc.d != d || sc.c != c {
+		sc.sig = nil // SigmaBlocksInto re-allocates to the new shape
+		sc.st = nil  // newRoundStateInto builds fresh storage
+	}
+	sc.n, sc.d, sc.c = n, d, c
+	return sc
+}
+
+func (sc *roundScratch) release() { roundScratchPool.Put(sc) }
+
 // newRoundState assembles the blocks from a serial Problem and delegates
-// to NewRoundState. The Σ⋄ blocks are freshly allocated (the state
-// retains them); the Ho blocks alias the Problem's labeled-block cache,
-// which SigmaBlocks just warmed — safe because both the cache and the
+// to newRoundStateInto with the scratch's pooled state and block storage.
+// The Ho blocks alias the Problem's labeled-block cache, which
+// SigmaBlocksInto just warmed — safe because both the cache and the
 // RoundState treat them as read-only.
-func newRoundState(p *Problem, z []float64, b int, eta float64, ph *timing.Phases) (*RoundState, error) {
+func newRoundState(p *Problem, sc *roundScratch, z []float64, b int, eta float64, ph *timing.Phases) (*RoundState, error) {
 	stop := ph.Start("other")
-	sig := p.SigmaBlocks(z)
+	sc.sig = p.SigmaBlocksInto(sc.ws, sc.sig, z)
 	ho := p.labeledBlocks()
 	stop()
-	return NewRoundState(sig, ho, b, eta, ph)
+	st, err := newRoundStateInto(sc.st, sc.sig, ho, b, eta, ph)
+	if err != nil {
+		return nil, err
+	}
+	sc.st = st
+	return st, nil
 }
 
 // RoundFast runs the diagonal ROUND step of Algorithm 3: all Fisher
@@ -262,13 +347,15 @@ func RoundFast(p *Problem, z []float64, b int, o RoundOptions) (*RoundResult, er
 	res := &RoundResult{Timings: timing.New()}
 	ph := res.Timings
 
-	st, err := newRoundState(p, z, b, o.Eta, ph)
+	n := p.N()
+	sc := getRoundScratch(n, p.D(), p.C())
+	defer sc.release()
+	st, err := newRoundState(p, sc, z, b, o.Eta, ph)
 	if err != nil {
 		return nil, err
 	}
-	n := p.N()
-	scores := make([]float64, n)
-	selected := make(map[int]bool, b)
+	scores, selected, rowBuf := sc.scores, sc.selected, sc.rowBuf
+	probs := p.Pool.Probs()
 
 	for t := 1; t <= b; t++ {
 		stop := ph.Start("objective")
@@ -293,7 +380,7 @@ func RoundFast(p *Problem, z []float64, b int, o RoundOptions) (*RoundResult, er
 		res.Selected = append(res.Selected, best)
 		res.Objectives = append(res.Objectives, bestV)
 
-		nu, err := st.Update(p.Pool.X.Row(best), p.Pool.H.Row(best), ph)
+		nu, err := st.Update(p.Pool.Row(best, rowBuf), probs.Row(best), ph)
 		if err != nil {
 			return nil, err
 		}

@@ -19,12 +19,12 @@ func TestIterativeNuMatchesExact(t *testing.T) {
 	eta := 5.0
 
 	mkState := func() *RoundState {
-		st, err := newRoundState(p, z, 4, eta, timing.New())
+		st, err := testRoundState(p, z, 4, eta, timing.New())
 		if err != nil {
 			t.Fatal(err)
 		}
-		st.AddPoint(p.Pool.X.Row(0), p.Pool.H.Row(0))
-		st.AddPoint(p.Pool.X.Row(1), p.Pool.H.Row(1))
+		st.AddPoint(p.ResidentPool().X.Row(0), p.ResidentPool().H.Row(0))
+		st.AddPoint(p.ResidentPool().X.Row(1), p.ResidentPool().H.Row(1))
 		return st
 	}
 
@@ -67,11 +67,11 @@ func TestIterativeQuadratureWeightSum(t *testing.T) {
 	p := testProblem(61, 8, 16, 5, 3)
 	z := uniformSimplex(p.N())
 	mat.Scal(3, z)
-	st, err := newRoundState(p, z, 3, 4, timing.New())
+	st, err := testRoundState(p, z, 3, 4, timing.New())
 	if err != nil {
 		t.Fatal(err)
 	}
-	st.AddPoint(p.Pool.X.Row(2), p.Pool.H.Row(2))
+	st.AddPoint(p.ResidentPool().X.Row(2), p.ResidentPool().H.Row(2))
 	_, weights, err := st.EigQuadrature(0, st.c, IterativeNuOptions{Probes: 4, Steps: 5, Seed: 3})
 	if err != nil {
 		t.Fatal(err)
@@ -92,7 +92,7 @@ func TestSolveNuQuadratureDegenerate(t *testing.T) {
 	p := testProblem(62, 6, 10, 4, 3)
 	z := uniformSimplex(p.N())
 	mat.Scal(2, z)
-	st, err := newRoundState(p, z, 2, 3, timing.New())
+	st, err := testRoundState(p, z, 2, 3, timing.New())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -18,7 +18,6 @@ import (
 	"sync"
 
 	"repro/internal/mat"
-	"repro/internal/parallel"
 )
 
 // Set is a collection of points with attached class probabilities — the
@@ -144,53 +143,35 @@ func (s *Set) DenseSum(w []float64) *mat.Dense {
 //
 // A nil w means unit weights. dst is allocated when nil; dst must not
 // alias v. The cost is two n×d×c products — O(ndc) — versus O(n d²c²) for
-// the dense operator (Table III). It allocates its n×c scratch per call;
-// hot loops use MatVecWS with a warm Workspace to run allocation-free.
+// the dense operator (Table III). It allocates its block-sized scratch
+// per call; hot loops use MatVecWS with a warm Workspace to run
+// allocation-free.
 func (s *Set) MatVec(dst, v, w []float64) []float64 {
 	return s.MatVecWS(nil, dst, v, w)
 }
 
-// MatVecWS is MatVec with the n×c scratch product and the matrix-view
-// headers drawn from ws, so a warm workspace makes the call
-// allocation-free (the Set itself stays read-only, so one Set may be
+// MatVecWS is MatVec with all scratch — the per-block n_b×c products and
+// the matrix-view headers — drawn from ws, so a warm workspace makes the
+// call allocation-free (the Set itself stays read-only, so one Set may be
 // shared by goroutines as long as each passes its own Workspace). A nil
-// ws falls back to per-call allocation.
+// ws falls back to per-call allocation. The sum is accumulated block by
+// block (see Pool), which bounds the scratch to one row block regardless
+// of n.
 func (s *Set) MatVecWS(ws *mat.Workspace, dst, v, w []float64) []float64 {
-	n, d, c := s.N(), s.D(), s.C()
-	if dst == nil {
-		dst = make([]float64, d*c)
-	}
-	if len(v) != d*c {
-		panic("hessian: vector has wrong length")
-	}
-	vt := ws.View(v, c, d)
-	g := ws.Matrix(n, c)
-	mat.MulTransB(g, s.X, vt) // n×c
-	// Γ computed in place of G.
-	if parallel.Serial(n) {
-		gammaRange(g, s.H, w, 0, n)
-	} else {
-		t := gammaTasks.Get().(*chunkTask)
-		t.g, t.h, t.w = g, s.H, w
-		parallel.ForChunk(n, t.fn)
-		t.put(gammaTasks)
-	}
-	dt := ws.View(dst, c, d)
-	mat.MulTransA(dt, g, s.X) // c×d: row k = Σ_i Γ_ik x_iᵀ
-	ws.PutView(vt)
-	ws.PutView(dt)
-	ws.PutMatrix(g)
-	return dst
+	return poolMatVecWS(ws, s, dst, v, w)
 }
 
 // chunkTask carries the operands of a parallel loop in pooled storage
 // with a dispatch func bound once at pool-New time, so the hot MatVecWS
 // and QuadAccumWS paths hand the worker pool a func without allocating a
-// closure per call (see the kernel task pools in internal/mat).
+// closure per call (see the kernel task pools in internal/mat). base is
+// the global row index of the block's first row: the scratch products g
+// and gv are block-local while h, w, and dst are globally indexed.
 type chunkTask struct {
 	g, gv, h *mat.Dense
 	dst, w   []float64
 	scale    float64
+	base     int
 	fn       func(lo, hi int)
 }
 
@@ -201,26 +182,27 @@ func (t *chunkTask) put(p *sync.Pool) {
 
 var gammaTasks = &sync.Pool{New: func() any {
 	t := &chunkTask{}
-	t.fn = func(lo, hi int) { gammaRange(t.g, t.h, t.w, lo, hi) }
+	t.fn = func(lo, hi int) { gammaRange(t.g, t.h, t.w, t.base, lo, hi) }
 	return t
 }}
 
 var quadTasks = &sync.Pool{New: func() any {
 	t := &chunkTask{}
-	t.fn = func(lo, hi int) { quadRange(t.dst, t.g, t.gv, t.h, t.scale, lo, hi) }
+	t.fn = func(lo, hi int) { quadRange(t.dst, t.g, t.gv, t.h, t.scale, t.base, lo, hi) }
 	return t
 }}
 
-// gammaRange rewrites rows [lo, hi) of g in place:
-// g_ik ← w_i (g_ik − α_i) h_ik with α_i = Σ_k g_ik h_ik.
-func gammaRange(g, h *mat.Dense, w []float64, lo, hi int) {
+// gammaRange rewrites rows [lo, hi) of the block-local product g in
+// place: g_ik ← w_i (g_ik − α_i) h_ik with α_i = Σ_k g_ik h_ik. h and w
+// are globally indexed at base+i.
+func gammaRange(g, h *mat.Dense, w []float64, base, lo, hi int) {
 	for i := lo; i < hi; i++ {
 		gr := g.Row(i)
-		hr := h.Row(i)
+		hr := h.Row(base + i)
 		alpha := mat.Dot(gr, hr)
 		wi := 1.0
 		if w != nil {
-			wi = w[i]
+			wi = w[base+i]
 		}
 		for k := range gr {
 			gr[k] = wi * (gr[k] - alpha) * hr[k]
@@ -258,47 +240,25 @@ func (s *Set) QuadAccum(dst []float64, u, v []float64, scale float64) {
 	s.QuadAccumWS(nil, dst, u, v, scale)
 }
 
-// QuadAccumWS is QuadAccum with both n×c scratch products drawn from ws
-// (see MatVecWS for the workspace contract).
+// QuadAccumWS is QuadAccum with the per-block scratch products drawn
+// from ws (see MatVecWS for the workspace and blocking contract).
 func (s *Set) QuadAccumWS(ws *mat.Workspace, dst []float64, u, v []float64, scale float64) {
-	n, d, c := s.N(), s.D(), s.C()
-	if len(dst) != n {
-		panic("hessian: QuadAccum dst length mismatch")
-	}
-	if len(u) != d*c || len(v) != d*c {
-		panic("hessian: vector has wrong length")
-	}
-	ut := ws.View(u, c, d)
-	vt := ws.View(v, c, d)
-	gu := ws.Matrix(n, c)
-	gv := ws.Matrix(n, c)
-	mat.MulTransB(gu, s.X, ut) // n×c: x_iᵀ u_k
-	mat.MulTransB(gv, s.X, vt) // n×c: x_iᵀ v_k
-	if parallel.Serial(n) {
-		quadRange(dst, gu, gv, s.H, scale, 0, n)
-	} else {
-		t := quadTasks.Get().(*chunkTask)
-		t.dst, t.g, t.gv, t.h, t.scale = dst, gu, gv, s.H, scale
-		parallel.ForChunk(n, t.fn)
-		t.put(quadTasks)
-	}
-	ws.PutView(ut)
-	ws.PutView(vt)
-	ws.PutMatrix(gu)
-	ws.PutMatrix(gv)
+	poolQuadAccumWS(ws, s, dst, u, v, scale)
 }
 
-func quadRange(dst []float64, gu, gv, h *mat.Dense, scale float64, lo, hi int) {
+// quadRange accumulates dst[base+i] += scale·uᵀH_{base+i}v for block-local
+// rows [lo, hi) of the products gu, gv; h and dst are globally indexed.
+func quadRange(dst []float64, gu, gv, h *mat.Dense, scale float64, base, lo, hi int) {
 	for i := lo; i < hi; i++ {
 		hu := gu.Row(i)
 		hv := gv.Row(i)
-		hr := h.Row(i)
+		hr := h.Row(base + i)
 		alpha := mat.Dot(hv, hr)
 		var q float64
 		for k := range hr {
 			q += (hv[k] - alpha) * hr[k] * hu[k]
 		}
-		dst[i] += scale * q
+		dst[base+i] += scale * q
 	}
 }
 
@@ -327,29 +287,7 @@ func (s *Set) BlockDiagSum(w []float64) []*mat.Dense {
 // that rebuild the blocks every iteration (the RELAX preconditioner, the
 // distributed allreduce) reuse one set of buffers round to round.
 func (s *Set) BlockDiagSumInto(ws *mat.Workspace, blocks []*mat.Dense, w []float64) []*mat.Dense {
-	n, d, c := s.N(), s.D(), s.C()
-	if blocks == nil {
-		blocks = make([]*mat.Dense, c)
-		for k := range blocks {
-			blocks[k] = mat.NewDense(d, d)
-		}
-	} else if len(blocks) != c {
-		panic("hessian: BlockDiagSumInto block count mismatch")
-	}
-	u := ws.Vec(n)
-	for k := 0; k < c; k++ {
-		for i := 0; i < n; i++ {
-			wi := 1.0
-			if w != nil {
-				wi = w[i]
-			}
-			h := s.H.At(i, k)
-			u[i] = wi * h * (1 - h)
-		}
-		mat.WeightedGramWS(ws, blocks[k], s.X, u)
-	}
-	ws.PutVec(u)
-	return blocks
+	return poolBlockDiagSumInto(ws, s, blocks, w)
 }
 
 // AddBlockDiagPoint adds γ_k x xᵀ to each block (γ_k = h_k(1−h_k)),

@@ -1,0 +1,341 @@
+package hessian
+
+import (
+	"fmt"
+
+	"repro/internal/dataset"
+	"repro/internal/mat"
+	"repro/internal/parallel"
+)
+
+// Pool is the solver-facing view of a weighted point set: either the
+// resident Set or the block-streaming Stream. Every kernel that used to
+// sweep one resident n×d matrix — the Lemma-2 matvec, the Hutchinson
+// gradient accumulation, the Eq. 14 Gram blocks, and the ROUND rescoring
+// pass in internal/firal — instead visits the pool in contiguous row
+// blocks obtained from Block/PutBlock, so an out-of-core pool (mmap'd
+// float32 shards, CSV) flows through the same Workspace/worker-pool
+// machinery as a resident one.
+//
+// Probabilities stay resident: the n×c probability matrix is a factor d/c
+// smaller than the features and the solvers index it per row (the mirror
+// step, the argmax winner, the per-class γ weights), so only the O(n·d)
+// feature side streams.
+type Pool interface {
+	// N, D, C, Ed give the pool shape (points, features, classes, d·c).
+	N() int
+	D() int
+	C() int
+	Ed() int
+	// Probs returns the resident n×c probability matrix.
+	Probs() *mat.Dense
+	// Row returns feature row i, using buf (length ≥ D()) as scratch when
+	// the row must be fetched; resident pools return a view and ignore
+	// buf. The result is only valid until the next Row call with the same
+	// buf.
+	Row(i int, buf []float64) []float64
+	// BlockRows is the row-block granularity Block serves.
+	BlockRows() int
+	// Block returns feature rows [lo, hi) as a matrix, drawing any header
+	// or copy scratch from ws; release it with PutBlock. Resident pools
+	// return a zero-copy view. Sources are expected to fail at open time
+	// (see dataset.PoolSource); a read failure mid-sweep panics.
+	Block(ws *mat.Workspace, lo, hi int) *mat.Dense
+	// PutBlock releases a matrix obtained from Block.
+	PutBlock(ws *mat.Workspace, b *mat.Dense)
+	// MatVecWS computes dst = Σ_i w_i H_i v (Lemma 2); see Set.MatVec.
+	MatVecWS(ws *mat.Workspace, dst, v, w []float64) []float64
+	// QuadAccumWS adds scale·(uᵀH_i v) to dst[i] for every point.
+	QuadAccumWS(ws *mat.Workspace, dst []float64, u, v []float64, scale float64)
+	// BlockDiagSumInto computes the c diagonal d×d blocks of Σ_i w_i H_i.
+	BlockDiagSumInto(ws *mat.Workspace, blocks []*mat.Dense, w []float64) []*mat.Dense
+}
+
+// Set implements Pool with resident storage.
+
+// Probs returns the resident probability matrix H.
+func (s *Set) Probs() *mat.Dense { return s.H }
+
+// Row returns feature row i (a view; buf is ignored).
+func (s *Set) Row(i int, buf []float64) []float64 { return s.X.Row(i) }
+
+// BlockRows returns the default block granularity; every pool smaller
+// than it (all the paper-table configs that fit in RAM) is served as one
+// block, which keeps the resident fast paths on their historical
+// single-sweep behaviour.
+func (s *Set) BlockRows() int { return dataset.DefaultBlockRows }
+
+// Block returns rows [lo, hi) of X as a zero-copy view when X is compact
+// (the overwhelmingly common case), or copied into workspace scratch.
+func (s *Set) Block(ws *mat.Workspace, lo, hi int) *mat.Dense {
+	if s.X.Stride == s.X.Cols {
+		return ws.View(s.X.Data[lo*s.X.Cols:hi*s.X.Cols], hi-lo, s.X.Cols)
+	}
+	b := ws.Matrix(hi-lo, s.X.Cols)
+	for i := lo; i < hi; i++ {
+		copy(b.Row(i-lo), s.X.Row(i))
+	}
+	return b
+}
+
+// PutBlock releases a block obtained from Block.
+func (s *Set) PutBlock(ws *mat.Workspace, b *mat.Dense) {
+	if s.X.Stride == s.X.Cols {
+		ws.PutView(b)
+	} else {
+		ws.PutMatrix(b)
+	}
+}
+
+// Stream is the block-streaming Pool: features come from a
+// dataset.PoolSource block by block while the probability rows stay
+// resident. It is how selection scales past resident pools — an mmap'd
+// float32 shard set or a CSV file feeds the same solver kernels as an
+// in-memory matrix, with scratch bounded by one row block.
+//
+// Like Set, a Stream is read-only after construction and may be shared by
+// goroutines that each bring their own Workspace, provided the source's
+// ReadRows is concurrency-safe (all dataset sources are).
+type Stream struct {
+	src       dataset.PoolSource
+	res       dataset.Resident // non-nil: zero-copy fast path
+	h         *mat.Dense
+	blockRows int
+}
+
+// NewStream builds a streaming pool over src with resident reduced
+// probabilities probs (n×c, one row per source row — see ReduceProbs).
+// blockRows ≤ 0 selects dataset.DefaultBlockRows.
+func NewStream(src dataset.PoolSource, probs *mat.Dense, blockRows int) *Stream {
+	if probs.Rows != src.NumRows() {
+		panic(fmt.Sprintf("hessian: stream has %d probability rows for %d source rows",
+			probs.Rows, src.NumRows()))
+	}
+	if blockRows <= 0 {
+		blockRows = dataset.DefaultBlockRows
+	}
+	res, _ := src.(dataset.Resident)
+	return &Stream{src: src, res: res, h: probs, blockRows: blockRows}
+}
+
+// Source returns the underlying PoolSource.
+func (st *Stream) Source() dataset.PoolSource { return st.src }
+
+// N returns the number of points.
+func (st *Stream) N() int { return st.src.NumRows() }
+
+// D returns the feature dimension.
+func (st *Stream) D() int { return st.src.Dim() }
+
+// C returns the number of classes.
+func (st *Stream) C() int { return st.h.Cols }
+
+// Ed returns the Fisher dimension d·c.
+func (st *Stream) Ed() int { return st.D() * st.C() }
+
+// Probs returns the resident probability matrix.
+func (st *Stream) Probs() *mat.Dense { return st.h }
+
+// BlockRows returns the configured block granularity.
+func (st *Stream) BlockRows() int { return st.blockRows }
+
+// Row fetches feature row i into buf (resident sources return a view).
+func (st *Stream) Row(i int, buf []float64) []float64 {
+	if st.res != nil {
+		return st.res.ResidentRows(i, i+1)
+	}
+	d := st.D()
+	if len(buf) < d {
+		buf = make([]float64, d)
+	}
+	tmp := mat.Dense{Rows: 1, Cols: d, Stride: d, Data: buf[:d]}
+	if err := st.src.ReadRows(i, i+1, &tmp); err != nil {
+		panic(fmt.Sprintf("hessian: pool source read failed: %v", err))
+	}
+	return buf[:d]
+}
+
+// Block returns rows [lo, hi): a zero-copy view for resident sources,
+// otherwise decoded into workspace scratch.
+func (st *Stream) Block(ws *mat.Workspace, lo, hi int) *mat.Dense {
+	if st.res != nil {
+		return ws.View(st.res.ResidentRows(lo, hi), hi-lo, st.D())
+	}
+	b := ws.Matrix(hi-lo, st.D())
+	if err := st.src.ReadRows(lo, hi, b); err != nil {
+		panic(fmt.Sprintf("hessian: pool source read failed: %v", err))
+	}
+	return b
+}
+
+// PutBlock releases a block obtained from Block.
+func (st *Stream) PutBlock(ws *mat.Workspace, b *mat.Dense) {
+	if st.res != nil {
+		ws.PutView(b)
+	} else {
+		ws.PutMatrix(b)
+	}
+}
+
+// MatVecWS computes dst = Σ_i w_i H_i v block by block (see Set.MatVec).
+func (st *Stream) MatVecWS(ws *mat.Workspace, dst, v, w []float64) []float64 {
+	return poolMatVecWS(ws, st, dst, v, w)
+}
+
+// QuadAccumWS adds scale·(uᵀH_i v) to dst[i] for every point, block by
+// block (see Set.QuadAccum).
+func (st *Stream) QuadAccumWS(ws *mat.Workspace, dst []float64, u, v []float64, scale float64) {
+	poolQuadAccumWS(ws, st, dst, u, v, scale)
+}
+
+// BlockDiagSumInto computes the Eq. 14 diagonal blocks block by block
+// (see Set.BlockDiagSum).
+func (st *Stream) BlockDiagSumInto(ws *mat.Workspace, blocks []*mat.Dense, w []float64) []*mat.Dense {
+	return poolBlockDiagSumInto(ws, st, blocks, w)
+}
+
+// poolMatVecWS is the blocked Lemma-2 matvec engine shared by Set and
+// Stream: per block B it forms G_B = X_B Vᵀ, rewrites it into Γ_B, and
+// accumulates Γ_Bᵀ X_B into dst. A pool that fits one block (n ≤
+// BlockRows, every test-scale config) takes the direct path with no
+// accumulator, reproducing the historical resident kernel exactly.
+func poolMatVecWS(ws *mat.Workspace, p Pool, dst, v, w []float64) []float64 {
+	n, d, c := p.N(), p.D(), p.C()
+	if dst == nil {
+		dst = make([]float64, d*c)
+	}
+	if len(v) != d*c {
+		panic("hessian: vector has wrong length")
+	}
+	h := p.Probs()
+	bs := p.BlockRows()
+	vt := ws.View(v, c, d)
+	dt := ws.View(dst, c, d)
+	single := bs >= n
+	var acc *mat.Dense
+	if !single {
+		mat.Fill(dst, 0)
+		acc = ws.Matrix(c, d)
+	}
+	for lo := 0; lo < n; lo += bs {
+		hi := min(lo+bs, n)
+		m := hi - lo
+		xb := p.Block(ws, lo, hi)
+		g := ws.Matrix(m, c)
+		mat.MulTransB(g, xb, vt) // m×c: x_iᵀ v_k
+		// Γ computed in place of G.
+		if parallel.Serial(m) {
+			gammaRange(g, h, w, lo, 0, m)
+		} else {
+			t := gammaTasks.Get().(*chunkTask)
+			t.g, t.h, t.w, t.base = g, h, w, lo
+			parallel.ForChunk(m, t.fn)
+			t.put(gammaTasks)
+		}
+		if single {
+			mat.MulTransA(dt, g, xb) // c×d: row k = Σ_i Γ_ik x_iᵀ
+		} else {
+			mat.MulTransA(acc, g, xb)
+			dt.AddScaled(1, acc)
+		}
+		ws.PutMatrix(g)
+		p.PutBlock(ws, xb)
+	}
+	if acc != nil {
+		ws.PutMatrix(acc)
+	}
+	ws.PutView(vt)
+	ws.PutView(dt)
+	return dst
+}
+
+// poolQuadAccumWS is the blocked gradient-estimator engine shared by Set
+// and Stream (dst is globally indexed, so blocks accumulate in place).
+func poolQuadAccumWS(ws *mat.Workspace, p Pool, dst []float64, u, v []float64, scale float64) {
+	n, d, c := p.N(), p.D(), p.C()
+	if len(dst) != n {
+		panic("hessian: QuadAccum dst length mismatch")
+	}
+	if len(u) != d*c || len(v) != d*c {
+		panic("hessian: vector has wrong length")
+	}
+	h := p.Probs()
+	bs := p.BlockRows()
+	ut := ws.View(u, c, d)
+	vt := ws.View(v, c, d)
+	for lo := 0; lo < n; lo += bs {
+		hi := min(lo+bs, n)
+		m := hi - lo
+		xb := p.Block(ws, lo, hi)
+		gu := ws.Matrix(m, c)
+		gv := ws.Matrix(m, c)
+		mat.MulTransB(gu, xb, ut) // m×c: x_iᵀ u_k
+		mat.MulTransB(gv, xb, vt) // m×c: x_iᵀ v_k
+		if parallel.Serial(m) {
+			quadRange(dst, gu, gv, h, scale, lo, 0, m)
+		} else {
+			t := quadTasks.Get().(*chunkTask)
+			t.dst, t.g, t.gv, t.h, t.scale, t.base = dst, gu, gv, h, scale, lo
+			parallel.ForChunk(m, t.fn)
+			t.put(quadTasks)
+		}
+		ws.PutMatrix(gv)
+		ws.PutMatrix(gu)
+		p.PutBlock(ws, xb)
+	}
+	ws.PutView(ut)
+	ws.PutView(vt)
+}
+
+// poolBlockDiagSumInto is the blocked Eq. 14 Gram engine shared by Set
+// and Stream. Blocks are visited outermost so a streamed source is read
+// once per call, with all c class Grams accumulated per visit.
+func poolBlockDiagSumInto(ws *mat.Workspace, p Pool, blocks []*mat.Dense, w []float64) []*mat.Dense {
+	n, d, c := p.N(), p.D(), p.C()
+	if blocks == nil {
+		blocks = make([]*mat.Dense, c)
+		for k := range blocks {
+			blocks[k] = mat.NewDense(d, d)
+		}
+	} else if len(blocks) != c {
+		panic("hessian: BlockDiagSumInto block count mismatch")
+	}
+	h := p.Probs()
+	bs := p.BlockRows()
+	single := bs >= n
+	var acc *mat.Dense
+	if !single {
+		for k := range blocks {
+			blocks[k].Zero()
+		}
+		acc = ws.Matrix(d, d)
+	}
+	u := ws.Vec(min(bs, n))
+	for lo := 0; lo < n; lo += bs {
+		hi := min(lo+bs, n)
+		m := hi - lo
+		xb := p.Block(ws, lo, hi)
+		for k := 0; k < c; k++ {
+			for i := 0; i < m; i++ {
+				wi := 1.0
+				if w != nil {
+					wi = w[lo+i]
+				}
+				hv := h.At(lo+i, k)
+				u[i] = wi * hv * (1 - hv)
+			}
+			if single {
+				mat.WeightedGramWS(ws, blocks[k], xb, u)
+			} else {
+				mat.WeightedGramWS(ws, acc, xb, u[:m])
+				blocks[k].AddScaled(1, acc)
+			}
+		}
+		p.PutBlock(ws, xb)
+	}
+	ws.PutVec(u)
+	if acc != nil {
+		ws.PutMatrix(acc)
+	}
+	return blocks
+}

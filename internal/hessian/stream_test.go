@@ -1,0 +1,217 @@
+package hessian
+
+import (
+	"math"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/mat"
+	"repro/internal/rnd"
+)
+
+// streamTestData builds a random Set plus weights with awkward shapes.
+func streamTestData(seed int64, n, d, c int) (*Set, []float64) {
+	rng := rnd.New(seed)
+	x := mat.NewDense(n, d)
+	rng.Normal(x.Data, 0, 1)
+	h := mat.NewDense(n, c)
+	for i := 0; i < n; i++ {
+		row := h.Row(i)
+		var sum float64
+		for k := range row {
+			row[k] = 0.05 + rng.Float64()
+			sum += row[k]
+		}
+		for k := range row {
+			row[k] /= sum * 1.1 // interior probabilities, off the simplex boundary
+		}
+	}
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = rng.Float64()
+	}
+	return NewSet(x, h), w
+}
+
+func maxAbsDiff(a, b []float64) float64 {
+	var m float64
+	for i := range a {
+		if d := math.Abs(a[i] - b[i]); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// TestStreamMatchesSetOracle is the block-boundary property test: for
+// ragged n not divisible by the block size (and block sizes bracketing
+// n), every blocked kernel over a Stream must match the resident Set
+// oracle to summation-order tolerance — including MatVec accumulation
+// across blocks, the globally-indexed gradient accumulation, and the Gram
+// block accumulation.
+func TestStreamMatchesSetOracle(t *testing.T) {
+	const n, d, c = 997, 11, 4 // 997 is prime: ragged against every block size
+	set, w := streamTestData(5, n, d, c)
+	rng := rnd.New(6)
+	v := make([]float64, d*c)
+	u := make([]float64, d*c)
+	rng.Normal(v, 0, 1)
+	rng.Normal(u, 0, 1)
+
+	wantMV := set.MatVec(nil, v, w)
+	wantQuad := make([]float64, n)
+	set.QuadAccum(wantQuad, u, v, -0.5)
+	wantBlocks := set.BlockDiagSum(w)
+
+	for _, bs := range []int{1, 16, 64, 996, 997, 1024} {
+		stream := NewStream(dataset.NewMatrixSource(set.X), set.H, bs)
+		ws := mat.NewWorkspace()
+
+		gotMV := stream.MatVecWS(ws, nil, v, w)
+		if diff := maxAbsDiff(gotMV, wantMV); diff > 1e-10 {
+			t.Errorf("bs=%d: MatVec diverges from resident oracle by %g", bs, diff)
+		}
+		gotQuad := make([]float64, n)
+		stream.QuadAccumWS(ws, gotQuad, u, v, -0.5)
+		if diff := maxAbsDiff(gotQuad, wantQuad); diff > 1e-10 {
+			t.Errorf("bs=%d: QuadAccum diverges from resident oracle by %g", bs, diff)
+		}
+		gotBlocks := stream.BlockDiagSumInto(ws, nil, w)
+		for k := range wantBlocks {
+			if diff := maxAbsDiff(gotBlocks[k].Data, wantBlocks[k].Data); diff > 1e-9 {
+				t.Errorf("bs=%d: Gram block %d diverges by %g", bs, k, diff)
+			}
+		}
+	}
+}
+
+// TestResidentSetCrossesBlockBoundary pins the resident Set's own blocked
+// path: a pool larger than the default block size must agree with a
+// single-block sweep of the same data.
+func TestResidentSetCrossesBlockBoundary(t *testing.T) {
+	n := dataset.DefaultBlockRows + 173 // forces two blocks, ragged tail
+	set, w := streamTestData(7, n, 6, 3)
+	rng := rnd.New(8)
+	v := make([]float64, set.Ed())
+	rng.Normal(v, 0, 1)
+
+	// Single-block oracle: the same engine with blockRows ≥ n.
+	oracle := NewStream(dataset.NewMatrixSource(set.X), set.H, n)
+	want := oracle.MatVecWS(nil, nil, v, w)
+	got := set.MatVec(nil, v, w)
+	if diff := maxAbsDiff(got, want); diff > 1e-10 {
+		t.Fatalf("resident multi-block MatVec diverges from single-block oracle by %g", diff)
+	}
+	wantQ := make([]float64, n)
+	gotQ := make([]float64, n)
+	oracle.QuadAccumWS(nil, wantQ, v, v, 1)
+	set.QuadAccum(gotQ, v, v, 1)
+	if diff := maxAbsDiff(gotQ, wantQ); diff > 1e-10 {
+		t.Fatalf("resident multi-block QuadAccum diverges by %g", diff)
+	}
+	wb := oracle.BlockDiagSumInto(nil, nil, w)
+	gb := set.BlockDiagSum(w)
+	for k := range wb {
+		if diff := maxAbsDiff(gb[k].Data, wb[k].Data); diff > 1e-9 {
+			t.Fatalf("resident multi-block Gram block %d diverges by %g", k, diff)
+		}
+	}
+}
+
+// TestStreamShardMatchesRoundedResident checks the full out-of-core path:
+// a Stream over mmap'd float32 shards must match a resident Set built
+// from the float32-rounded values bit-for-bit.
+func TestStreamShardMatchesRoundedResident(t *testing.T) {
+	const n, d, c = 301, 9, 3
+	set, w := streamTestData(9, n, d, c)
+	dir := t.TempDir()
+	paths := []string{filepath.Join(dir, "a.shard"), filepath.Join(dir, "b.shard")}
+	for s, span := range [][2]int{{0, 150}, {150, n}} {
+		sw, err := dataset.CreateShard(paths[s], d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sw.AppendBlock(set.X.RowSlice(span[0], span[1])); err != nil {
+			t.Fatal(err)
+		}
+		if err := sw.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	src, err := dataset.OpenShards(paths...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+
+	// Resident oracle over the rounded values.
+	rounded := mat.NewDense(n, d)
+	for i := range rounded.Data {
+		rounded.Data[i] = float64(float32(set.X.Data[i]))
+	}
+	oracle := NewSet(rounded, set.H)
+
+	stream := NewStream(src, set.H, 64)
+	v := make([]float64, d*c)
+	rnd.New(10).Normal(v, 0, 1)
+	want := oracle.MatVec(nil, v, w)
+	got := stream.MatVecWS(nil, nil, v, w)
+	if diff := maxAbsDiff(got, want); diff > 1e-10 {
+		t.Fatalf("shard stream MatVec diverges from rounded resident oracle by %g", diff)
+	}
+}
+
+// TestStreamZeroAllocWarm pins the streaming paths' steady-state
+// allocation behaviour: with a warm workspace, both the zero-copy
+// in-memory source and the decode-into-scratch shard source run the
+// blocked kernels at 0 allocs/op.
+func TestStreamZeroAllocWarm(t *testing.T) {
+	if mat.RaceEnabled {
+		t.Skip("allocation counts are meaningless under -race")
+	}
+	const n, d, c = 530, 8, 3
+	set, w := streamTestData(11, n, d, c)
+
+	shardPath := filepath.Join(t.TempDir(), "pool.shard")
+	sw, err := dataset.CreateShard(shardPath, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.AppendBlock(set.X); err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	shards, err := dataset.OpenShards(shardPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shards.Close()
+
+	v := make([]float64, d*c)
+	rnd.New(12).Normal(v, 0, 1)
+	dst := make([]float64, d*c)
+	quad := make([]float64, n)
+	for _, tc := range []struct {
+		name string
+		src  dataset.PoolSource
+	}{
+		{"in-memory", dataset.NewMatrixSource(set.X)},
+		{"mmap-shard", shards},
+	} {
+		stream := NewStream(tc.src, set.H, 128) // multi-block with ragged tail
+		ws := mat.NewWorkspace()
+		var blocks []*mat.Dense
+		iter := func() {
+			stream.MatVecWS(ws, dst, v, w)
+			stream.QuadAccumWS(ws, quad, v, v, 0.5)
+			blocks = stream.BlockDiagSumInto(ws, blocks, w)
+		}
+		iter() // warm the workspace and block scratch
+		if allocs := testing.AllocsPerRun(20, iter); allocs != 0 {
+			t.Errorf("%s: blocked kernels allocate %.1f objects per sweep with a warm workspace", tc.name, allocs)
+		}
+	}
+}

@@ -166,10 +166,27 @@ func PCG(ctx context.Context, a Op, precond Op, b, x []float64, opt Options) Res
 // Algorithm 2, lines 6 and 8. A cancelled context stops the sweep at the
 // current column; the remaining results report the context error.
 func SolveColumns(ctx context.Context, a Op, precond Op, b, x *mat.Dense, opt Options) []Result {
+	return SolveColumnsInto(ctx, a, precond, b, x, nil, opt)
+}
+
+// SolveColumnsInto is SolveColumns writing the per-column results into
+// the caller's slice (grown when its capacity is short, reset
+// otherwise), so loops that sweep the same probe block every iteration —
+// the RELAX mirror descent runs two sweeps per iteration — reuse one
+// slice instead of allocating b.Cols results per call. Pass the previous
+// return value back in; the contents are overwritten.
+func SolveColumnsInto(ctx context.Context, a Op, precond Op, b, x *mat.Dense, results []Result, opt Options) []Result {
 	if b.Rows != x.Rows || b.Cols != x.Cols {
 		panic("krylov: SolveColumns shape mismatch")
 	}
-	results := make([]Result, b.Cols)
+	if cap(results) < b.Cols {
+		results = make([]Result, b.Cols)
+	} else {
+		results = results[:b.Cols]
+		for j := range results {
+			results[j] = Result{}
+		}
+	}
 	ws := opt.Workspace
 	bc := ws.Vec(b.Rows)
 	xc := ws.Vec(b.Rows)

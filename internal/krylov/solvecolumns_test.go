@@ -1,0 +1,90 @@
+package krylov
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/mat"
+)
+
+// TestSolveColumnsIntoReuse pins the caller-owned results contract: the
+// slice is reused in place when capacity suffices (no per-iteration
+// allocation in the RELAX loop), stale fields from the previous sweep are
+// cleared, and the solutions match a fresh SolveColumns call.
+func TestSolveColumnsIntoReuse(t *testing.T) {
+	const n, cols = 24, 5
+	spd := mat.Eye(n)
+	for i := 0; i < n; i++ {
+		spd.Set(i, i, 2+float64(i%3))
+	}
+	a := func(dst, v []float64) { mat.MatVec(dst, spd, v) }
+	b := mat.NewDense(n, cols)
+	for j := 0; j < cols; j++ {
+		for i := 0; i < n; i++ {
+			b.Set(i, j, float64(i+j+1))
+		}
+	}
+	opt := Options{Tol: 1e-12, MaxIter: 200, Workspace: mat.NewWorkspace()}
+
+	x1 := mat.NewDense(n, cols)
+	fresh := SolveColumns(context.Background(), a, nil, b, x1, opt)
+
+	// Poison a recycled slice with stale state; Into must clear it.
+	recycled := make([]Result, cols, cols+3)
+	recycled[2].Err = context.Canceled
+	recycled[2].Residuals = []float64{1, 2, 3}
+	x2 := mat.NewDense(n, cols)
+	got := SolveColumnsInto(context.Background(), a, nil, b, x2, recycled, opt)
+	if &got[0] != &recycled[0] {
+		t.Fatal("SolveColumnsInto reallocated despite sufficient capacity")
+	}
+	for j := range got {
+		if got[j].Err != nil || got[j].Residuals != nil {
+			t.Fatalf("column %d: stale result state not cleared: %+v", j, got[j])
+		}
+		if !got[j].Converged || got[j].Iterations != fresh[j].Iterations {
+			t.Fatalf("column %d: reused solve diverges from fresh: %+v vs %+v", j, got[j], fresh[j])
+		}
+	}
+	for i := range x1.Data {
+		if x1.Data[i] != x2.Data[i] {
+			t.Fatal("reused solve produced different solution")
+		}
+	}
+
+	// Short capacity grows.
+	grown := SolveColumnsInto(context.Background(), a, nil, b, x2, make([]Result, 0, 1), opt)
+	if len(grown) != cols {
+		t.Fatalf("grown results have %d entries, want %d", len(grown), cols)
+	}
+}
+
+// TestSolveColumnsIntoZeroAllocWarm pins that the RELAX pattern — one
+// results slice reused across sweeps with a warm workspace — allocates
+// nothing per sweep.
+func TestSolveColumnsIntoZeroAllocWarm(t *testing.T) {
+	if mat.RaceEnabled {
+		t.Skip("allocation counts are meaningless under -race")
+	}
+	const n, cols = 16, 4
+	spd := mat.Eye(n)
+	for i := 0; i < n; i++ {
+		spd.Set(i, i, 3+float64(i%2))
+	}
+	a := func(dst, v []float64) { mat.MatVec(dst, spd, v) }
+	b := mat.NewDense(n, cols)
+	for i := range b.Data {
+		b.Data[i] = float64(i%7) - 3
+	}
+	x := mat.NewDense(n, cols)
+	opt := Options{Tol: 1e-10, MaxIter: 100, Workspace: mat.NewWorkspace()}
+	var results []Result
+	sweep := func() {
+		x.Zero()
+		results = SolveColumnsInto(context.Background(), a, nil, b, x, results, opt)
+	}
+	sweep() // warm
+	if allocs := testing.AllocsPerRun(20, sweep); allocs != 0 {
+		t.Fatalf("warm SolveColumnsInto sweep allocates %.1f objects", allocs)
+	}
+}

@@ -74,6 +74,14 @@ func (m *Dense) SetCol(j int, src []float64) {
 	}
 }
 
+// RowSlice returns a view of rows [lo, hi) sharing m's storage.
+func (m *Dense) RowSlice(lo, hi int) *Dense {
+	if lo < 0 || hi > m.Rows || lo > hi {
+		panic(fmt.Sprintf("mat: RowSlice [%d, %d) out of range [0, %d)", lo, hi, m.Rows))
+	}
+	return &Dense{Rows: hi - lo, Cols: m.Cols, Stride: m.Stride, Data: m.Data[lo*m.Stride:]}
+}
+
 // Clone returns a deep copy with compact stride.
 func (m *Dense) Clone() *Dense {
 	out := NewDense(m.Rows, m.Cols)
