@@ -243,15 +243,22 @@ func main() {
 		}
 	}))
 
-	// --- Million-point streaming ROUND rescore over mmap'd shards. ---
+	// --- Million-point streaming benches over mmap'd shards. ---
 	// The pool (1e6 × 64 float32 ≈ 244 MiB) lives in two shard files and
-	// is scored through the block-streaming PoolSource path: no n×d
+	// is consumed through the block-streaming PoolSource path: no n×d
 	// float64 matrix ever exists, only one 4096-row block of decode
 	// scratch plus the O(n) score/probability vectors. Binary problem
 	// (one Fisher block) to keep the absolute runtime CI-friendly; the
 	// per-pass cost model is unchanged (two GEMM + row-dot sweeps per
-	// class per block).
-	if e, err := streamBench(run); err != nil {
+	// class per block). The shard files are packed once and shared by the
+	// ROUND-rescore and streamed-RELAX benchmarks.
+	setup, err := buildStreamPool()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer setup.cleanup()
+	rep.Results = append(rep.Results, streamBench(run, setup))
+	if e, err := relaxStreamBench(run, setup); err != nil {
 		log.Fatal(err)
 	} else {
 		rep.Results = append(rep.Results, e)
@@ -275,26 +282,35 @@ func main() {
 	}
 }
 
-// streamBench measures one full ROUND rescoring pass over a 1,000,000×64
-// pool served from memory-mapped float32 shard files — the
-// past-resident-RAM configuration of the PoolSource work. Setup streams
-// synthetic rows into two shards (exercising the cross-file boundary),
-// builds the Σ⋄ blocks with the same blocked Gram path, and then times
-// RoundState.Scores over the resulting hessian.Stream.
-func streamBench(run func(string, func(b *testing.B)) entry) (entry, error) {
+// streamSetup is the shared million-row shard-pool fixture: two mmap'd
+// float32 shard files (exercising the cross-file boundary), the resident
+// n×1 reduced probability column of a binary problem, and a small
+// resident labeled set for Ho.
+type streamSetup struct {
+	dir     string
+	src     *dataset.ShardSource
+	probs   *mat.Dense
+	labeled *hessian.Set
+}
+
+const (
+	streamN = 1_000_000
+	streamD = 64
+)
+
+// buildStreamPool streams synthetic rows into the two shards block by
+// block — the full matrix is never resident. Probabilities (binary
+// problem, one reduced column) stay in memory: n×1 float64, the same O(n)
+// class as z and scores.
+func buildStreamPool() (*streamSetup, error) {
 	const (
-		n = 1_000_000
-		d = 64
+		n = streamN
+		d = streamD
 	)
 	dir, err := os.MkdirTemp("", "firal-stream-bench")
 	if err != nil {
-		return entry{}, err
+		return nil, err
 	}
-	defer os.RemoveAll(dir)
-
-	// Stream the pool into two shards block by block; the full matrix is
-	// never resident. Probabilities (binary problem, one reduced column)
-	// stay in memory: n×1 float64, the same O(n) class as z and scores.
 	rng := rnd.New(11)
 	probs := mat.NewDense(n, 1)
 	for i := 0; i < n; i++ {
@@ -306,42 +322,55 @@ func streamBench(run func(string, func(b *testing.B)) entry) (entry, error) {
 	for s, span := range splits {
 		w, err := dataset.CreateShard(paths[s], d)
 		if err != nil {
-			return entry{}, err
+			os.RemoveAll(dir)
+			return nil, err
 		}
 		for lo := span[0]; lo < span[1]; lo += block.Rows {
 			hi := min(lo+block.Rows, span[1])
 			b := block.RowSlice(0, hi-lo)
 			rng.Normal(b.Data[:(hi-lo)*d], 0, 1)
 			if err := w.AppendBlock(b); err != nil {
-				return entry{}, err
+				os.RemoveAll(dir)
+				return nil, err
 			}
 		}
 		if err := w.Close(); err != nil {
-			return entry{}, err
+			os.RemoveAll(dir)
+			return nil, err
 		}
 	}
-
 	src, err := dataset.OpenShards(paths...)
 	if err != nil {
-		return entry{}, err
+		os.RemoveAll(dir)
+		return nil, err
 	}
-	defer src.Close()
-	pool := hessian.NewStream(src, probs, 0)
-
-	// Σ⋄ blocks through the blocked Gram engine (one streamed pass), plus
-	// a small resident labeled set for Ho.
 	labeled, _ := experiments.SynthSets(20, 1, d, 1, 7)
+	return &streamSetup{dir: dir, src: src, probs: probs, labeled: labeled}, nil
+}
+
+func (s *streamSetup) cleanup() {
+	s.src.Close()
+	os.RemoveAll(s.dir)
+}
+
+// streamBench measures one full ROUND rescoring pass over the 1,000,000×64
+// shard pool — the past-resident-RAM configuration of the PoolSource
+// work. Σ⋄ blocks come from the same blocked Gram path, then
+// RoundState.Scores is timed over the hessian.Stream.
+func streamBench(run func(string, func(b *testing.B)) entry, setup *streamSetup) entry {
+	const n, d = streamN, streamD
+	pool := hessian.NewStream(setup.src, setup.probs, 0)
 	ws := mat.NewWorkspace()
 	z := make([]float64, n)
 	mat.Fill(z, 10/float64(n))
 	sig := pool.BlockDiagSumInto(ws, nil, z)
-	ho := labeled.BlockDiagSumInto(ws, nil, nil)
+	ho := setup.labeled.BlockDiagSumInto(ws, nil, nil)
 	for k := range sig {
 		sig[k].AddScaled(1, ho[k])
 	}
 	st, err := firal.NewRoundState(sig, ho, 10, 8*math.Sqrt(float64(d)), timing.New())
 	if err != nil {
-		return entry{}, err
+		log.Fatal(err)
 	}
 	scores := make([]float64, n)
 	return run("pool_stream_n1e6_d64", func(b *testing.B) {
@@ -350,7 +379,52 @@ func streamBench(run func(string, func(b *testing.B)) entry) (entry, error) {
 		for i := 0; i < b.N; i++ {
 			st.Scores(pool, scores)
 		}
-	}), nil
+	})
+}
+
+// relaxStreamBench measures one streamed RELAX mirror-descent iteration
+// (the paper's s = 10 probes, CG capped for a deterministic sweep budget)
+// over the same million-row shard pool — the configuration the block-CG
+// work targets. Historically every probe column re-decoded the pool once
+// per CG matvec, O(probes·CG-iterations) full sweeps per mirror-descent
+// iteration; with krylov.SolveBlockInto and the multi-RHS hessian kernels
+// the whole probe block shares one decode per CG iteration plus five
+// fixed sweeps. The decode traffic is measured directly with
+// dataset.CountingSource during the warm-up call and recorded in the
+// entry's Extra map: decode_sweeps against the total CG iteration count
+// and the per-column path's cg_iterations + (4·probes+1) sweep estimate.
+func relaxStreamBench(run func(string, func(b *testing.B)) entry, setup *streamSetup) (entry, error) {
+	const probes = 10
+	counting := dataset.NewCountingSource(setup.src)
+	pool := hessian.NewStream(counting, setup.probs, 0)
+	p := firal.NewProblem(setup.labeled, pool)
+	opts := firal.RelaxOptions{
+		FixedIterations: 1, Probes: probes, CGTol: 0.1, CGMaxIter: 8, Seed: 13,
+	}
+	// One measured warm-up solve: maps the shard pages, fills the scratch
+	// pools, and counts the decode sweeps the steady state repeats.
+	warm, err := firal.RelaxFast(context.Background(), p, 10, opts)
+	if err != nil {
+		return entry{}, err
+	}
+	counting.Reset()
+	if _, err := firal.RelaxFast(context.Background(), p, 10, opts); err != nil {
+		return entry{}, err
+	}
+	sweeps := counting.Sweeps()
+	e := run("relax_stream_n1e6_d64", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := firal.RelaxFast(context.Background(), p, 10, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	e.Extra = map[string]float64{
+		"decode_sweeps":            sweeps,
+		"cg_iterations":            float64(warm.CGIterations),
+		"per_column_sweeps_legacy": float64(warm.CGIterations + (4*probes+1)*warm.Iterations),
+	}
+	return e, nil
 }
 
 // diffAgainst compares the fresh results to a recorded baseline. Timing

@@ -55,7 +55,7 @@ func main() {
 		poolPath  = flag.String("pool", "", "CSV of pool points (features + label column)")
 		labPath   = flag.String("labeled", "", "CSV of initially labeled points")
 		evalPath  = flag.String("eval", "", "optional CSV of evaluation points")
-		labelCol  = flag.Int("labelcol", -1, "label column index (-1 = last)")
+		labelCol  = flag.Int("labelcol", -1, "label column index (-1 = last; -2 = no label column, features only — use with -pack)")
 		selName   = flag.String("select", "approx-firal", "strategy name from the selector registry; 'help' lists them")
 		ranks     = flag.Int("ranks", 3, "ranks for dist-firal")
 		rounds    = flag.Int("rounds", 3, "active-learning rounds (0 = until pool exhausted or a stop criterion fires)")

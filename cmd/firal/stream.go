@@ -75,18 +75,24 @@ type streamConfig struct {
 // state, O(n·c)), then select through the block-streaming solver path and
 // print the chosen global row indices.
 //
-// Cost shape: ROUND streams one decode sweep per rescoring pass, but
-// RELAX re-decodes the pool once per CG matvec (each probe column's CG
-// trajectory is data-dependent, so columns cannot share a block visit).
-// For very large pools keep -probes/-relaxiters modest, raise -cgtol, or
-// use -select dist-firal so each rank decodes only its own slice.
+// Cost shape: ROUND streams one decode sweep per rescoring pass, and
+// RELAX — via block CG over the probe block — one decode sweep per CG
+// iteration plus a handful per mirror-descent iteration, independent of
+// -probes. Use -select dist-firal to additionally have each rank decode
+// only its own slice.
 func streamSelect(cfg streamConfig) error {
-	if cfg.labeled == "" {
-		return fmt.Errorf("streaming selection needs -labeled (the classifier trains on it)")
-	}
 	name := strings.ToLower(cfg.selector)
+	if name == "exact" || name == "exact-firal" {
+		// Surface the solver's own typed error: Algorithm 1 assembles
+		// dense pool Hessians, which requires a resident pool, and a
+		// shard-backed pool is exactly the one that doesn't fit.
+		return fmt.Errorf("-select %s over -shards: %w", cfg.selector, firal.ErrResidentPool)
+	}
 	if name != "approx-firal" && name != "dist-firal" {
 		return fmt.Errorf("streaming selection supports -select approx-firal or dist-firal, not %q", cfg.selector)
+	}
+	if cfg.labeled == "" {
+		return fmt.Errorf("streaming selection needs -labeled (the classifier trains on it)")
 	}
 	if cfg.workers > 0 {
 		lim := parallel.AcquireLimit(cfg.workers)

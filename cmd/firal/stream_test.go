@@ -1,0 +1,26 @@
+package main
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/firal"
+)
+
+// TestStreamSelectExactReturnsTypedError pins the CLI entry point of the
+// residency contract: `firal -shards … -select exact` (and the canonical
+// registry spelling) must fail with the solver's typed
+// firal.ErrResidentPool — so scripts can distinguish "this mode cannot
+// exist" from an I/O or flag error — before any file is opened.
+func TestStreamSelectExactReturnsTypedError(t *testing.T) {
+	for _, sel := range []string{"exact", "Exact-FIRAL", "EXACT"} {
+		err := streamSelect(streamConfig{selector: sel})
+		if !errors.Is(err, firal.ErrResidentPool) {
+			t.Fatalf("-select %s over shards: err = %v, want firal.ErrResidentPool", sel, err)
+		}
+	}
+	// Non-exact unknown selectors keep the generic usage error.
+	if err := streamSelect(streamConfig{selector: "entropy"}); err == nil || errors.Is(err, firal.ErrResidentPool) {
+		t.Fatalf("-select entropy over shards: err = %v, want a generic usage error", err)
+	}
+}

@@ -45,7 +45,7 @@ type Shard struct {
 	arBuf     []float64    // allreduce packing buffer (c·d² floats)
 	labBlocks []*mat.Dense // cached z-independent labeled block diagonal
 	sigCache  []*mat.Dense // reusable Σz blocks for the RELAX iterations
-	mvBuf     []float64    // labeled-term buffer for sigmaMatVec
+	mvBuf     []float64    // labeled-term buffer for sigmaMatVecBlock
 	// bp holds the rank's CG preconditioner state; its Cholesky factor
 	// storage is refactored in place every RELAX iteration and reused
 	// round to round.
@@ -178,36 +178,55 @@ func (s *Shard) sigmaBlocks(c *mpi.Comm, z []float64, ph *timing.Phases, reuse b
 	return blocks
 }
 
-// sigmaMatVec returns the distributed operator v ↦ Σz·v: each rank applies
-// its local pool partition with the Lemma-2 fast matvec, results are
-// summed with MPI_Allreduce (message size ẽd), and the replicated labeled
-// term is added locally.
-func (s *Shard) sigmaMatVec(c *mpi.Comm, z []float64, ph *timing.Phases) krylov.Op {
+// allreduceDense sums an s×n transposed vector block across ranks: one
+// MPI_Allreduce of s·n floats when the storage is compact (it always is —
+// the block solver hands the ops compact workspace matrices), a per-row
+// fallback otherwise. Folding the probe block into one collective
+// divides the RELAX message count per CG iteration by s.
+func allreduceDense(c *mpi.Comm, m *mat.Dense, ph *timing.Phases) {
+	stop := ph.Start("comm")
+	if m.Stride == m.Cols {
+		c.Allreduce(m.Data[:m.Rows*m.Cols], mpi.Sum)
+	} else {
+		for j := 0; j < m.Rows; j++ {
+			c.Allreduce(m.Row(j), mpi.Sum)
+		}
+	}
+	stop()
+}
+
+// sigmaMatVecBlock is the block form of sigmaMatVec over a transposed
+// probe block (s×ẽd, row j = probe j; see krylov.BlockOp): the local
+// Lemma-2 sweep serves all s probes in one pool visit — one decode per CG
+// iteration on a streamed shard — and the rank partials are summed in a
+// single allreduce before the replicated labeled term is added per row.
+// Per-column arithmetic matches sigmaMatVec exactly, so serial and
+// distributed runs stay comparable draw for draw.
+func (s *Shard) sigmaMatVecBlock(c *mpi.Comm, z []float64, ph *timing.Phases) krylov.BlockOp {
 	if cap(s.mvBuf) < s.Ed() {
 		s.mvBuf = make([]float64, s.Ed())
 	}
 	buf := s.mvBuf[:s.Ed()]
 	ws := s.workspace()
-	return func(dst, v []float64) {
-		s.PoolLocal.MatVecWS(ws, dst, v, z)
-		stop := ph.Start("comm")
-		c.Allreduce(dst, mpi.Sum)
-		stop()
-		s.Labeled.MatVecWS(ws, buf, v, nil)
-		for i := range dst {
-			dst[i] += buf[i]
+	return func(dst, v *mat.Dense) {
+		hessian.MatVecBlockWS(ws, s.PoolLocal, dst, v, z)
+		allreduceDense(c, dst, ph)
+		for j := 0; j < v.Rows; j++ {
+			s.Labeled.MatVecWS(ws, buf, v.Row(j), nil)
+			dj := dst.Row(j)
+			for i := range dj {
+				dj[i] += buf[i]
+			}
 		}
 	}
 }
 
-// poolMatVec is the distributed v ↦ Hp·v.
-func (s *Shard) poolMatVec(c *mpi.Comm, ph *timing.Phases) krylov.Op {
+// poolMatVecBlock is the distributed block form of V ↦ Hp·V.
+func (s *Shard) poolMatVecBlock(c *mpi.Comm, ph *timing.Phases) krylov.BlockOp {
 	ws := s.workspace()
-	return func(dst, v []float64) {
-		s.PoolLocal.MatVecWS(ws, dst, v, nil)
-		stop := ph.Start("comm")
-		c.Allreduce(dst, mpi.Sum)
-		stop()
+	return func(dst, v *mat.Dense) {
+		hessian.MatVecBlockWS(ws, s.PoolLocal, dst, v, nil)
+		allreduceDense(c, dst, ph)
 	}
 }
 
@@ -304,23 +323,23 @@ func Relax(ctx context.Context, c *mpi.Comm, s *Shard, b int, o firal.RelaxOptio
 
 	// Hoisted per-iteration buffers; all solver scratch comes from the
 	// rank-local workspace, so iterations are allocation-free after
-	// warm-up (aside from the preconditioner factorizations).
+	// warm-up (aside from the preconditioner factorizations). v keeps the
+	// historical ẽd×s Rademacher draw/broadcast order; the solver works in
+	// the transposed contiguous-probe layout (s×ẽd; see krylov.BlockOp).
 	ws := s.workspace()
 	g := make([]float64, nLocal)
-	vj := make([]float64, ed)
-	wj := make([]float64, ed)
-	col := make([]float64, ed)
 	v := mat.NewDense(ed, o.Probes)
-	w := mat.NewDense(ed, o.Probes)
-	hpw := mat.NewDense(ed, o.Probes)
-	w2 := mat.NewDense(ed, o.Probes)
+	vt := mat.NewDense(o.Probes, ed)
+	w := mat.NewDense(o.Probes, ed)
+	hpw := mat.NewDense(o.Probes, ed)
+	w2 := mat.NewDense(o.Probes, ed)
 	var fHist []float64
-	var cgRes []krylov.Result // reused across iterations by SolveColumnsInto
+	var cgRes []krylov.Result // reused across iterations by SolveBlockInto
 	cgOpt := krylov.Options{Tol: o.CGTol, MaxIter: o.CGMaxIter, Workspace: ws}
-	sigMV := s.sigmaMatVec(c, z, ph) // reads z live; z is updated in place
-	poolMV := s.poolMatVec(c, ph)
+	sigMV := s.sigmaMatVecBlock(c, z, ph) // reads z live; z is updated in place
+	poolMV := s.poolMatVecBlock(c, ph)
 	bp := s.precond()
-	applyPrec := krylov.Op(bp.Apply)
+	applyPrec := krylov.BlockOp(bp.ApplyBlock)
 
 	for t := 1; t <= o.MaxIter; t++ {
 		if collectiveCancelled(ctx, c, ph) {
@@ -336,6 +355,11 @@ func Relax(ctx context.Context, c *mpi.Comm, s *Shard, b int, o firal.RelaxOptio
 		stop = ph.Start("comm")
 		c.Bcast(0, v.Data)
 		stop()
+		stop = ph.Start("other")
+		for j := 0; j < o.Probes; j++ {
+			v.Col(vt.Row(j), j)
+		}
+		stop()
 
 		// Preconditioner from allreduced blocks, refactored into the
 		// Shard's persistent factor storage (reused round to round).
@@ -347,43 +371,40 @@ func Relax(ctx context.Context, c *mpi.Comm, s *Shard, b int, o firal.RelaxOptio
 			return nil, err
 		}
 
-		// W ← Σz⁻¹ V. Every rank runs the same CG on replicated vectors;
-		// only the matvec is distributed. The CG deliberately gets a
-		// background context: the matvec is a collective, so ranks must
-		// not abort it at different inner iterations — cancellation is
-		// honored at the loop-top collective check instead. Zero initial
-		// guess: buffer reuse must not introduce warm starts.
+		// W ← Σz⁻¹ V by lockstep block CG: every rank runs the same
+		// recurrences on replicated vectors; only the matvec is
+		// distributed, and the whole probe block shares one local pool
+		// sweep plus one allreduce per iteration. The convergence masks
+		// are replicated too, so all ranks enter the same number of
+		// collectives. The CG deliberately gets a background context: the
+		// matvec is a collective, so ranks must not abort it at different
+		// inner iterations — cancellation is honored at the loop-top
+		// collective check instead. Zero initial guess: buffer reuse must
+		// not introduce warm starts.
 		stop = ph.Start("cg")
 		w.Zero()
-		cgRes = krylov.SolveColumnsInto(context.Background(), sigMV, applyPrec, v, w, cgRes, cgOpt)
+		cgRes = krylov.SolveBlockInto(context.Background(), sigMV, applyPrec, vt, w, cgRes, cgOpt)
 		res.CGIterations += krylov.TotalIterations(cgRes)
 		stop()
 
-		// W ← Hp W and objective estimate.
+		// W ← Hp W (one multi-RHS sweep) and objective estimate.
 		stop = ph.Start("gradient")
-		for j := 0; j < o.Probes; j++ {
-			w.Col(col, j)
-			poolMV(wj, col)
-			hpw.SetCol(j, wj)
-		}
-		f := sketch.TraceFromProbes(v, hpw)
+		poolMV(hpw, w)
+		f := sketch.TraceFromProbesT(vt, hpw)
 		stop()
 
 		// W ← Σz⁻¹ W.
 		stop = ph.Start("cg")
 		w2.Zero()
-		cgRes = krylov.SolveColumnsInto(context.Background(), sigMV, applyPrec, hpw, w2, cgRes, cgOpt)
+		cgRes = krylov.SolveBlockInto(context.Background(), sigMV, applyPrec, hpw, w2, cgRes, cgOpt)
 		res.CGIterations += krylov.TotalIterations(cgRes)
 		stop()
 
-		// Local gradient slice.
+		// Local gradient slice: all probes accumulated in one sweep over
+		// the rank's partition.
 		stop = ph.Start("gradient")
 		mat.Fill(g, 0)
-		for j := 0; j < o.Probes; j++ {
-			v.Col(vj, j)
-			w2.Col(wj, j)
-			s.PoolLocal.QuadAccumWS(ws, g, vj, wj, -1/float64(o.Probes))
-		}
+		hessian.QuadAccumBlockWS(ws, s.PoolLocal, g, vt, w2, -1/float64(o.Probes))
 		stop()
 
 		// Mirror-descent update with global normalization: the ∞-norm of

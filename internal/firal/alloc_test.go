@@ -1,11 +1,14 @@
 package firal
 
 import (
+	"context"
 	"math"
 	"testing"
 
+	"repro/internal/krylov"
 	"repro/internal/mat"
 	"repro/internal/parallel"
+	"repro/internal/rnd"
 	"repro/internal/timing"
 )
 
@@ -89,6 +92,44 @@ func TestRoundSteadyStateZeroAllocMulticore(t *testing.T) {
 	step()
 	if allocs := testing.AllocsPerRun(20, step); allocs != 0 {
 		t.Fatalf("steady-state ROUND step allocates %.1f objects per candidate at 4 workers", allocs)
+	}
+}
+
+// TestSolveBlockZeroAllocMulticore pins the integrated RELAX block solve:
+// a full krylov.SolveBlockInto sweep driven by the real Σz block operator
+// (multi-RHS Lemma-2 matvec + labeled term) and the block preconditioner,
+// with four workers engaged, allocates nothing once the workspace and
+// factor storage are warm. This is the per-iteration hot path of the
+// block-CG RELAX loop.
+func TestSolveBlockZeroAllocMulticore(t *testing.T) {
+	if mat.RaceEnabled {
+		t.Skip("allocation counts are meaningless under -race")
+	}
+	prev := parallel.SetMaxWorkers(4)
+	defer parallel.SetMaxWorkers(prev)
+	p := testProblem(29, 15, 2000, 24, 6)
+	z := make([]float64, p.N())
+	mat.Fill(z, 1/float64(p.N()))
+	ws := mat.NewWorkspace()
+	bp := NewBlockPreconditionerWS()
+	if err := bp.Update(p.SigmaBlocksInto(ws, nil, z)); err != nil {
+		t.Fatal(err)
+	}
+	const s = 5
+	bT := mat.NewDense(s, p.Ed())
+	rnd.New(7).Rademacher(bT.Data) // independent probe columns, staggered convergence
+	xT := mat.NewDense(s, p.Ed())
+	sigMV := krylov.BlockOp(p.SigmaMatVecBlockWS(ws, z))
+	precond := krylov.BlockOp(bp.ApplyBlock)
+	opt := krylov.Options{Tol: 0.1, MaxIter: 60, Workspace: ws}
+	var results []krylov.Result
+	sweep := func() {
+		xT.Zero()
+		results = krylov.SolveBlockInto(context.Background(), sigMV, precond, bT, xT, results, opt)
+	}
+	sweep() // warm
+	if allocs := testing.AllocsPerRun(15, sweep); allocs != 0 {
+		t.Fatalf("warm block solve allocates %.1f objects per sweep at 4 workers", allocs)
 	}
 }
 

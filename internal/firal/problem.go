@@ -104,6 +104,25 @@ func (p *Problem) SigmaMatVecWS(ws *mat.Workspace, z []float64) func(dst, v []fl
 	}
 }
 
+// SigmaMatVecBlockWS returns the block operator V ↦ (Ho + Hz)·V over a
+// transposed probe block (s×ẽd, row j = probe j; see krylov.BlockOp): one
+// hessian.MatVecBlockWS sweep applies the pool term to all s probes — for
+// a streamed pool, one decode per application instead of one per probe —
+// and the small resident labeled term is applied per row. Like
+// SigmaMatVecWS, the operator reads z live and column results match the
+// per-column operator bit for bit.
+func (p *Problem) SigmaMatVecBlockWS(ws *mat.Workspace, z []float64) func(dst, v *mat.Dense) {
+	return func(dst, v *mat.Dense) {
+		for j := 0; j < v.Rows; j++ {
+			p.Labeled.MatVecWS(ws, dst.Row(j), v.Row(j), nil)
+		}
+		buf := ws.Matrix(v.Rows, v.Cols)
+		hessian.MatVecBlockWS(ws, p.Pool, buf, v, z)
+		dst.AddScaled(1, buf)
+		ws.PutMatrix(buf)
+	}
+}
+
 // PoolMatVec returns the operator v ↦ Hp·v (unweighted pool sum).
 func (p *Problem) PoolMatVec() func(dst, v []float64) {
 	return p.PoolMatVecWS(nil)
@@ -113,6 +132,14 @@ func (p *Problem) PoolMatVec() func(dst, v []float64) {
 func (p *Problem) PoolMatVecWS(ws *mat.Workspace) func(dst, v []float64) {
 	return func(dst, v []float64) {
 		p.Pool.MatVecWS(ws, dst, v, nil)
+	}
+}
+
+// PoolMatVecBlockWS is the block form of PoolMatVecWS: V ↦ Hp·V over a
+// transposed block in one pool sweep.
+func (p *Problem) PoolMatVecBlockWS(ws *mat.Workspace) func(dst, v *mat.Dense) {
+	return func(dst, v *mat.Dense) {
+		hessian.MatVecBlockWS(ws, p.Pool, dst, v, nil)
 	}
 }
 
@@ -200,6 +227,16 @@ func (bp *BlockPreconditionerWS) Apply(dst, v []float64) {
 	d := bp.d
 	for k := range bp.chols {
 		bp.chols[k].SolveVec(dst[k*d:(k+1)*d], v[k*d:(k+1)*d])
+	}
+}
+
+// ApplyBlock applies the preconditioner to a transposed vector block
+// (s×ẽd, row j = vector j; see krylov.BlockOp): dst_j = B(Σz)⁻¹ v_j for
+// every row. The block-diagonal solve is column-separable, so this is
+// exactly s Apply calls sharing one hoisted method value.
+func (bp *BlockPreconditionerWS) ApplyBlock(dst, v *mat.Dense) {
+	for j := 0; j < v.Rows; j++ {
+		bp.Apply(dst.Row(j), v.Row(j))
 	}
 }
 

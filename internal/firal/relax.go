@@ -5,6 +5,7 @@ import (
 	"math"
 	"sync"
 
+	"repro/internal/hessian"
 	"repro/internal/krylov"
 	"repro/internal/mat"
 	"repro/internal/rnd"
@@ -24,8 +25,8 @@ type relaxScratch struct {
 	n, ed, s, c, d int
 	ws             *mat.Workspace
 	g              []float64
-	vj, wj, col    []float64
-	v, w, hpw, w2  *mat.Dense
+	v              *mat.Dense // ẽd×s probe block, Rademacher draw order
+	vt, w, hpw, w2 *mat.Dense // transposed blocks (s×ẽd, row j = column j)
 	sigBlocks      []*mat.Dense
 	fHist          []float64
 	cg             []krylov.Result
@@ -44,16 +45,12 @@ func getRelaxScratch(n, ed, s, c, d int) *relaxScratch {
 	if sc.n != n {
 		sc.g = make([]float64, n)
 	}
-	if sc.ed != ed {
-		sc.vj = make([]float64, ed)
-		sc.wj = make([]float64, ed)
-		sc.col = make([]float64, ed)
-	}
 	if sc.ed != ed || sc.s != s {
 		sc.v = mat.NewDense(ed, s)
-		sc.w = mat.NewDense(ed, s)
-		sc.hpw = mat.NewDense(ed, s)
-		sc.w2 = mat.NewDense(ed, s)
+		sc.vt = mat.NewDense(s, ed)
+		sc.w = mat.NewDense(s, ed)
+		sc.hpw = mat.NewDense(s, ed)
+		sc.w2 = mat.NewDense(s, ed)
 	}
 	if sc.c != c || sc.d != d {
 		sc.sigBlocks = nil // SigmaBlocksInto re-allocates to the new shape
@@ -213,6 +210,14 @@ func StochasticConverged(f []float64, tol float64) bool {
 // (Lemma 2), and CG preconditioned by the block-diagonal B(Σz)⁻¹. The
 // context is checked at every mirror-descent iteration and inside the CG
 // solves, so a cancellation or deadline aborts mid-RELAX with ctx.Err().
+//
+// The probe block advances through krylov.SolveBlockInto and the
+// multi-RHS hessian kernels: every CG iteration, the Hp·W products, and
+// the Eq. 12 gradient accumulation each visit the pool ONCE for all s
+// probes. A streamed pool is therefore decoded O(iterations) times per
+// mirror-descent step rather than O(probes·iterations) — the per-column
+// arithmetic is unchanged (bit-for-bit with the historical per-column
+// sweeps), only the sweep sharing is new.
 func RelaxFast(ctx context.Context, p *Problem, b int, o RelaxOptions) (*RelaxResult, error) {
 	o.defaults()
 	n, ed := p.N(), p.Ed()
@@ -233,23 +238,27 @@ func RelaxFast(ctx context.Context, p *Problem, b int, o RelaxOptions) (*RelaxRe
 	defer sc.release()
 	ws := sc.ws
 	g := sc.g
-	vj, wj, col := sc.vj, sc.wj, sc.col
-	v, w, hpw, w2 := sc.v, sc.w, sc.hpw, sc.w2
+	v, vt, w, hpw, w2 := sc.v, sc.vt, sc.w, sc.hpw, sc.w2
 
 	cgOpt := krylov.Options{Tol: o.CGTol, MaxIter: o.CGMaxIter, Workspace: ws}
-	poolMV := p.PoolMatVecWS(ws)
+	poolMV := p.PoolMatVecBlockWS(ws)
 	// The operator closes over z, which the mirror step updates in place.
-	sigmaMV := p.SigmaMatVecWS(ws, z)
+	sigmaMV := krylov.BlockOp(p.SigmaMatVecBlockWS(ws, z))
 	bp := sc.bp
-	precond := krylov.Op(bp.Apply)
+	precond := krylov.BlockOp(bp.ApplyBlock)
 
 	for t := 1; t <= o.MaxIter; t++ {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		// Line 4: fresh Rademacher probe block V ∈ R^{dc×s}.
+		// Line 4: fresh Rademacher probe block V ∈ R^{dc×s}, drawn in the
+		// historical ẽd×s order and transposed into the contiguous-probe
+		// layout the block solver works in.
 		stop := ph.Start("other")
 		rng.Rademacher(v.Data)
+		for j := 0; j < s; j++ {
+			v.Col(vt.Row(j), j)
+		}
 		stop()
 
 		// Line 5: block-diagonal preconditioner for Σz, refactored into the
@@ -262,47 +271,41 @@ func RelaxFast(ctx context.Context, p *Problem, b int, o RelaxOptions) (*RelaxRe
 			return nil, err
 		}
 
-		// Line 6: W ← Σz⁻¹ V by preconditioned CG (zero initial guess, as
-		// the buffer reuse must not introduce warm starts).
+		// Line 6: W ← Σz⁻¹ V by lockstep block CG (zero initial guess, as
+		// the buffer reuse must not introduce warm starts): one Σz·block
+		// application — one pool sweep — per CG iteration.
 		stop = ph.Start("cg")
 		w.Zero()
-		sc.cg = krylov.SolveColumnsInto(ctx, sigmaMV, precond, v, w, sc.cg, cgOpt)
+		sc.cg = krylov.SolveBlockInto(ctx, sigmaMV, precond, vt, w, sc.cg, cgOpt)
 		res.CGIterations += krylov.TotalIterations(sc.cg)
 		stop()
 		if err := krylov.FirstError(sc.cg); err != nil {
 			return nil, err
 		}
 
-		// Line 7: W ← Hp W (fast matvec); also yields the free objective
-		// estimate f ≈ (1/s) Σ_j v_jᵀ Σz⁻¹ Hp v_j = (1/s) Σ_j v_jᵀ (Hp w_j)
-		// by symmetry of Σz and Hp.
+		// Line 7: W ← Hp W in one multi-RHS sweep; also yields the free
+		// objective estimate f ≈ (1/s) Σ_j v_jᵀ Σz⁻¹ Hp v_j =
+		// (1/s) Σ_j v_jᵀ (Hp w_j) by symmetry of Σz and Hp.
 		stop = ph.Start("gradient")
-		for j := 0; j < s; j++ {
-			w.Col(col, j)
-			poolMV(wj, col)
-			hpw.SetCol(j, wj)
-		}
-		f := sketch.TraceFromProbes(v, hpw)
+		poolMV(hpw, w)
+		f := sketch.TraceFromProbesT(vt, hpw)
 		stop()
 
-		// Line 8: W ← Σz⁻¹ W by preconditioned CG.
+		// Line 8: W ← Σz⁻¹ W by the second lockstep block CG.
 		stop = ph.Start("cg")
 		w2.Zero()
-		sc.cg = krylov.SolveColumnsInto(ctx, sigmaMV, precond, hpw, w2, sc.cg, cgOpt)
+		sc.cg = krylov.SolveBlockInto(ctx, sigmaMV, precond, hpw, w2, sc.cg, cgOpt)
 		res.CGIterations += krylov.TotalIterations(sc.cg)
 		stop()
 		if err := krylov.FirstError(sc.cg); err != nil {
 			return nil, err
 		}
 
-		// Line 9: g_i ← −(1/s) Σ_j v_jᵀ H_i w_j over the pool.
+		// Line 9: g_i ← −(1/s) Σ_j v_jᵀ H_i w_j over the pool — all probes
+		// accumulated in one sweep.
 		stop = ph.Start("gradient")
 		mat.Fill(g, 0)
-		for j := 0; j < s; j++ {
-			v.Col(vj, j)
-			w2.Col(wj, j)
-			p.Pool.QuadAccumWS(ws, g, vj, wj, -1/float64(s))
-		}
+		hessian.QuadAccumBlockWS(ws, p.Pool, g, vt, w2, -1/float64(s))
 		stop()
 
 		// Lines 10–11: entropic mirror-descent update.

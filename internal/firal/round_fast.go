@@ -143,7 +143,11 @@ func (st *RoundState) Scores(pool hessian.Pool, dst []float64) {
 	}
 	h := pool.Probs()
 	bs := min(pool.BlockRows(), n)
-	if cap(st.xmBuf) < bs*st.d {
+	// Guard every buffer: xmBuf's capacity can be rounded up by the
+	// allocator while qp/qb land exactly on their size class, so a state
+	// reused with a slightly larger block size could pass an xmBuf-only
+	// check and then overrun qp/qb.
+	if cap(st.xmBuf) < bs*st.d || cap(st.qp) < bs {
 		st.xmBuf = make([]float64, bs*st.d)
 		st.qp = make([]float64, bs)
 		st.qb = make([]float64, bs)

@@ -2,6 +2,7 @@ package firal
 
 import (
 	"context"
+	"errors"
 	"math"
 	"testing"
 
@@ -73,17 +74,30 @@ func TestSelectApproxStreamMatchesResident(t *testing.T) {
 // TestSelectExactRequiresResidentPool pins the exact-solver contract:
 // Algorithm 1 assembles dense pool Hessians and must refuse a streaming
 // pool with ErrResidentPool instead of panicking deep in the dense path.
+// Covered twice: a Stream over a resident matrix (the cheap wrapper case)
+// and a Stream over a streaming-ONLY source (no Resident fast path, the
+// out-of-core case) — the CountingSource additionally proves the exact
+// solvers bail out before touching a single row.
 func TestSelectExactRequiresResidentPool(t *testing.T) {
 	p := testProblem(44, 8, 40, 5, 3)
-	sp := streamProblem(p, 16)
-	if _, err := SelectExact(context.Background(), sp, 3, Options{}); err != ErrResidentPool {
-		t.Fatalf("SelectExact on streaming pool: err = %v, want ErrResidentPool", err)
+	pool := p.ResidentPool()
+	counting := dataset.NewCountingSource(dataset.NewMatrixSource(pool.X))
+	for name, sp := range map[string]*Problem{
+		"resident-backed": streamProblem(p, 16),
+		"streaming-only":  NewProblem(p.Labeled, hessian.NewStream(counting, pool.H, 16)),
+	} {
+		if _, err := SelectExact(context.Background(), sp, 3, Options{}); !errors.Is(err, ErrResidentPool) {
+			t.Fatalf("%s: SelectExact err = %v, want ErrResidentPool", name, err)
+		}
+		if _, err := RelaxExact(context.Background(), sp, 3, RelaxOptions{}); !errors.Is(err, ErrResidentPool) {
+			t.Fatalf("%s: RelaxExact err = %v, want ErrResidentPool", name, err)
+		}
+		if _, err := RoundExact(sp, make([]float64, sp.N()), 3, RoundOptions{}); !errors.Is(err, ErrResidentPool) {
+			t.Fatalf("%s: RoundExact err = %v, want ErrResidentPool", name, err)
+		}
 	}
-	if _, err := RelaxExact(context.Background(), sp, 3, RelaxOptions{}); err != ErrResidentPool {
-		t.Fatalf("RelaxExact on streaming pool: err = %v, want ErrResidentPool", err)
-	}
-	if _, err := RoundExact(sp, make([]float64, sp.N()), 3, RoundOptions{}); err != ErrResidentPool {
-		t.Fatalf("RoundExact on streaming pool: err = %v, want ErrResidentPool", err)
+	if counting.Reads() != 0 {
+		t.Fatalf("exact solvers decoded %d blocks from a streaming pool before refusing", counting.Reads())
 	}
 }
 

@@ -1,0 +1,138 @@
+package hessian
+
+import (
+	"repro/internal/mat"
+	"repro/internal/parallel"
+)
+
+// This file holds the multi-RHS forms of the blocked pool kernels: one
+// pool sweep serves a whole block of s vectors. They exist for the
+// block-CG RELAX path (krylov.SolveBlockInto), where the per-column forms
+// would decode a streamed pool once per probe column per CG iteration —
+// s·k full sweeps — while the block forms decode it once per iteration.
+//
+// Vector blocks are held transposed, matching krylov.BlockOp: an s×(d·c)
+// row-major matrix whose row j is the j-th vec-layout vector, so each
+// vector is contiguous and feeds the same per-vector kernels
+// (gammaRange/quadRange and the GEMM engines) as the single-RHS paths.
+// For every column the arithmetic — scratch shapes, kernel order, and
+// block accumulation — is identical to s sequential calls of the
+// per-column kernel, so results match MatVecWS/QuadAccumWS bit for bit;
+// only the pool visit order changes (blocks outermost, columns inner).
+
+// checkBlockShapes validates a transposed vector block against the pool.
+func checkBlockShapes(p Pool, vs ...*mat.Dense) {
+	ed := p.Ed()
+	for _, v := range vs {
+		if v.Cols != ed {
+			panic("hessian: block vector has wrong length")
+		}
+		if v.Rows != vs[0].Rows {
+			panic("hessian: block column count mismatch")
+		}
+	}
+}
+
+// MatVecBlockWS computes dst_j = Σ_i w_i H_i v_j for all s vectors of the
+// transposed block v (s×ẽd, row j = vector j) in ONE sweep over the
+// pool: every row block obtained from Pool.Block — for a streamed source,
+// every decode — updates all s outputs before the next block is read.
+// A nil w means unit weights. Scratch comes from ws; a warm workspace
+// makes the call allocation-free. Column results are bit-for-bit equal to
+// s calls of Pool.MatVecWS.
+func MatVecBlockWS(ws *mat.Workspace, p Pool, dst, v *mat.Dense, w []float64) {
+	checkBlockShapes(p, dst, v)
+	s := v.Rows
+	n, d, c := p.N(), p.D(), p.C()
+	if n == 0 {
+		// An empty pool (e.g. a rank whose partition is empty when ranks
+		// exceed pool rows) contributes a zero sum; without this the
+		// single-block path would leave stale data in dst.
+		dst.Zero()
+		return
+	}
+	h := p.Probs()
+	bs := p.BlockRows()
+	single := bs >= n
+	var acc *mat.Dense
+	if !single {
+		dst.Zero()
+		acc = ws.Matrix(c, d)
+	}
+	for lo := 0; lo < n; lo += bs {
+		hi := min(lo+bs, n)
+		m := hi - lo
+		xb := p.Block(ws, lo, hi)
+		g := ws.Matrix(m, c)
+		for j := 0; j < s; j++ {
+			vt := ws.View(v.Row(j), c, d)
+			dt := ws.View(dst.Row(j), c, d)
+			mat.MulTransB(g, xb, vt) // m×c: x_iᵀ v_k
+			if parallel.Serial(m) {
+				gammaRange(g, h, w, lo, 0, m)
+			} else {
+				t := gammaTasks.Get().(*chunkTask)
+				t.g, t.h, t.w, t.base = g, h, w, lo
+				parallel.ForChunk(m, t.fn)
+				t.put(gammaTasks)
+			}
+			if single {
+				mat.MulTransA(dt, g, xb) // c×d: row k = Σ_i Γ_ik x_iᵀ
+			} else {
+				mat.MulTransA(acc, g, xb)
+				dt.AddScaled(1, acc)
+			}
+			ws.PutView(dt)
+			ws.PutView(vt)
+		}
+		ws.PutMatrix(g)
+		p.PutBlock(ws, xb)
+	}
+	if acc != nil {
+		ws.PutMatrix(acc)
+	}
+}
+
+// QuadAccumBlockWS adds scale·(u_jᵀ H_i v_j), summed over all s columns
+// of the transposed blocks u and v (s×ẽd, row j = vector j), to dst[i]
+// for every pool point i — the whole Eq. 12 gradient accumulation in ONE
+// pool sweep instead of one sweep per probe. For each point the per-probe
+// contributions land in ascending j order, exactly as s sequential
+// Pool.QuadAccumWS sweeps would order them, so the result is bit-for-bit
+// identical.
+func QuadAccumBlockWS(ws *mat.Workspace, p Pool, dst []float64, u, v *mat.Dense, scale float64) {
+	checkBlockShapes(p, u, v)
+	s := u.Rows
+	n, d, c := p.N(), p.D(), p.C()
+	if len(dst) != n {
+		panic("hessian: QuadAccum dst length mismatch")
+	}
+	h := p.Probs()
+	bs := p.BlockRows()
+	for lo := 0; lo < n; lo += bs {
+		hi := min(lo+bs, n)
+		m := hi - lo
+		xb := p.Block(ws, lo, hi)
+		gu := ws.Matrix(m, c)
+		gv := ws.Matrix(m, c)
+		for j := 0; j < s; j++ {
+			ut := ws.View(u.Row(j), c, d)
+			vt := ws.View(v.Row(j), c, d)
+			mat.MulTransB(gu, xb, ut) // m×c: x_iᵀ u_k
+			mat.MulTransB(gv, xb, vt) // m×c: x_iᵀ v_k
+			if parallel.Serial(m) {
+				quadRange(dst, gu, gv, h, scale, lo, 0, m)
+			} else {
+				t := quadTasks.Get().(*chunkTask)
+				t.dst, t.g, t.gv, t.h, t.scale, t.base = dst, gu, gv, h, scale, lo
+				parallel.ForChunk(m, t.fn)
+				t.put(quadTasks)
+			}
+			ws.PutView(vt)
+			ws.PutView(ut)
+		}
+		ws.PutMatrix(gv)
+		ws.PutMatrix(gu)
+		p.PutBlock(ws, xb)
+	}
+}

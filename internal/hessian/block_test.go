@@ -1,0 +1,221 @@
+package hessian
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/mat"
+	"repro/internal/parallel"
+	"repro/internal/rnd"
+)
+
+// blockVectors draws a transposed s×ẽd vector block and its ẽd×s
+// column-major twin with identical values.
+func blockVectors(ed, s int, seed int64) (vt *mat.Dense, cols [][]float64) {
+	vt = mat.NewDense(s, ed)
+	rnd.New(seed).Normal(vt.Data, 0, 1)
+	cols = make([][]float64, s)
+	for j := range cols {
+		cols[j] = append([]float64(nil), vt.Row(j)...)
+	}
+	return vt, cols
+}
+
+// streamPool rebuilds a resident Set as a block-streaming pool with the
+// given block size.
+func streamPool(s *Set, blockRows int) *Stream {
+	return NewStream(dataset.NewMatrixSource(s.X), s.H, blockRows)
+}
+
+// TestMatVecBlockWSMatchesPerColumn pins the multi-RHS matvec contract:
+// for resident pools and for streamed pools at ragged block sizes, every
+// column of MatVecBlockWS is bit-for-bit identical to a per-column
+// MatVecWS call.
+func TestMatVecBlockWSMatchesPerColumn(t *testing.T) {
+	set := allocSet(397, 13, 5) // 397 prime: ragged against every block size
+	w := make([]float64, set.N())
+	for i := range w {
+		w[i] = 0.1 + float64(i%9)/9
+	}
+	const s = 6
+	vt, cols := blockVectors(set.Ed(), s, 21)
+	ws := mat.NewWorkspace()
+
+	pools := []struct {
+		name string
+		p    Pool
+	}{
+		{"resident", set},
+		{"stream_bs32", streamPool(set, 32)},
+		{"stream_bs100", streamPool(set, 100)},
+		{"stream_bs396", streamPool(set, 396)},
+		{"stream_bs512", streamPool(set, 512)},
+	}
+	dst := mat.NewDense(s, set.Ed())
+	for _, pc := range pools {
+		// The oracle is the per-column kernel over the SAME pool: the
+		// block form shares each pool visit across columns but must not
+		// change a single column's arithmetic.
+		want := make([][]float64, s)
+		for j := 0; j < s; j++ {
+			want[j] = pc.p.MatVecWS(ws, nil, cols[j], w)
+		}
+		MatVecBlockWS(ws, pc.p, dst, vt, w)
+		for j := 0; j < s; j++ {
+			for i, v := range dst.Row(j) {
+				if v != want[j][i] {
+					t.Fatalf("%s: column %d element %d = %g, per-column oracle %g",
+						pc.name, j, i, v, want[j][i])
+				}
+			}
+		}
+		// nil weights too.
+		MatVecBlockWS(ws, pc.p, dst, vt, nil)
+		ref := pc.p.MatVecWS(ws, nil, cols[2], nil)
+		for i, v := range dst.Row(2) {
+			if v != ref[i] {
+				t.Fatalf("%s nil-w: element %d = %g, oracle %g", pc.name, i, v, ref[i])
+			}
+		}
+	}
+}
+
+// TestQuadAccumBlockWSMatchesPerColumn pins the multi-RHS gradient
+// accumulation: one block sweep equals s sequential per-column sweeps bit
+// for bit, resident and streamed.
+func TestQuadAccumBlockWSMatchesPerColumn(t *testing.T) {
+	set := allocSet(397, 13, 5)
+	const s, scale = 6, -1.0 / 6
+	ut, ucols := blockVectors(set.Ed(), s, 31)
+	vt, vcols := blockVectors(set.Ed(), s, 32)
+	ws := mat.NewWorkspace()
+
+	for _, bs := range []int{0, 32, 100, 396, 512} {
+		var p Pool = set
+		name := "resident"
+		if bs > 0 {
+			p = streamPool(set, bs)
+			name = "stream"
+		}
+		want := make([]float64, set.N())
+		for j := 0; j < s; j++ {
+			p.QuadAccumWS(ws, want, ucols[j], vcols[j], scale)
+		}
+		got := make([]float64, set.N())
+		QuadAccumBlockWS(ws, p, got, ut, vt, scale)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%s bs=%d: g[%d] = %g, per-column oracle %g", name, bs, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestEmptyPoolKernelsWriteZeros pins the empty-partition contract: a
+// pool with zero rows (a rank whose slice is empty when ranks exceed
+// pool rows) contributes a ZERO sum — the kernels must overwrite stale
+// destination data, not skip the write. Regression test: the blocked
+// engines' single-block fast path used to leave dst/blocks untouched at
+// n=0, so reused buffers (the CG scratch, the RELAX sigCache) leaked a
+// previous iteration's values into the distributed allreduce.
+func TestEmptyPoolKernelsWriteZeros(t *testing.T) {
+	full := allocSet(10, 6, 3)
+	empty := NewSet(mat.NewDense(0, 6), mat.NewDense(0, 3))
+	emptyStream := NewStream(dataset.Subrange(dataset.NewMatrixSource(full.X), 3, 3), mat.NewDense(0, 3), 4)
+	ws := mat.NewWorkspace()
+	const s = 2
+	for _, pc := range []struct {
+		name string
+		p    Pool
+	}{{"set", empty}, {"stream", emptyStream}} {
+		dst := make([]float64, pc.p.Ed())
+		mat.Fill(dst, 7) // stale data from a previous iteration
+		pc.p.MatVecWS(ws, dst, make([]float64, pc.p.Ed()), nil)
+		for i, v := range dst {
+			if v != 0 {
+				t.Fatalf("%s: MatVecWS left stale dst[%d] = %g on an empty pool", pc.name, i, v)
+			}
+		}
+		bdst := mat.NewDense(s, pc.p.Ed())
+		mat.Fill(bdst.Data, 7)
+		MatVecBlockWS(ws, pc.p, bdst, mat.NewDense(s, pc.p.Ed()), nil)
+		for i, v := range bdst.Data {
+			if v != 0 {
+				t.Fatalf("%s: MatVecBlockWS left stale dst[%d] = %g on an empty pool", pc.name, i, v)
+			}
+		}
+		blocks := pc.p.BlockDiagSumInto(ws, nil, nil)
+		for k := range blocks {
+			mat.Fill(blocks[k].Data, 7)
+		}
+		blocks = pc.p.BlockDiagSumInto(ws, blocks, nil) // reuse, like the RELAX sigCache
+		for k := range blocks {
+			for i, v := range blocks[k].Data {
+				if v != 0 {
+					t.Fatalf("%s: BlockDiagSumInto left stale block %d[%d] = %g on an empty pool", pc.name, k, i, v)
+				}
+			}
+		}
+		// QuadAccum destinations are length n = 0: nothing to check beyond
+		// not panicking.
+		pc.p.QuadAccumWS(ws, nil, make([]float64, pc.p.Ed()), make([]float64, pc.p.Ed()), 1)
+	}
+}
+
+// TestBlockKernelsZeroAllocWarm pins the serial steady state of the
+// multi-RHS kernels: with a warm workspace, one block sweep over resident
+// and streamed pools allocates nothing.
+func TestBlockKernelsZeroAllocWarm(t *testing.T) {
+	skipUnderRace(t)
+	set := allocSet(300, 24, 7)
+	const s = 5
+	vt, _ := blockVectors(set.Ed(), s, 41)
+	ut, _ := blockVectors(set.Ed(), s, 42)
+	dst := mat.NewDense(s, set.Ed())
+	g := make([]float64, set.N())
+	w := make([]float64, set.N())
+	mat.Fill(w, 0.5)
+	for _, pc := range []struct {
+		name string
+		p    Pool
+	}{{"resident", set}, {"streamed", streamPool(set, 64)}} {
+		ws := mat.NewWorkspace()
+		warmAndPin := func(name string, fn func()) {
+			fn()
+			if allocs := testing.AllocsPerRun(30, fn); allocs != 0 {
+				t.Errorf("%s/%s allocates %.1f objects per sweep with a warm workspace", pc.name, name, allocs)
+			}
+		}
+		warmAndPin("MatVecBlockWS", func() { MatVecBlockWS(ws, pc.p, dst, vt, w) })
+		warmAndPin("QuadAccumBlockWS", func() { QuadAccumBlockWS(ws, pc.p, g, ut, vt, -0.2) })
+	}
+}
+
+// TestBlockKernelsZeroAllocMulticore re-pins the multi-RHS kernels with
+// four workers engaged: the pooled chunk tasks keep the parallel fan-out
+// allocation-free, exactly as for the per-column kernels.
+func TestBlockKernelsZeroAllocMulticore(t *testing.T) {
+	skipUnderRace(t)
+	prev := parallel.SetMaxWorkers(4)
+	defer parallel.SetMaxWorkers(prev)
+	set := allocSet(2000, 64, 9)
+	const s = 4
+	vt, _ := blockVectors(set.Ed(), s, 51)
+	ut, _ := blockVectors(set.Ed(), s, 52)
+	dst := mat.NewDense(s, set.Ed())
+	g := make([]float64, set.N())
+	w := make([]float64, set.N())
+	mat.Fill(w, 0.5)
+	ws := mat.NewWorkspace()
+	warmAndPin := func(name string, fn func()) {
+		fn()
+		if allocs := testing.AllocsPerRun(20, fn); allocs != 0 {
+			t.Errorf("%s allocates %.1f objects per sweep at 4 workers", name, allocs)
+		}
+	}
+	warmAndPin("MatVecBlockWS", func() { MatVecBlockWS(ws, set, dst, vt, w) })
+	warmAndPin("QuadAccumBlockWS", func() { QuadAccumBlockWS(ws, set, g, ut, vt, -0.25) })
+	st := streamPool(set, 512)
+	warmAndPin("MatVecBlockWS/stream", func() { MatVecBlockWS(ws, st, dst, vt, w) })
+	warmAndPin("QuadAccumBlockWS/stream", func() { QuadAccumBlockWS(ws, st, g, ut, vt, -0.25) })
+}

@@ -5,7 +5,6 @@ import (
 
 	"repro/internal/dataset"
 	"repro/internal/mat"
-	"repro/internal/parallel"
 )
 
 // Pool is the solver-facing view of a weighted point set: either the
@@ -194,97 +193,43 @@ func (st *Stream) BlockDiagSumInto(ws *mat.Workspace, blocks []*mat.Dense, w []f
 	return poolBlockDiagSumInto(ws, st, blocks, w)
 }
 
-// poolMatVecWS is the blocked Lemma-2 matvec engine shared by Set and
-// Stream: per block B it forms G_B = X_B Vᵀ, rewrites it into Γ_B, and
-// accumulates Γ_Bᵀ X_B into dst. A pool that fits one block (n ≤
-// BlockRows, every test-scale config) takes the direct path with no
-// accumulator, reproducing the historical resident kernel exactly.
+// poolMatVecWS is the per-column form of the blocked Lemma-2 matvec: it
+// wraps the single vector as a one-row transposed block and delegates to
+// MatVecBlockWS, so the single/multi-block accumulator logic exists once.
+// A pool that fits one block (n ≤ BlockRows, every test-scale config)
+// takes the direct path with no accumulator, reproducing the historical
+// resident kernel exactly.
 func poolMatVecWS(ws *mat.Workspace, p Pool, dst, v, w []float64) []float64 {
-	n, d, c := p.N(), p.D(), p.C()
+	d, c := p.D(), p.C()
 	if dst == nil {
 		dst = make([]float64, d*c)
 	}
 	if len(v) != d*c {
 		panic("hessian: vector has wrong length")
 	}
-	h := p.Probs()
-	bs := p.BlockRows()
-	vt := ws.View(v, c, d)
-	dt := ws.View(dst, c, d)
-	single := bs >= n
-	var acc *mat.Dense
-	if !single {
-		mat.Fill(dst, 0)
-		acc = ws.Matrix(c, d)
-	}
-	for lo := 0; lo < n; lo += bs {
-		hi := min(lo+bs, n)
-		m := hi - lo
-		xb := p.Block(ws, lo, hi)
-		g := ws.Matrix(m, c)
-		mat.MulTransB(g, xb, vt) // m×c: x_iᵀ v_k
-		// Γ computed in place of G.
-		if parallel.Serial(m) {
-			gammaRange(g, h, w, lo, 0, m)
-		} else {
-			t := gammaTasks.Get().(*chunkTask)
-			t.g, t.h, t.w, t.base = g, h, w, lo
-			parallel.ForChunk(m, t.fn)
-			t.put(gammaTasks)
-		}
-		if single {
-			mat.MulTransA(dt, g, xb) // c×d: row k = Σ_i Γ_ik x_iᵀ
-		} else {
-			mat.MulTransA(acc, g, xb)
-			dt.AddScaled(1, acc)
-		}
-		ws.PutMatrix(g)
-		p.PutBlock(ws, xb)
-	}
-	if acc != nil {
-		ws.PutMatrix(acc)
-	}
+	dt := ws.View(dst, 1, d*c)
+	vt := ws.View(v, 1, d*c)
+	MatVecBlockWS(ws, p, dt, vt, w)
 	ws.PutView(vt)
 	ws.PutView(dt)
 	return dst
 }
 
-// poolQuadAccumWS is the blocked gradient-estimator engine shared by Set
-// and Stream (dst is globally indexed, so blocks accumulate in place).
+// poolQuadAccumWS is the per-column form of the blocked
+// gradient-estimator engine; see poolMatVecWS for the delegation.
 func poolQuadAccumWS(ws *mat.Workspace, p Pool, dst []float64, u, v []float64, scale float64) {
-	n, d, c := p.N(), p.D(), p.C()
-	if len(dst) != n {
+	d, c := p.D(), p.C()
+	if len(dst) != p.N() {
 		panic("hessian: QuadAccum dst length mismatch")
 	}
 	if len(u) != d*c || len(v) != d*c {
 		panic("hessian: vector has wrong length")
 	}
-	h := p.Probs()
-	bs := p.BlockRows()
-	ut := ws.View(u, c, d)
-	vt := ws.View(v, c, d)
-	for lo := 0; lo < n; lo += bs {
-		hi := min(lo+bs, n)
-		m := hi - lo
-		xb := p.Block(ws, lo, hi)
-		gu := ws.Matrix(m, c)
-		gv := ws.Matrix(m, c)
-		mat.MulTransB(gu, xb, ut) // m×c: x_iᵀ u_k
-		mat.MulTransB(gv, xb, vt) // m×c: x_iᵀ v_k
-		if parallel.Serial(m) {
-			quadRange(dst, gu, gv, h, scale, lo, 0, m)
-		} else {
-			t := quadTasks.Get().(*chunkTask)
-			t.dst, t.g, t.gv, t.h, t.scale, t.base = dst, gu, gv, h, scale, lo
-			parallel.ForChunk(m, t.fn)
-			t.put(quadTasks)
-		}
-		ws.PutMatrix(gv)
-		ws.PutMatrix(gu)
-		p.PutBlock(ws, xb)
-	}
-	ws.PutView(ut)
+	ut := ws.View(u, 1, d*c)
+	vt := ws.View(v, 1, d*c)
+	QuadAccumBlockWS(ws, p, dst, ut, vt, scale)
 	ws.PutView(vt)
+	ws.PutView(ut)
 }
 
 // poolBlockDiagSumInto is the blocked Eq. 14 Gram engine shared by Set
@@ -299,6 +244,14 @@ func poolBlockDiagSumInto(ws *mat.Workspace, p Pool, blocks []*mat.Dense, w []fl
 		}
 	} else if len(blocks) != c {
 		panic("hessian: BlockDiagSumInto block count mismatch")
+	}
+	if n == 0 {
+		// Empty pool partition: the sum is zero, and reused blocks (the
+		// RELAX sigCache) must not keep a previous iteration's values.
+		for k := range blocks {
+			blocks[k].Zero()
+		}
+		return blocks
 	}
 	h := p.Probs()
 	bs := p.BlockRows()

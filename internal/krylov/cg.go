@@ -4,9 +4,21 @@
 // reproduction come from the Lemma-2 fast Hessian matvec and the
 // block-diagonal preconditioner of Eq. 14.
 //
+// Multi-RHS solves come in two forms. SolveColumns/SolveColumnsInto run
+// one independent CG per column. SolveBlockInto is the batched block-CG
+// the RELAX probe block uses: all s columns advance in LOCKSTEP — one
+// BlockOp application (for a streamed pool, one decode sweep) per
+// iteration serves every column — with per-column convergence masking, so
+// a column that converges or breaks down freezes while the rest keep
+// iterating. Each column still runs the scalar PCG recurrence on its own
+// data, so block results equal the per-column oracle bit for bit; only
+// the operator traffic is shared. Blocks are passed transposed (s×n, row
+// j = column j) so every vector is contiguous.
+//
 // Solves are cancellable: every entry point takes a context.Context and
 // checks it once per iteration, so a deadline or cancellation aborts a
-// long solve between matvecs.
+// long solve between matvecs (SolveBlockInto reports ctx.Err() on the
+// columns still active and leaves their best iterates in x).
 package krylov
 
 import (

@@ -54,3 +54,18 @@ func TraceFromProbes(v, av *mat.Dense) float64 {
 	}
 	return acc / float64(v.Cols)
 }
+
+// TraceFromProbesT is TraceFromProbes over transposed probe blocks (s×n,
+// row j = probe j — the layout of the block-CG RELAX path): the rows are
+// already contiguous, so the estimate needs no column extraction and no
+// scratch. Summation order matches TraceFromProbes exactly.
+func TraceFromProbesT(vt, avt *mat.Dense) float64 {
+	if vt.Rows != avt.Rows || vt.Cols != avt.Cols {
+		panic("sketch: probe shape mismatch")
+	}
+	var acc float64
+	for j := 0; j < vt.Rows; j++ {
+		acc += mat.Dot(vt.Row(j), avt.Row(j))
+	}
+	return acc / float64(vt.Rows)
+}
