@@ -6,6 +6,7 @@ import (
 	"strings"
 	"time"
 
+	pub "repro"
 	"repro/internal/cli"
 	"repro/internal/csvdata"
 	"repro/internal/dataset"
@@ -81,15 +82,23 @@ type streamConfig struct {
 // -probes. Use -select dist-firal to additionally have each rank decode
 // only its own slice.
 func streamSelect(cfg streamConfig) error {
-	name := strings.ToLower(cfg.selector)
-	if name == "exact" || name == "exact-firal" {
+	// Resolve through the selector registry so aliases ("firal", "dist",
+	// …) work here exactly as in the resident path, and unknown names get
+	// the same actionable listing.
+	name, known := pub.CanonicalName(cfg.selector)
+	if !known {
+		return fmt.Errorf("unknown selector %q (registered: %s)",
+			cfg.selector, strings.Join(pub.Names(), ", "))
+	}
+	switch name {
+	case "Exact-FIRAL":
 		// Surface the solver's own typed error: Algorithm 1 assembles
 		// dense pool Hessians, which requires a resident pool, and a
 		// shard-backed pool is exactly the one that doesn't fit.
 		return fmt.Errorf("-select %s over -shards: %w", cfg.selector, firal.ErrResidentPool)
-	}
-	if name != "approx-firal" && name != "dist-firal" {
-		return fmt.Errorf("streaming selection supports -select approx-firal or dist-firal, not %q", cfg.selector)
+	case "Approx-FIRAL", "Dist-FIRAL":
+	default:
+		return fmt.Errorf("streaming selection supports -select approx-firal or dist-firal, not %s", name)
 	}
 	if cfg.labeled == "" {
 		return fmt.Errorf("streaming selection needs -labeled (the classifier trains on it)")
@@ -154,7 +163,7 @@ func streamSelect(cfg streamConfig) error {
 	defer cancel()
 	t0 = time.Now()
 	var picked []int
-	if name == "dist-firal" {
+	if name == "Dist-FIRAL" {
 		ranks := max(cfg.ranks, 1)
 		selected := make([][]int, ranks)
 		errs := make([]error, ranks)

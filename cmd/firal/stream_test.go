@@ -2,8 +2,10 @@ package main
 
 import (
 	"errors"
+	"strings"
 	"testing"
 
+	pub "repro"
 	"repro/internal/firal"
 )
 
@@ -22,5 +24,32 @@ func TestStreamSelectExactReturnsTypedError(t *testing.T) {
 	// Non-exact unknown selectors keep the generic usage error.
 	if err := streamSelect(streamConfig{selector: "entropy"}); err == nil || errors.Is(err, firal.ErrResidentPool) {
 		t.Fatalf("-select entropy over shards: err = %v, want a generic usage error", err)
+	}
+}
+
+// TestStreamSelectorResolution pins that the streaming path resolves
+// names through the selector registry: aliases reach the streaming
+// solvers instead of being rejected by literal string-matching, and an
+// unknown name fails with the full registry listing — the same
+// experience as `firal -select help`.
+func TestStreamSelectorResolution(t *testing.T) {
+	// Registry aliases of the streaming-capable selectors must pass name
+	// resolution. With no -labeled file they fail at the next check, whose
+	// message names the real gap — not an "unsupported selector" error.
+	for _, sel := range []string{"firal", "approx", "Approx-FIRAL", "dist", "distributed-firal"} {
+		err := streamSelect(streamConfig{selector: sel})
+		if err == nil || !strings.Contains(err.Error(), "-labeled") {
+			t.Fatalf("-select %s: err = %v, want the missing -labeled error after alias resolution", sel, err)
+		}
+	}
+	// Unknown names list every registered strategy.
+	err := streamSelect(streamConfig{selector: "gradient-boost"})
+	if err == nil {
+		t.Fatal("unknown selector accepted")
+	}
+	for _, name := range pub.Names() {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("unknown-selector error %q does not list %s", err, name)
+		}
 	}
 }

@@ -1,0 +1,100 @@
+// Command firald serves FIRAL selection as a long-lived HTTP/JSON
+// service: clients register unlabeled pools (shard paths or inline CSV),
+// upload labels as the active-learning dialogue progresses, and kick off
+// asynchronous train+select rounds that are admission-controlled,
+// checkpointed, and resumable across restarts.
+//
+// Usage:
+//
+//	firald -data /var/lib/firal [-addr :8080] [-concurrency 2] [-queue 8]
+//
+// SIGINT/SIGTERM drain gracefully: in-flight HTTP requests get
+// -drain-timeout to finish, running rounds are interrupted at their last
+// checkpoint, and the next start resumes them. See ARCHITECTURE.md
+// § Service layer and examples/service for a walkthrough.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	addr := flag.String("addr", ":8080", "listen address (use :0 for an ephemeral port; the bound address is printed)")
+	data := flag.String("data", "", "data directory for session state and checkpoints (required)")
+	concurrency := flag.Int("concurrency", 2, "rounds allowed to run at once")
+	queue := flag.Int("queue", 8, "rounds allowed to wait beyond the running ones before 429")
+	checkpointEvery := flag.Int("checkpoint-every", 1, "checkpoint RELAX state every k mirror-descent iterations")
+	block := flag.Int("block", 0, "streaming row-block size (0 = library default)")
+	maxResident := flag.Int64("max-resident", 1<<30, "byte cap on resident-pool materialization (Exact-FIRAL, K-Means)")
+	drain := flag.Duration("drain-timeout", 10*time.Second, "grace period for in-flight HTTP requests on shutdown")
+	flag.Parse()
+	if *data == "" {
+		return errors.New("firald: -data is required (session state and round checkpoints live there)")
+	}
+
+	srv, err := server.New(server.Config{
+		DataDir:          *data,
+		Concurrency:      *concurrency,
+		QueueDepth:       *queue,
+		CheckpointEvery:  *checkpointEvery,
+		BlockRows:        *block,
+		MaxResidentBytes: *maxResident,
+		Logf:             log.Printf,
+	})
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		srv.Close()
+		return err
+	}
+	// Print the actual address so -addr :0 callers (tests, scripts) can
+	// find the port.
+	log.Printf("firald listening on %s (data %s, concurrency %d, queue %d)",
+		ln.Addr(), *data, *concurrency, *queue)
+	fmt.Printf("listening %s\n", ln.Addr())
+
+	hs := &http.Server{Handler: srv.Handler()}
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		srv.Close()
+		return err
+	case <-ctx.Done():
+	}
+	log.Printf("firald draining (%s grace)", *drain)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := hs.Shutdown(shutdownCtx); err != nil {
+		log.Printf("firald: http shutdown: %v", err)
+	}
+	// Interrupt running rounds; their checkpoints stay for the next start.
+	if err := srv.Close(); err != nil {
+		return err
+	}
+	log.Printf("firald stopped; interrupted rounds resume on next start")
+	return nil
+}

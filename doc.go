@@ -81,6 +81,17 @@
 // streamed pool with a typed error. ARCHITECTURE.md documents the full
 // contract.
 //
+// # Selection as a service
+//
+// cmd/firald serves the selectors as a long-lived HTTP/JSON service:
+// tenants register pools (shard paths or inline CSV), extend labels as
+// the active-learning dialogue progresses, and run asynchronous,
+// admission-controlled train+select rounds whose RELAX state is
+// checkpointed every iteration — a killed server restarts, re-enqueues
+// the interrupted round, and resumes the mirror-descent trajectory
+// bit-for-bit. See ARCHITECTURE.md § Service layer and examples/service
+// for the API walkthrough.
+//
 // Parallel loops run on a persistent worker pool (internal/parallel):
 // workers live for the life of the process, parked on channels when
 // idle, so a steady-state kernel call forks no goroutines. The pool is

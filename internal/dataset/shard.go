@@ -157,7 +157,8 @@ func OpenShards(paths ...string) (*ShardSource, error) {
 		} else if d != src.d {
 			sf.close()
 			src.Close()
-			return nil, fmt.Errorf("dataset: shard %s has dimension %d, want %d", path, d, src.d)
+			return nil, fmt.Errorf("dataset: shard %s has dimension %d, but %s has dimension %d — all shards of one pool must share a dimension",
+				path, d, paths[0], src.d)
 		}
 		src.starts = append(src.starts, src.rows)
 		src.files = append(src.files, sf)
@@ -169,32 +170,36 @@ func OpenShards(paths ...string) (*ShardSource, error) {
 func openShardFile(path string) (*shardFile, int, error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return nil, 0, err
+		// The *PathError already names the file; the prefix says which
+		// registration failed — a session creating over a misregistered
+		// pool path sees exactly which shard is missing.
+		return nil, 0, fmt.Errorf("dataset: open shard: %w", err)
 	}
 	var hdr [shardHeaderSize]byte
 	if _, err := f.ReadAt(hdr[:], 0); err != nil {
 		f.Close()
-		return nil, 0, fmt.Errorf("dataset: shard %s: read header: %w", path, err)
+		return nil, 0, fmt.Errorf("dataset: shard %s: read %d-byte header: %w", path, shardHeaderSize, err)
 	}
 	if string(hdr[:8]) != shardMagic {
 		f.Close()
-		return nil, 0, fmt.Errorf("dataset: %s is not a shard file (bad magic)", path)
+		return nil, 0, fmt.Errorf("dataset: %s is not a shard file (magic %q, want %q — pack CSVs with firal -pack)", path, hdr[:8], shardMagic)
 	}
 	d := int(binary.LittleEndian.Uint32(hdr[8:12]))
 	rows := int(binary.LittleEndian.Uint64(hdr[12:20]))
 	if d <= 0 || rows < 0 {
 		f.Close()
-		return nil, 0, fmt.Errorf("dataset: shard %s: invalid shape %d×%d", path, rows, d)
+		return nil, 0, fmt.Errorf("dataset: shard %s: invalid header shape %d rows × %d dims", path, rows, d)
 	}
 	st, err := f.Stat()
 	if err != nil {
 		f.Close()
-		return nil, 0, err
+		return nil, 0, fmt.Errorf("dataset: shard %s: %w", path, err)
 	}
 	want := int64(shardHeaderSize) + int64(rows)*int64(d)*4
 	if st.Size() < want {
 		f.Close()
-		return nil, 0, fmt.Errorf("dataset: shard %s: truncated (%d bytes, want %d)", path, st.Size(), want)
+		return nil, 0, fmt.Errorf("dataset: shard %s: truncated: %d bytes on disk, want %d = %d-byte header + %d rows × %d dims × 4 bytes",
+			path, st.Size(), want, shardHeaderSize, rows, d)
 	}
 	sf := &shardFile{path: path, rows: rows, f: f}
 	if data, err := mmapFile(f, st.Size()); err == nil {

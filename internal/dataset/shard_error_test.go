@@ -1,0 +1,96 @@
+package dataset
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/mat"
+)
+
+// writeTestShard packs rows·dim counter features into a shard at path.
+func writeTestShard(t *testing.T, path string, rows, dim int) {
+	t.Helper()
+	w, err := CreateShard(path, dim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := mat.NewDense(rows, dim)
+	for i := range x.Data {
+		x.Data[i] = float64(i)
+	}
+	if err := w.AppendBlock(x); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestOpenShardsActionableErrors pins that every open-time failure names
+// the offending file and, where shapes are involved, spells out the
+// expected row/dim arithmetic — a misregistered pool path must fail with a
+// message the client can act on, not a bare errno.
+func TestOpenShardsActionableErrors(t *testing.T) {
+	dir := t.TempDir()
+
+	t.Run("missing file", func(t *testing.T) {
+		missing := filepath.Join(dir, "nope.shard")
+		_, err := OpenShards(missing)
+		if err == nil {
+			t.Fatal("want error for missing shard")
+		}
+		if !strings.Contains(err.Error(), missing) {
+			t.Errorf("error does not name the missing path: %v", err)
+		}
+	})
+
+	t.Run("bad magic", func(t *testing.T) {
+		bogus := filepath.Join(dir, "bogus.shard")
+		if err := os.WriteFile(bogus, []byte("definitely not a shard header"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		_, err := OpenShards(bogus)
+		if err == nil {
+			t.Fatal("want error for non-shard file")
+		}
+		if !strings.Contains(err.Error(), bogus) || !strings.Contains(err.Error(), "FIRALSH1") {
+			t.Errorf("error should name the path and the expected magic: %v", err)
+		}
+	})
+
+	t.Run("truncated payload", func(t *testing.T) {
+		trunc := filepath.Join(dir, "trunc.shard")
+		writeTestShard(t, trunc, 10, 4)
+		// Chop two rows off the payload; the header still promises 10.
+		if err := os.Truncate(trunc, int64(shardHeaderSize+8*4*4)); err != nil {
+			t.Fatal(err)
+		}
+		_, err := OpenShards(trunc)
+		if err == nil {
+			t.Fatal("want error for truncated shard")
+		}
+		msg := err.Error()
+		for _, want := range []string{trunc, "10 rows", "4 dims", "truncated"} {
+			if !strings.Contains(msg, want) {
+				t.Errorf("truncation error missing %q: %v", want, err)
+			}
+		}
+	})
+
+	t.Run("dimension mismatch names both shards", func(t *testing.T) {
+		a := filepath.Join(dir, "a.shard")
+		b := filepath.Join(dir, "b.shard")
+		writeTestShard(t, a, 3, 4)
+		writeTestShard(t, b, 3, 5)
+		_, err := OpenShards(a, b)
+		if err == nil {
+			t.Fatal("want error for mismatched dimensions")
+		}
+		msg := err.Error()
+		if !strings.Contains(msg, a) || !strings.Contains(msg, b) {
+			t.Errorf("mismatch error should name both shards: %v", err)
+		}
+	})
+}

@@ -1,0 +1,53 @@
+package firal
+
+import "errors"
+
+// ErrBadCheckpoint is returned when a RelaxCheckpoint does not match the
+// problem it is being resumed against.
+var ErrBadCheckpoint = errors.New("firal: checkpoint does not match problem")
+
+// RelaxCheckpoint is the resumable state of a RelaxFast solve: everything
+// the mirror-descent loop needs to continue from iteration Iteration+1 as
+// if it had never stopped. The probe stream is a pure function of
+// (RelaxOptions.Seed, iteration) — on resume the solver fast-forwards the
+// Rademacher draws to the checkpoint iteration — so no RNG state needs to
+// be captured, and a resumed trajectory is bit-for-bit identical to an
+// uninterrupted one.
+//
+// Checkpoints are produced by the RelaxOptions.OnIteration hook and
+// consumed through RelaxOptions.Resume. Inside the hook the slices alias
+// live solver buffers; use Clone to keep one past the call.
+type RelaxCheckpoint struct {
+	// Iteration is the number of completed mirror-descent iterations.
+	Iteration int
+	// Done marks a finished solve: mirror descent converged (or hit its
+	// iteration cap) and Z is the final simplex iterate. Resuming a Done
+	// checkpoint skips mirror descent entirely and returns b·Z, so a
+	// caller interrupted after RELAX but before ROUND re-runs only ROUND.
+	Done bool
+	// Z is the current simplex iterate (length n, sums to 1). It is the
+	// pre-scaling iterate even when Done — RelaxResult.Z's b· scaling is
+	// applied on resume.
+	Z []float64
+	// FHist is the objective-estimate history driving StochasticConverged;
+	// restoring it makes the resumed run's stopping decisions identical.
+	FHist []float64
+	// CGIterations is the cumulative CG iteration count, carried so
+	// resumed RelaxResult reporting matches an uninterrupted run.
+	CGIterations int
+}
+
+// Clone returns a deep copy safe to retain after the OnIteration hook
+// returns.
+func (c *RelaxCheckpoint) Clone() *RelaxCheckpoint {
+	if c == nil {
+		return nil
+	}
+	return &RelaxCheckpoint{
+		Iteration:    c.Iteration,
+		Done:         c.Done,
+		Z:            append([]float64(nil), c.Z...),
+		FHist:        append([]float64(nil), c.FHist...),
+		CGIterations: c.CGIterations,
+	}
+}

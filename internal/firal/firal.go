@@ -19,6 +19,10 @@ type Options struct {
 	// NaiveRound switches Exact-FIRAL to the literal per-candidate dense
 	// inverse (reference implementation; tiny problems only).
 	NaiveRound bool
+	// Exclude lists pool indices the ROUND step must not select (see
+	// RoundOptions.Exclude) — the tombstone set of a multi-round session
+	// whose earlier selections are still part of the pool.
+	Exclude []int
 }
 
 // Result is a full FIRAL selection.
@@ -77,7 +81,7 @@ func roundWithTuning(ctx context.Context, p *Problem, relax *RelaxResult, b int,
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		round, err := run(p, relax.Z, b, RoundOptions{Eta: eta})
+		round, err := run(p, relax.Z, b, RoundOptions{Eta: eta, Exclude: o.Exclude})
 		if err != nil {
 			return nil, err
 		}

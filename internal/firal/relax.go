@@ -2,6 +2,7 @@ package firal
 
 import (
 	"context"
+	"fmt"
 	"math"
 	"sync"
 
@@ -92,6 +93,21 @@ type RelaxOptions struct {
 	// exactly this many mirror-descent iterations (used by the
 	// performance experiments, which time a fixed iteration count).
 	FixedIterations int
+	// Resume, when non-nil, continues a previous RelaxFast solve from the
+	// checkpointed state instead of starting at the uniform simplex. The
+	// remaining options (Seed, Probes, tolerances, …) must match the
+	// original solve for the resumed trajectory to be bit-for-bit
+	// identical to an uninterrupted one. Fast solver only; the exact and
+	// distributed solvers ignore it.
+	Resume *RelaxCheckpoint
+	// OnIteration, when non-nil, is called after every completed
+	// mirror-descent iteration with the current resumable state, and once
+	// more with Done=true when mirror descent finishes — the hook for
+	// periodic checkpointing and progress reporting. The checkpoint's
+	// slices alias live solver buffers and are only valid during the
+	// call; Clone to persist. The hook runs on the solver goroutine, so a
+	// slow hook slows the solve. Fast solver only.
+	OnIteration func(*RelaxCheckpoint)
 }
 
 func (o *RelaxOptions) defaults() {
@@ -227,6 +243,25 @@ func RelaxFast(ctx context.Context, p *Problem, b int, o RelaxOptions) (*RelaxRe
 	res := &RelaxResult{Timings: timing.New()}
 	ph := res.Timings
 
+	start := 1
+	if o.Resume != nil {
+		if len(o.Resume.Z) != n {
+			return nil, fmt.Errorf("%w: checkpoint has %d weights, pool has %d", ErrBadCheckpoint, len(o.Resume.Z), n)
+		}
+		copy(z, o.Resume.Z)
+		start = o.Resume.Iteration + 1
+		res.Iterations = o.Resume.Iteration
+		res.CGIterations = o.Resume.CGIterations
+		if o.Resume.Done {
+			// Mirror descent already finished; only the b· scaling of
+			// line 12 remains. The caller re-runs ROUND on the restored
+			// final iterate.
+			res.Z = z
+			mat.Scal(float64(b), res.Z)
+			return res, nil
+		}
+	}
+
 	// All per-iteration buffers are hoisted — drawn from the pooled
 	// scratch, so consecutive same-shaped selections reuse them across
 	// calls — and every solver below draws its transient scratch from ws,
@@ -247,7 +282,18 @@ func RelaxFast(ctx context.Context, p *Problem, b int, o RelaxOptions) (*RelaxRe
 	bp := sc.bp
 	precond := krylov.BlockOp(bp.ApplyBlock)
 
-	for t := 1; t <= o.MaxIter; t++ {
+	if o.Resume != nil {
+		// Restore the objective history so convergence decisions replay
+		// identically, and fast-forward the probe stream: iteration t of
+		// the resumed run must see exactly the Rademacher block iteration
+		// t of the uninterrupted run saw.
+		sc.fHist = append(sc.fHist, o.Resume.FHist...)
+		for t := 1; t < start; t++ {
+			rng.Rademacher(v.Data)
+		}
+	}
+
+	for t := start; t <= o.MaxIter; t++ {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
@@ -318,9 +364,19 @@ func RelaxFast(ctx context.Context, p *Problem, b int, o RelaxOptions) (*RelaxRe
 		if o.RecordObjective {
 			res.Objectives = append(res.Objectives, f)
 		}
+		if o.OnIteration != nil {
+			ck := RelaxCheckpoint{Iteration: t, Z: z, FHist: sc.fHist, CGIterations: res.CGIterations}
+			o.OnIteration(&ck)
+		}
 		if o.FixedIterations == 0 && StochasticConverged(sc.fHist, o.ObjTol) {
 			break
 		}
+	}
+	if o.OnIteration != nil {
+		// Final Done checkpoint: a caller interrupted during the ROUND
+		// phase resumes with mirror descent skipped.
+		ck := RelaxCheckpoint{Iteration: res.Iterations, Done: true, Z: z, FHist: sc.fHist, CGIterations: res.CGIterations}
+		o.OnIteration(&ck)
 	}
 
 	// Line 12: z⋄ ← b·z.

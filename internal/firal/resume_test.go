@@ -1,0 +1,156 @@
+package firal
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"testing"
+)
+
+// TestRelaxResumeBitForBit pins the checkpoint/resume contract: a RelaxFast
+// solve interrupted after any iteration and resumed from the checkpoint
+// taken there produces exactly the RelaxResult of an uninterrupted solve —
+// same Z bits, same iteration and CG counts. This is what lets a server
+// restart continue a half-finished selection instead of recomputing it.
+func TestRelaxResumeBitForBit(t *testing.T) {
+	p := testProblem(7, 20, 120, 6, 3)
+	b := 8
+	opts := RelaxOptions{Probes: 4, Seed: 42, MaxIter: 12}
+
+	// Reference: uninterrupted solve, checkpoints collected along the way.
+	var ckpts []*RelaxCheckpoint
+	ref, err := RelaxFast(context.Background(), p, b, withHook(opts, func(c *RelaxCheckpoint) {
+		ckpts = append(ckpts, c.Clone())
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ckpts) < 3 {
+		t.Fatalf("want several checkpoints, got %d", len(ckpts))
+	}
+	last := ckpts[len(ckpts)-1]
+	if !last.Done {
+		t.Fatalf("final checkpoint not marked Done")
+	}
+	if last.Iteration != ref.Iterations || last.CGIterations != ref.CGIterations {
+		t.Fatalf("Done checkpoint (it=%d, cg=%d) disagrees with result (it=%d, cg=%d)",
+			last.Iteration, last.CGIterations, ref.Iterations, ref.CGIterations)
+	}
+
+	// Resume from every intermediate checkpoint, including Done.
+	for _, ck := range ckpts {
+		o := opts
+		o.Resume = ck
+		res, err := RelaxFast(context.Background(), p, b, o)
+		if err != nil {
+			t.Fatalf("resume from iteration %d (done=%v): %v", ck.Iteration, ck.Done, err)
+		}
+		if res.Iterations != ref.Iterations {
+			t.Errorf("resume from %d: %d iterations, want %d", ck.Iteration, res.Iterations, ref.Iterations)
+		}
+		if res.CGIterations != ref.CGIterations && !ck.Done {
+			t.Errorf("resume from %d: %d CG iterations, want %d", ck.Iteration, res.CGIterations, ref.CGIterations)
+		}
+		if !bytes.Equal(floatBits(res.Z), floatBits(ref.Z)) {
+			t.Errorf("resume from iteration %d (done=%v): Z differs from uninterrupted run", ck.Iteration, ck.Done)
+		}
+	}
+}
+
+// TestSelectApproxResumeSameSelection pins the end-to-end property the
+// service relies on: resuming a full selection (RELAX + ROUND) from a
+// mid-RELAX checkpoint yields the same selected set as never stopping.
+func TestSelectApproxResumeSameSelection(t *testing.T) {
+	p := testProblem(11, 25, 150, 5, 3)
+	b := 6
+	base := Options{Relax: RelaxOptions{Probes: 4, Seed: 9, MaxIter: 10}}
+
+	var mid *RelaxCheckpoint
+	refOpts := base
+	refOpts.Relax.OnIteration = func(c *RelaxCheckpoint) {
+		if c.Iteration == 4 && !c.Done {
+			mid = c.Clone()
+		}
+	}
+	ref, err := SelectApprox(context.Background(), p, b, refOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mid == nil {
+		t.Fatal("no mid-solve checkpoint captured")
+	}
+
+	resOpts := base
+	resOpts.Relax.Resume = mid
+	res, err := SelectApprox(context.Background(), p, b, resOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(res.Selected) != fmt.Sprint(ref.Selected) {
+		t.Fatalf("resumed selection %v != uninterrupted %v", res.Selected, ref.Selected)
+	}
+}
+
+// TestRelaxResumeShapeMismatch pins the typed error for a checkpoint that
+// does not belong to the problem.
+func TestRelaxResumeShapeMismatch(t *testing.T) {
+	p := testProblem(3, 10, 40, 4, 2)
+	o := RelaxOptions{Probes: 2, Seed: 1, MaxIter: 3}
+	o.Resume = &RelaxCheckpoint{Iteration: 1, Z: make([]float64, 7)}
+	if _, err := RelaxFast(context.Background(), p, 2, o); err == nil {
+		t.Fatal("want error for mismatched checkpoint, got nil")
+	}
+}
+
+// TestRoundExcludeSkipsIndices pins RoundOptions.Exclude: excluded indices
+// are never selected, by either ROUND solver.
+func TestRoundExcludeSkipsIndices(t *testing.T) {
+	p := testProblem(13, 15, 60, 4, 3)
+	b := 5
+	relax, err := RelaxFast(context.Background(), p, b, RelaxOptions{Probes: 3, Seed: 5, MaxIter: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Exclude whatever an unconstrained round picks first.
+	free, err := RoundFast(p, relax.Z, b, RoundOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exclude := append([]int(nil), free.Selected[:2]...)
+	exclude = append(exclude, -3, p.N()+10) // out-of-range entries are ignored
+
+	for name, run := range map[string]func() (*RoundResult, error){
+		"fast":  func() (*RoundResult, error) { return RoundFast(p, relax.Z, b, RoundOptions{Exclude: exclude}) },
+		"exact": func() (*RoundResult, error) { return RoundExact(p, relax.Z, b, RoundOptions{Exclude: exclude}) },
+	} {
+		res, err := run()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		banned := map[int]bool{}
+		for _, i := range exclude {
+			banned[i] = true
+		}
+		for _, i := range res.Selected {
+			if banned[i] {
+				t.Errorf("%s: excluded index %d was selected", name, i)
+			}
+		}
+		if len(res.Selected) != b {
+			t.Errorf("%s: selected %d points, want %d", name, len(res.Selected), b)
+		}
+	}
+}
+
+func withHook(o RelaxOptions, hook func(*RelaxCheckpoint)) RelaxOptions {
+	o.OnIteration = hook
+	return o
+}
+
+func floatBits(x []float64) []byte {
+	buf := make([]byte, 0, 8*len(x))
+	for _, v := range x {
+		buf = fmt.Appendf(buf, "%x;", v)
+	}
+	return buf
+}

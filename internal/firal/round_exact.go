@@ -16,6 +16,12 @@ type RoundOptions struct {
 	// Naive switches the exact solver to the O((dc)³)-per-candidate
 	// reference objective (tests and tiny problems only).
 	Naive bool
+	// Exclude lists pool indices that must not be selected — points a
+	// previous round already picked, or whose labels the caller already
+	// holds. They are pre-marked as selected, so the greedy argmax skips
+	// them; they still contribute to the RELAX weights and the Fisher
+	// state like any other pool point. Out-of-range entries are ignored.
+	Exclude []int
 }
 
 // RoundResult reports a ROUND solve.
@@ -75,7 +81,12 @@ func RoundExact(p *Problem, z []float64, b int, o RoundOptions) (*RoundResult, e
 	hTilde := mat.NewDense(ed, ed) // accumulated ηH̃ numerator (line 15)
 	stop()
 
-	selected := make(map[int]bool, b)
+	selected := make(map[int]bool, b+len(o.Exclude))
+	for _, i := range o.Exclude {
+		if i >= 0 && i < n {
+			selected[i] = true
+		}
+	}
 	ri := make([]float64, n)
 	xm := mat.NewDense(n, d)
 

@@ -359,6 +359,11 @@ func RoundFast(p *Problem, z []float64, b int, o RoundOptions) (*RoundResult, er
 		return nil, err
 	}
 	scores, selected, rowBuf := sc.scores, sc.selected, sc.rowBuf
+	for _, i := range o.Exclude {
+		if i >= 0 && i < n {
+			selected[i] = true
+		}
+	}
 	probs := p.Pool.Probs()
 
 	for t := 1; t <= b; t++ {

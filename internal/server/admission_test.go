@@ -1,0 +1,126 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestAdmissionCapacityAndDepth pins the headline invariant: with C slots
+// and a queue of Q, C+Q+1 simultaneous admissions yield exactly C running,
+// Q queued, and one ErrSaturated.
+func TestAdmissionCapacityAndDepth(t *testing.T) {
+	const capacity, depth = 2, 3
+	a := NewAdmission(capacity, depth)
+	var admitted, queued, refused int
+	var tickets []*Ticket
+	for i := 0; i < capacity+depth+1; i++ {
+		tk, pos, err := a.Admit(false)
+		switch {
+		case errors.Is(err, ErrSaturated):
+			refused++
+		case err != nil:
+			t.Fatal(err)
+		case pos == 0:
+			admitted++
+			tickets = append(tickets, tk)
+		default:
+			queued++
+			if pos != queued {
+				t.Errorf("queue position %d, want %d (FIFO)", pos, queued)
+			}
+			tickets = append(tickets, tk)
+		}
+	}
+	if admitted != capacity || queued != depth || refused != 1 {
+		t.Fatalf("admitted/queued/refused = %d/%d/%d, want %d/%d/1",
+			admitted, queued, refused, capacity, depth)
+	}
+	if r, q := a.Stats(); r != capacity || q != depth {
+		t.Fatalf("Stats = %d running, %d queued", r, q)
+	}
+	for _, tk := range tickets {
+		tk.Release()
+	}
+	if r, q := a.Stats(); r != 0 || q != 0 {
+		t.Fatalf("after release Stats = %d running, %d queued, want 0/0", r, q)
+	}
+}
+
+// TestAdmissionFIFO verifies waiters are granted strictly in arrival order.
+func TestAdmissionFIFO(t *testing.T) {
+	a := NewAdmission(1, 4)
+	first, _, err := a.Admit(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var waiters []*Ticket
+	for i := 0; i < 3; i++ {
+		tk, pos, err := a.Admit(false)
+		if err != nil || pos != i+1 {
+			t.Fatalf("waiter %d: pos=%d err=%v", i, pos, err)
+		}
+		waiters = append(waiters, tk)
+	}
+	ctx := context.Background()
+	first.Release()
+	// Only the head should be runnable; later waiters still block.
+	if err := waiters[0].Wait(ctx); err != nil {
+		t.Fatal(err)
+	}
+	short, cancel := context.WithTimeout(ctx, 20*time.Millisecond)
+	defer cancel()
+	if err := waiters[2].Wait(short); err == nil {
+		t.Fatal("tail waiter ran before its turn")
+	}
+	// The cancelled Wait abandoned waiters[2]'s queue slot; the rest still
+	// promote in order.
+	waiters[0].Release()
+	if err := waiters[1].Wait(ctx); err != nil {
+		t.Fatal(err)
+	}
+	waiters[1].Release()
+	if r, q := a.Stats(); r != 0 || q != 0 {
+		t.Fatalf("Stats = %d/%d, want 0/0", r, q)
+	}
+}
+
+// TestAdmissionForce pins that force waives the depth bound but never the
+// capacity bound.
+func TestAdmissionForce(t *testing.T) {
+	a := NewAdmission(1, 0)
+	running, _, err := a.Admit(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := a.Admit(false); !errors.Is(err, ErrSaturated) {
+		t.Fatalf("depth 0 should refuse: %v", err)
+	}
+	forced, pos, err := a.Admit(true)
+	if err != nil {
+		t.Fatalf("forced admission refused: %v", err)
+	}
+	if pos == 0 {
+		t.Fatal("forced admission exceeded capacity")
+	}
+	running.Release()
+	if err := forced.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	forced.Release()
+}
+
+// TestTicketReleaseIdempotent pins double-release safety.
+func TestTicketReleaseIdempotent(t *testing.T) {
+	a := NewAdmission(1, 1)
+	tk, _, err := a.Admit(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tk.Release()
+	tk.Release()
+	if r, _ := a.Stats(); r != 0 {
+		t.Fatalf("running = %d after double release, want 0", r)
+	}
+}

@@ -1,0 +1,68 @@
+package server
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/firal"
+)
+
+// TestCheckpointRoundTrip pins that the binary codec restores weights and
+// objective history bit-for-bit — including values a text format would
+// mangle (subnormals, exact dyadic fractions, huge magnitudes).
+func TestCheckpointRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "round.ckpt")
+	ck := &firal.RelaxCheckpoint{
+		Iteration:    17,
+		Done:         true,
+		CGIterations: 423,
+		Z:            []float64{0.1, 1.0 / 3.0, math.SmallestNonzeroFloat64, 1e300, 0.25},
+		FHist:        []float64{3.75, math.Pi, -1e-12},
+	}
+	if err := writeCheckpoint(path, 5, ck); err != nil {
+		t.Fatal(err)
+	}
+	round, got, err := readCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if round != 5 || got.Iteration != 17 || !got.Done || got.CGIterations != 423 {
+		t.Fatalf("header mismatch: round=%d ck=%+v", round, got)
+	}
+	for i, z := range ck.Z {
+		if math.Float64bits(got.Z[i]) != math.Float64bits(z) {
+			t.Errorf("Z[%d]: %x != %x", i, math.Float64bits(got.Z[i]), math.Float64bits(z))
+		}
+	}
+	for i, f := range ck.FHist {
+		if math.Float64bits(got.FHist[i]) != math.Float64bits(f) {
+			t.Errorf("FHist[%d] bits differ", i)
+		}
+	}
+}
+
+// TestCheckpointCorruption pins that truncated or foreign files are
+// rejected with the path in the message, never partially decoded.
+func TestCheckpointCorruption(t *testing.T) {
+	dir := t.TempDir()
+
+	bogus := filepath.Join(dir, "bogus.ckpt")
+	os.WriteFile(bogus, []byte("not a checkpoint at all"), 0o644)
+	if _, _, err := readCheckpoint(bogus); err == nil || !strings.Contains(err.Error(), bogus) {
+		t.Fatalf("bogus file: %v", err)
+	}
+
+	path := filepath.Join(dir, "round.ckpt")
+	ck := &firal.RelaxCheckpoint{Iteration: 3, Z: make([]float64, 100), FHist: []float64{1, 2, 3}}
+	if err := writeCheckpoint(path, 1, ck); err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := os.ReadFile(path)
+	os.WriteFile(path, raw[:len(raw)-40], 0o644)
+	if _, _, err := readCheckpoint(path); err == nil {
+		t.Fatal("truncated checkpoint decoded without error")
+	}
+}

@@ -1,0 +1,349 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"time"
+
+	pub "repro"
+	"repro/internal/baselines"
+	"repro/internal/dataset"
+	"repro/internal/firal"
+	"repro/internal/hessian"
+	"repro/internal/logreg"
+	"repro/internal/mat"
+	"repro/internal/parallel"
+	"repro/internal/rnd"
+	"repro/internal/softmax"
+)
+
+// roundSeedStride mirrors Learner.state(): round r of a session seeded s
+// draws from s + r·7919, so the service's per-round seeds line up with the
+// library's.
+const roundSeedStride = 7919
+
+// runRound is the round goroutine: wait for an admission slot, run one
+// train+select under the session's scoped worker limit, and record the
+// outcome. Cancellation (session delete, server shutdown) marks the round
+// interrupted — its checkpoint stays on disk and the next server startup
+// resumes it; any other failure marks it failed and clears the checkpoint.
+func (s *Server) runRound(ctx context.Context, cancel context.CancelFunc, sess *Session, rm *RoundMeta, ticket *Ticket) {
+	defer s.wg.Done()
+	defer sess.roundWG.Done()
+	defer cancel()
+	defer ticket.Release()
+
+	finish := func(status, errMsg string) {
+		sess.mu.Lock()
+		rm.Status = status
+		rm.Error = errMsg
+		sess.cancelRound = nil
+		sess.ticket = nil
+		if err := sess.persistLocked(); err != nil {
+			s.cfg.Logf("session %s: persist round %d: %v", sess.meta.ID, rm.Round, err)
+		}
+		sess.mu.Unlock()
+	}
+
+	if err := ticket.Wait(ctx); err != nil {
+		finish(RoundInterrupted, "")
+		return
+	}
+	sess.mu.Lock()
+	rm.Status = RoundRunning
+	if err := sess.persistLocked(); err != nil {
+		s.cfg.Logf("session %s: persist round %d: %v", sess.meta.ID, rm.Round, err)
+	}
+	workers := sess.meta.Workers
+	sess.mu.Unlock()
+
+	if workers > 0 {
+		lim := parallel.AcquireLimit(workers)
+		defer lim.Release()
+	}
+	sess.mu.Lock()
+	rm.WorkersObserved = parallel.Workers()
+	sess.mu.Unlock()
+
+	t0 := time.Now()
+	out, err := s.selectOnce(ctx, sess, rm)
+	switch {
+	case err != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)):
+		s.cfg.Logf("session %s: round %d interrupted (checkpoint retained)", sess.meta.ID, rm.Round)
+		finish(RoundInterrupted, "")
+		return
+	case err != nil:
+		s.cfg.Logf("session %s: round %d failed: %v", sess.meta.ID, rm.Round, err)
+		os.Remove(checkpointPath(sess.dir)) // a failed round's state is not resumable
+		finish(RoundFailed, err.Error())
+		return
+	}
+
+	sess.mu.Lock()
+	rm.Selected = out.selected
+	rm.Eta = out.eta
+	rm.RelaxIterations = out.relaxIters
+	rm.CGIterations = out.cgIters
+	rm.TrainSeconds = out.trainSeconds
+	rm.SelectSeconds = time.Since(t0).Seconds() - out.trainSeconds
+	labeled := len(sess.meta.LabeledY) + len(sess.meta.IndexLabels)
+	remaining := sess.meta.Rows - len(sess.excludeLocked())
+	observers := append([]pub.RoundObserver(nil), sess.observers...)
+	sess.mu.Unlock()
+
+	os.Remove(checkpointPath(sess.dir)) // the round is durable in session.json now
+	finish(RoundDone, "")
+	s.cfg.Logf("session %s: round %d done: %d selected in %.2fs",
+		sess.meta.ID, rm.Round, len(out.selected), rm.SelectSeconds)
+
+	report := &pub.RoundReport{
+		Round:         rm.Round,
+		LabeledCount:  labeled,
+		PoolRemaining: remaining,
+		Selected:      out.selected,
+		SelectSeconds: rm.SelectSeconds,
+		TrainSeconds:  rm.TrainSeconds,
+	}
+	for _, observe := range observers {
+		observe(report)
+	}
+}
+
+// AddObserver registers fn to receive the RoundReport of every round the
+// session completes from now on — the in-process embedding's alternative
+// to polling the HTTP status endpoint, using the library's streaming
+// observer type.
+func (s *Server) AddObserver(sessionID string, fn pub.RoundObserver) error {
+	sess, err := s.session(sessionID)
+	if err != nil {
+		return err
+	}
+	sess.mu.Lock()
+	sess.observers = append(sess.observers, fn)
+	sess.mu.Unlock()
+	return nil
+}
+
+// roundOutput is what selectOnce hands back to runRound.
+type roundOutput struct {
+	selected     []int
+	eta          float64
+	relaxIters   int
+	cgIters      int
+	trainSeconds float64
+}
+
+// selectOnce performs one train+select: assemble the labeled set (direct
+// uploads plus index-labeled pool rows), train the classifier, stream the
+// pool once for probabilities, and dispatch to the session's selector with
+// previously selected rows excluded. For Approx-FIRAL the RELAX state is
+// checkpointed through the solver's iteration hook and restored when a
+// matching checkpoint survives from an interrupted attempt.
+func (s *Server) selectOnce(ctx context.Context, sess *Session, rm *RoundMeta) (*roundOutput, error) {
+	sess.mu.Lock()
+	meta := sess.meta // shallow copy; slices are not mutated while a round runs
+	exclude := sess.excludeLocked()
+	sess.mu.Unlock()
+	src := sess.src
+
+	// Labeled set: uploaded examples first, then index-labeled pool rows
+	// read back from the shards (stable order — a resumed round must train
+	// on the identical matrix).
+	nLab := len(meta.LabeledX) + len(meta.IndexLabels)
+	labM := mat.NewDense(nLab, meta.Dim)
+	labY := make([]int, 0, nLab)
+	for i, row := range meta.LabeledX {
+		copy(labM.Row(i), row)
+	}
+	labY = append(labY, meta.LabeledY...)
+	for k, il := range meta.IndexLabels {
+		rowDst := labM.RowSlice(len(meta.LabeledX)+k, len(meta.LabeledX)+k+1)
+		if err := src.ReadRows(il.Index, il.Index+1, rowDst); err != nil {
+			return nil, fmt.Errorf("read labeled pool row %d: %w", il.Index, err)
+		}
+		labY = append(labY, il.Label)
+	}
+
+	t0 := time.Now()
+	model, err := logreg.Train(labM, labY, meta.Classes, nil, logreg.Options{Lambda: meta.Lambda})
+	if err != nil {
+		return nil, fmt.Errorf("train classifier: %w", err)
+	}
+	out := &roundOutput{trainSeconds: time.Since(t0).Seconds()}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	seed := meta.Seed + int64(rm.Round)*roundSeedStride
+	blockRows := meta.BlockRows
+	if blockRows <= 0 {
+		blockRows = s.cfg.BlockRows
+	}
+
+	switch meta.Selector {
+	case "Approx-FIRAL":
+		reduced, err := streamProbs(src, model, meta.Classes, blockRows, true)
+		if err != nil {
+			return nil, err
+		}
+		relax := firal.RelaxOptions{
+			MaxIter:         meta.RelaxIters,
+			FixedIterations: meta.FixedRelaxIters,
+			Probes:          meta.Probes,
+			CGTol:           meta.CGTol,
+			Seed:            seed,
+		}
+		if round, ck, err := readCheckpoint(checkpointPath(sess.dir)); err == nil && round == rm.Round {
+			relax.Resume = ck
+			sess.mu.Lock()
+			sess.progress = roundProgress{RelaxIteration: ck.Iteration, RelaxDone: ck.Done, CGIterations: ck.CGIterations}
+			sess.mu.Unlock()
+			s.cfg.Logf("session %s: round %d resuming RELAX from iteration %d (done=%v)",
+				meta.ID, rm.Round, ck.Iteration, ck.Done)
+		} else if err == nil {
+			os.Remove(checkpointPath(sess.dir)) // stale: belongs to another round
+		}
+		every := s.cfg.CheckpointEvery
+		relax.OnIteration = func(ck *firal.RelaxCheckpoint) {
+			sess.mu.Lock()
+			sess.progress = roundProgress{RelaxIteration: ck.Iteration, RelaxDone: ck.Done, CGIterations: ck.CGIterations}
+			sess.mu.Unlock()
+			if ck.Done || ck.Iteration%every == 0 {
+				if err := writeCheckpoint(checkpointPath(sess.dir), rm.Round, ck); err != nil {
+					s.cfg.Logf("session %s: round %d checkpoint: %v", meta.ID, rm.Round, err)
+				}
+			}
+		}
+		labeled := hessian.NewSet(labM, hessian.ReduceProbs(softmax.Probabilities(nil, labM, model.Theta)))
+		pool := hessian.NewStream(src, reduced, blockRows)
+		res, err := firal.SelectApprox(ctx, firal.NewProblem(labeled, pool), rm.Budget,
+			firal.Options{Relax: relax, Exclude: exclude})
+		if err != nil {
+			return nil, err
+		}
+		out.selected = res.Selected
+		out.eta = res.Eta
+		out.relaxIters = res.Relax.Iterations
+		out.cgIters = res.Relax.CGIterations
+		return out, nil
+
+	case "Exact-FIRAL":
+		x, err := s.resident(src)
+		if err != nil {
+			return nil, err
+		}
+		probs := softmax.Probabilities(nil, x, model.Theta)
+		labeled := hessian.NewSet(labM, hessian.ReduceProbs(softmax.Probabilities(nil, labM, model.Theta)))
+		pool := hessian.NewSet(x, hessian.ReduceProbs(probs))
+		relax := firal.RelaxOptions{MaxIter: meta.RelaxIters, FixedIterations: meta.FixedRelaxIters, Seed: seed}
+		res, err := firal.SelectExact(ctx, firal.NewProblem(labeled, pool), rm.Budget,
+			firal.Options{Relax: relax, Exclude: exclude})
+		if err != nil {
+			return nil, err
+		}
+		out.selected = res.Selected
+		out.eta = res.Eta
+		out.relaxIters = res.Relax.Iterations
+		return out, nil
+
+	case "Random":
+		allowed := allowedIndices(meta.Rows, exclude)
+		picked := baselines.Random(len(allowed), rm.Budget, rnd.New(seed))
+		out.selected = mapBack(picked, allowed)
+		return out, nil
+
+	case "K-Means":
+		x, err := s.resident(src)
+		if err != nil {
+			return nil, err
+		}
+		allowed := allowedIndices(meta.Rows, exclude)
+		compact := mat.NewDense(len(allowed), meta.Dim)
+		for r, i := range allowed {
+			copy(compact.Row(r), x.Row(i))
+		}
+		picked := baselines.KMeans(compact, rm.Budget, rnd.New(seed))
+		out.selected = mapBack(picked, allowed)
+		return out, nil
+
+	case "Entropy", "Margin", "Least-Confidence":
+		probs, err := streamProbs(src, model, meta.Classes, blockRows, false)
+		if err != nil {
+			return nil, err
+		}
+		allowed := allowedIndices(meta.Rows, exclude)
+		compact := mat.NewDense(len(allowed), meta.Classes)
+		for r, i := range allowed {
+			copy(compact.Row(r), probs.Row(i))
+		}
+		var picked []int
+		switch meta.Selector {
+		case "Entropy":
+			picked = baselines.Entropy(compact, rm.Budget)
+		case "Margin":
+			picked = baselines.Margin(compact, rm.Budget)
+		default:
+			picked = baselines.LeastConfidence(compact, rm.Budget)
+		}
+		out.selected = mapBack(picked, allowed)
+		return out, nil
+	}
+	return nil, fmt.Errorf("selector %s is not servable", meta.Selector)
+}
+
+// streamProbs sweeps the pool once under the trained model. With reduce
+// set it returns the n×(c−1) reduced matrix the FIRAL solvers consume
+// (Eq. 1, last class dropped); otherwise the full n×c softmax the
+// uncertainty baselines score — either way O(n·c) resident, never the
+// features.
+func streamProbs(src dataset.PoolSource, model *logreg.Model, classes, blockRows int, reduce bool) (*mat.Dense, error) {
+	if blockRows <= 0 {
+		blockRows = dataset.DefaultBlockRows
+	}
+	n := src.NumRows()
+	cols := classes
+	if reduce {
+		cols = classes - 1
+	}
+	outM := mat.NewDense(n, cols)
+	block := mat.NewDense(min(blockRows, n), src.Dim())
+	probsBlock := mat.NewDense(min(blockRows, n), classes)
+	for lo := 0; lo < n; lo += block.Rows {
+		hi := min(lo+block.Rows, n)
+		xb := block.RowSlice(0, hi-lo)
+		if err := src.ReadRows(lo, hi, xb); err != nil {
+			return nil, err
+		}
+		pb := softmax.Probabilities(probsBlock.RowSlice(0, hi-lo), xb, model.Theta)
+		for i := lo; i < hi; i++ {
+			copy(outM.Row(i), pb.Row(i - lo)[:cols])
+		}
+	}
+	return outM, nil
+}
+
+// allowedIndices returns [0, n) minus the excluded set, ascending.
+func allowedIndices(n int, exclude []int) []int {
+	dead := make(map[int]bool, len(exclude))
+	for _, i := range exclude {
+		dead[i] = true
+	}
+	out := make([]int, 0, n-len(exclude))
+	for i := 0; i < n; i++ {
+		if !dead[i] {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// mapBack translates compacted-pool indices to global pool rows.
+func mapBack(picked, allowed []int) []int {
+	out := make([]int, len(picked))
+	for k, i := range picked {
+		out[k] = allowed[i]
+	}
+	return out
+}
