@@ -264,6 +264,15 @@ func main() {
 		rep.Results = append(rep.Results, e)
 	}
 
+	// --- Incremental delta round vs full-rescore round at n=1e5. ---
+	if e, err := deltaRoundBench(); err != nil {
+		log.Fatal(err)
+	} else {
+		fmt.Printf("%-28s %14.0f ns/op %8d allocs/op  (%.1fx vs full rescore)\n",
+			e.Name, e.NsPerOp, e.AllocsPerOp, e.Extra["cost_ratio"])
+		rep.Results = append(rep.Results, e)
+	}
+
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		log.Fatal(err)
@@ -425,6 +434,93 @@ func relaxStreamBench(run func(string, func(b *testing.B)) entry, setup *streamS
 		"per_column_sweeps_legacy": float64(warm.CGIterations + (4*probes+1)*warm.Iterations),
 	}
 	return e, nil
+}
+
+// deltaRoundBench measures round t+1 two ways over the same grown pool
+// (100,000 resident rows plus a 1% append, d = 64, binary problem): the
+// from-scratch path — full RELAX over the grown pool, then ROUND — and
+// the incremental path — Incremental.AppendRows sweeps only the 1,000
+// appended rows, then a Refine == 0 Select starts ROUND directly from
+// the maintained rank-1-current Cholesky factors. Each path is timed
+// wall-clock once (the delta path mutates the session state, so there is
+// no b.N loop; both paths share the worker pool, so the ratio is fair)
+// and the entry hard-fails unless the incremental round selects exactly
+// what the from-scratch ROUND selects at the same weights — the
+// maintained factors must be the rebuilt ones, argmax for argmax.
+func deltaRoundBench() (entry, error) {
+	const (
+		nOld   = 100_000
+		nDelta = 1_000 // the 1% append
+		nNew   = nOld + nDelta
+		d      = 64
+		b      = 5
+	)
+	labeled, full := experiments.SynthSets(20, nNew, d, 2, 17)
+	base := hessian.NewSet(full.X.RowSlice(0, nOld), full.H.RowSlice(0, nOld))
+	pBase := firal.NewProblem(labeled, base)
+	relaxOpts := firal.RelaxOptions{FixedIterations: 12, Probes: 10, CGTol: 0.1, CGMaxIter: 8, Seed: 29}
+	ctx := context.Background()
+
+	// Round t: the session's last full selection over the base pool seeds
+	// the incremental state (and warms the scratch pools both timed paths
+	// draw from).
+	relax, err := firal.RelaxFast(ctx, pBase, b, relaxOpts)
+	if err != nil {
+		return entry{}, err
+	}
+	inc, err := firal.NewIncremental(pBase, relax.Z, b, 0)
+	if err != nil {
+		return entry{}, err
+	}
+	pFull := firal.NewProblem(labeled, full)
+
+	// From-scratch round t+1 over the grown pool.
+	t0 := time.Now()
+	relaxFull, err := firal.RelaxFast(ctx, pFull, b, relaxOpts)
+	if err != nil {
+		return entry{}, err
+	}
+	if _, err := firal.RoundFast(pFull, relaxFull.Z, b, firal.RoundOptions{Eta: inc.Eta()}); err != nil {
+		return entry{}, err
+	}
+	fullNs := float64(time.Since(t0).Nanoseconds())
+
+	// The from-scratch ROUND at the maintained (reprojected) weights — the
+	// selection the incremental path must reproduce exactly.
+	scratch, err := firal.RoundFast(pFull, firal.ReprojectSimplex(relax.Z, nNew), b,
+		firal.RoundOptions{Eta: inc.Eta()})
+	if err != nil {
+		return entry{}, err
+	}
+
+	// Incremental round t+1: absorb the delta, select from the factors.
+	t0 = time.Now()
+	if err := inc.AppendRows(full); err != nil {
+		return entry{}, err
+	}
+	incRes, err := inc.Select(ctx, firal.SelectOptions{})
+	if err != nil {
+		return entry{}, err
+	}
+	deltaNs := float64(time.Since(t0).Nanoseconds())
+
+	match := len(incRes.Selected) == len(scratch.Selected)
+	for i := 0; match && i < len(incRes.Selected); i++ {
+		match = incRes.Selected[i] == scratch.Selected[i]
+	}
+	if !match {
+		return entry{}, fmt.Errorf("delta round selections diverge from the from-scratch path: %v vs %v",
+			incRes.Selected, scratch.Selected)
+	}
+	return entry{
+		Name:    "delta_round_n1e5_d64",
+		NsPerOp: deltaNs,
+		Extra: map[string]float64{
+			"full_round_ns":   fullNs,
+			"cost_ratio":      fullNs / deltaNs,
+			"selection_match": 1,
+		},
+	}, nil
 }
 
 // diffAgainst compares the fresh results to a recorded baseline. Timing

@@ -92,6 +92,24 @@
 // bit-for-bit. See ARCHITECTURE.md § Service layer and examples/service
 // for the API walkthrough.
 //
+// # Incremental pools
+//
+// Pools are mutable between rounds and round t+1 costs what changed:
+// dataset.LiveSource appends segments visibly to open readers (atomic
+// snapshots, generation-counted) and dataset.TombstoneView compacts
+// retired rows; mat.Cholesky factors follow labeled/tombstone events by
+// O(d²) rank-1 updates and hyperbolic downdates (with an automatic
+// refactor on breakdown); internal/firal's Incremental state sweeps only
+// the appended window of a grown pool and starts ROUND directly from the
+// maintained factors, selecting exactly what a from-scratch rebuild
+// would; RelaxOptions.WarmStart seeds mirror descent from the previous
+// round's weights reprojected onto the grown simplex. The service layer
+// exposes pool appends (POST /v1/sessions/{id}/pool), warm-starts each
+// round from the last one's converged weights, and re-scores only
+// appended rows when the model is unchanged. The delta_round_n1e5_d64
+// entry in BENCH_round.json tracks the incremental round's cost against
+// the full-rescore round. See ARCHITECTURE.md § Incremental pools.
+//
 // Parallel loops run on a persistent worker pool (internal/parallel):
 // workers live for the life of the process, parked on channels when
 // idle, so a steady-state kernel call forks no goroutines. The pool is

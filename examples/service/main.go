@@ -3,8 +3,9 @@
 // cmd/firald wraps), then speaks to it exclusively over HTTP — creating a
 // session from a packed shard pool, labeling pool rows by index, kicking
 // off an asynchronous Approx-FIRAL round, polling its RELAX progress,
-// fetching the selected indices, and running a second round whose
-// tombstones exclude everything already taken. Each step prints the
+// fetching the selected indices, appending freshly crawled rows to the
+// live pool, and running a second, warm-started round whose tombstones
+// exclude everything already taken. Each step prints the
 // equivalent curl command, so the transcript doubles as the API
 // reference for a real firald deployment:
 //
@@ -143,8 +144,40 @@ func main() {
 	get(hs.URL+fmt.Sprintf("/v1/sessions/%s/rounds/%d/selected", sess.ID, kicked.Round), &sel)
 	fmt.Printf("  → label these rows next: %v\n\n", sel.Selected)
 
-	// 6. A second round excludes everything selected or index-labeled so
-	// far — the multi-round dialogue over one static pool.
+	// 6. The crawler found more unlabeled data: append it to the live
+	// pool. Existing row indices stay stable (the selections above remain
+	// valid), the new rows land behind them, and the next round scores the
+	// grown pool. Appends are refused with 409 while a round is running —
+	// a round's checkpoint assumes a fixed pool.
+	ds2 := dataset.Generate(dataset.Config{
+		Classes: classes, Dim: d, PoolSize: 1_000, EvalSize: classes,
+		InitPerClass: 2, Rounds: 1, Budget: budget,
+	}, 2)
+	more := filepath.Join(dir, "more.shard")
+	w2, err := dataset.CreateShard(more, d)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := w2.AppendBlock(ds2.PoolX); err != nil {
+		log.Fatal(err)
+	}
+	if err := w2.Close(); err != nil {
+		log.Fatal(err)
+	}
+	curl("POST", "/v1/sessions/"+sess.ID+"/pool", `-d '{"shards":["more.shard"]}'`)
+	var grown struct {
+		Rows       int   `json:"rows"`
+		Generation int64 `json:"generation"`
+	}
+	post(hs.URL+"/v1/sessions/"+sess.ID+"/pool", map[string]any{"shards": []string{more}}, &grown)
+	fmt.Printf("  → pool grown to %d rows (generation %d)\n\n", grown.Rows, grown.Generation)
+
+	// 7. A second round excludes everything selected or index-labeled so
+	// far and covers the appended rows. It is a delta round server-side:
+	// mirror descent warm-starts from round 1's converged weights
+	// (reprojected onto the grown simplex) and, with the labeled set
+	// unchanged, only the appended rows go through the model for
+	// probabilities.
 	post(hs.URL+fmt.Sprintf("/v1/sessions/%s/rounds", sess.ID), map[string]int{"budget": budget}, &kicked)
 	for {
 		get(hs.URL+fmt.Sprintf("/v1/sessions/%s/rounds/%d", sess.ID, kicked.Round), &rv)
@@ -155,7 +188,7 @@ func main() {
 	}
 	fmt.Printf("round 2 selected %v — disjoint from round 1 and the tombstones\n\n", rv.Selected)
 
-	// 7. Done: delete the session (cancels any running round, removes the
+	// 8. Done: delete the session (cancels any running round, removes the
 	// session directory).
 	curl("DELETE", "/v1/sessions/"+sess.ID, "")
 	req, _ := http.NewRequest(http.MethodDelete, hs.URL+"/v1/sessions/"+sess.ID, nil)

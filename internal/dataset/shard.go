@@ -37,6 +37,7 @@ const (
 type ShardWriter struct {
 	f    *os.File
 	w    *bufio.Writer
+	path string
 	d    int
 	rows int
 	buf  []byte // one encoded row (d·4 bytes), reused across appends
@@ -52,7 +53,7 @@ func CreateShard(path string, d int) (*ShardWriter, error) {
 	if err != nil {
 		return nil, err
 	}
-	sw := &ShardWriter{f: f, w: bufio.NewWriterSize(f, 1<<20), d: d, buf: make([]byte, d*4)}
+	sw := &ShardWriter{f: f, w: bufio.NewWriterSize(f, 1<<20), path: path, d: d, buf: make([]byte, d*4)}
 	var hdr [shardHeaderSize]byte
 	copy(hdr[:8], shardMagic)
 	binary.LittleEndian.PutUint32(hdr[8:12], uint32(d))
@@ -84,11 +85,24 @@ func (sw *ShardWriter) AppendRow(x []float64) error {
 	return nil
 }
 
-// AppendBlock writes every row of x.
+// AppendBlock writes every row of x. A dimension mismatch is reported
+// with the shard path and the offending block's row range, so a
+// multi-source packing job (several producers feeding one shard set)
+// learns exactly which file and which rows were being appended.
 func (sw *ShardWriter) AppendBlock(x *mat.Dense) error {
+	if sw.err != nil {
+		return sw.err
+	}
+	start := sw.rows
+	if x.Cols != sw.d {
+		sw.err = fmt.Errorf("dataset: shard %s: block for rows [%d, %d) has %d features, want %d",
+			sw.path, start, start+x.Rows, x.Cols, sw.d)
+		return sw.err
+	}
 	for i := 0; i < x.Rows; i++ {
 		if err := sw.AppendRow(x.Row(i)); err != nil {
-			return err
+			return fmt.Errorf("dataset: shard %s: appending block rows [%d, %d): %w",
+				sw.path, start, start+x.Rows, err)
 		}
 	}
 	return nil

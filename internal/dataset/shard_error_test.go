@@ -79,6 +79,32 @@ func TestOpenShardsActionableErrors(t *testing.T) {
 		}
 	})
 
+	t.Run("append block mismatch names shard and row range", func(t *testing.T) {
+		path := filepath.Join(dir, "ctx.shard")
+		w, err := CreateShard(path, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := w.AppendBlock(mat.NewDense(10, 4)); err != nil {
+			t.Fatal(err)
+		}
+		err = w.AppendBlock(mat.NewDense(6, 5))
+		if err == nil {
+			t.Fatal("mismatched block accepted")
+		}
+		for _, want := range []string{path, "[10, 16)", "5 features", "want 4"} {
+			if !strings.Contains(err.Error(), want) {
+				t.Errorf("error %q does not mention %q", err, want)
+			}
+		}
+		// The writer latches the error; later appends re-report it so a
+		// packing loop cannot silently continue past a bad producer.
+		if err2 := w.AppendBlock(mat.NewDense(1, 4)); err2 == nil || !strings.Contains(err2.Error(), "[10, 16)") {
+			t.Errorf("latched writer error = %v, want the original mismatch", err2)
+		}
+		w.Close()
+	})
+
 	t.Run("dimension mismatch names both shards", func(t *testing.T) {
 		a := filepath.Join(dir, "a.shard")
 		b := filepath.Join(dir, "b.shard")

@@ -136,7 +136,12 @@ func Subrange(src PoolSource, lo, hi int) PoolSource {
 		panic(fmt.Sprintf("dataset: Subrange [%d, %d) out of range [0, %d)", lo, hi, src.NumRows()))
 	}
 	if lo == 0 && hi == src.NumRows() {
-		return src
+		// The identity shortcut is only sound for fixed-size sources: a
+		// growable pool (LiveSource) must still be wrapped so the window
+		// stays pinned while appends land.
+		if _, growable := src.(interface{ Generation() int64 }); !growable {
+			return src
+		}
 	}
 	if res, ok := src.(Resident); ok {
 		return &residentSubrange{subrange{src: src, lo: lo, hi: hi}, res}

@@ -1,0 +1,107 @@
+package dataset
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/mat"
+)
+
+// TombstoneView is the first-class dead-row view over a PoolSource: rows
+// tombstoned at construction disappear from the streamed row space while
+// every surviving row keeps a stable mapping back to its original index.
+// It honors the block-wise streaming contract — consumers sweep the view
+// in fixed-size blocks and each ReadRows window issues one underlying
+// read per surviving run it overlaps, so a view over an mmap'd shard set
+// streams with the same scratch bounds as the shards themselves.
+//
+// A view shares its source (Close is a no-op; close the parent instead)
+// and is immutable: pools that tombstone incrementally build a fresh view
+// per round from the current dead set, which is O(dead·log dead) — noise
+// against one block decode.
+type TombstoneView struct {
+	src  PoolSource
+	runs [][2]int // surviving [lo, hi) windows of the source, ascending
+	cum  []int    // cum[i] = surviving rows before runs[i]
+	rows int
+}
+
+// NewTombstoneView builds a view of src without the dead rows. Indices
+// are validated against the source (duplicates are tolerated — callers
+// accumulate dead sets from overlapping rounds); dead is not retained or
+// modified.
+func NewTombstoneView(src PoolSource, dead []int) (*TombstoneView, error) {
+	n := src.NumRows()
+	sorted := append([]int(nil), dead...)
+	sort.Ints(sorted)
+	v := &TombstoneView{src: src}
+	prev := 0
+	last := -1
+	for _, i := range sorted {
+		if i < 0 || i >= n {
+			return nil, fmt.Errorf("dataset: tombstone index %d out of range [0, %d)", i, n)
+		}
+		if i == last {
+			continue
+		}
+		last = i
+		if i > prev {
+			v.pushRun(prev, i)
+		}
+		prev = i + 1
+	}
+	if prev < n {
+		v.pushRun(prev, n)
+	}
+	return v, nil
+}
+
+func (v *TombstoneView) pushRun(lo, hi int) {
+	v.runs = append(v.runs, [2]int{lo, hi})
+	v.cum = append(v.cum, v.rows)
+	v.rows += hi - lo
+}
+
+// NumRows returns the surviving row count.
+func (v *TombstoneView) NumRows() int { return v.rows }
+
+// Dim returns the feature dimension.
+func (v *TombstoneView) Dim() int { return v.src.Dim() }
+
+// Close is a no-op; the view shares its source.
+func (v *TombstoneView) Close() error { return nil }
+
+// OriginalIndex maps view row i back to its index in the underlying
+// source — how a selection over the compacted row space reports indices
+// in the pool's stable global numbering.
+func (v *TombstoneView) OriginalIndex(i int) int {
+	if i < 0 || i >= v.rows {
+		panic(fmt.Sprintf("dataset: OriginalIndex %d out of range [0, %d)", i, v.rows))
+	}
+	r := sort.Search(len(v.cum), func(k int) bool { return v.cum[k] > i }) - 1
+	return v.runs[r][0] + (i - v.cum[r])
+}
+
+// ReadRows copies surviving rows [lo, hi) (view numbering) into dst,
+// reading each overlapped surviving run of the source once.
+func (v *TombstoneView) ReadRows(lo, hi int, dst *mat.Dense) error {
+	if err := checkWindow(v, lo, hi, dst); err != nil {
+		return err
+	}
+	if lo == hi {
+		return nil
+	}
+	r := sort.Search(len(v.cum), func(k int) bool { return v.cum[k] > lo }) - 1
+	row := lo
+	for row < hi {
+		run := v.runs[r]
+		runLo := run[0] + (row - v.cum[r])
+		take := min(run[1]-runLo, hi-row)
+		if err := v.src.ReadRows(runLo, runLo+take, dst.RowSlice(row-lo, row-lo+take)); err != nil {
+			return err
+		}
+		row += take
+		r++
+	}
+	return nil
+}

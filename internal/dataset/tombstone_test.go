@@ -1,0 +1,170 @@
+package dataset
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/mat"
+	"repro/internal/rnd"
+)
+
+// compactOracle materializes the surviving rows of src the slow, obvious
+// way: copy everything, drop the dead rows.
+func compactOracle(t *testing.T, src PoolSource, dead []int) (*mat.Dense, []int) {
+	t.Helper()
+	n, d := src.NumRows(), src.Dim()
+	all := mat.NewDense(n, d)
+	if err := src.ReadRows(0, n, all); err != nil {
+		t.Fatal(err)
+	}
+	isDead := make([]bool, n)
+	for _, i := range dead {
+		isDead[i] = true
+	}
+	var keep []int
+	for i := 0; i < n; i++ {
+		if !isDead[i] {
+			keep = append(keep, i)
+		}
+	}
+	out := mat.NewDense(len(keep), d)
+	for r, i := range keep {
+		copy(out.Row(r), all.Row(i))
+	}
+	return out, keep
+}
+
+// TestTombstoneViewMatchesCompactedCopy is the streaming-vs-oracle
+// property test: every ragged block boundary of the view must serve
+// exactly the rows a compacted copy holds, and OriginalIndex must invert
+// the compaction.
+func TestTombstoneViewMatchesCompactedCopy(t *testing.T) {
+	const n, d = 137, 5
+	x := denseRows(n, d, 0)
+	src := NewMatrixSource(x)
+	rng := rnd.New(42)
+	for _, deadFrac := range []float64{0, 0.1, 0.5, 0.93} {
+		var dead []int
+		for i := 0; i < n; i++ {
+			if rng.Float64() < deadFrac {
+				dead = append(dead, i)
+			}
+		}
+		// Duplicates must be tolerated (overlapping round tombstones).
+		dead = append(dead, dead...)
+		view, err := NewTombstoneView(src, dead)
+		if err != nil {
+			t.Fatal(err)
+		}
+		oracle, keep := compactOracle(t, src, dead)
+		if view.NumRows() != oracle.Rows {
+			t.Fatalf("deadFrac=%g: view has %d rows, oracle %d", deadFrac, view.NumRows(), oracle.Rows)
+		}
+		// Ragged, prime-sized, and full-window blocks.
+		for _, bs := range []int{1, 7, 32, view.NumRows()} {
+			if bs == 0 {
+				continue
+			}
+			got := mat.NewDense(bs, d)
+			for lo := 0; lo < view.NumRows(); lo += bs {
+				hi := min(lo+bs, view.NumRows())
+				blk := got.RowSlice(0, hi-lo)
+				if err := view.ReadRows(lo, hi, blk); err != nil {
+					t.Fatal(err)
+				}
+				for r := 0; r < hi-lo; r++ {
+					for j := 0; j < d; j++ {
+						if blk.At(r, j) != oracle.At(lo+r, j) {
+							t.Fatalf("deadFrac=%g bs=%d: view row %d col %d = %g, oracle %g",
+								deadFrac, bs, lo+r, j, blk.At(r, j), oracle.At(lo+r, j))
+						}
+					}
+				}
+			}
+		}
+		for vi, orig := range keep {
+			if got := view.OriginalIndex(vi); got != orig {
+				t.Fatalf("deadFrac=%g: OriginalIndex(%d) = %d, want %d", deadFrac, vi, got, orig)
+			}
+		}
+	}
+}
+
+// TestTombstoneViewAcrossShardSeams pins the layered case: a tombstone
+// view over a multi-file ShardSource must stream surviving rows through
+// windows that cross both run boundaries and shard seams.
+func TestTombstoneViewAcrossShardSeams(t *testing.T) {
+	const d = 3
+	dir := t.TempDir()
+	var paths []string
+	rows := 0
+	for s, cnt := range []int{11, 7, 19} {
+		path := filepath.Join(dir, filepath.Base(dir)+string(rune('a'+s))+".shard")
+		w, err := CreateShard(path, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := w.AppendBlock(denseRows(cnt, d, float64(rows*d))); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		paths = append(paths, path)
+		rows += cnt
+	}
+	src, err := OpenShards(paths...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	// Kill rows straddling both seams (10, 11 and 17, 18) plus scattered
+	// singles, so runs and shard boundaries interleave.
+	dead := []int{0, 5, 10, 11, 17, 18, 25, 36}
+	view, err := NewTombstoneView(src, dead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle, keep := compactOracle(t, src, dead)
+	for _, bs := range []int{4, 13, view.NumRows()} {
+		got := mat.NewDense(bs, d)
+		for lo := 0; lo < view.NumRows(); lo += bs {
+			hi := min(lo+bs, view.NumRows())
+			blk := got.RowSlice(0, hi-lo)
+			if err := view.ReadRows(lo, hi, blk); err != nil {
+				t.Fatal(err)
+			}
+			for r := 0; r < hi-lo; r++ {
+				if blk.At(r, 0) != oracle.At(lo+r, 0) {
+					t.Fatalf("bs=%d: view row %d = %g, oracle %g (orig %d)",
+						bs, lo+r, blk.At(r, 0), oracle.At(lo+r, 0), keep[lo+r])
+				}
+			}
+		}
+	}
+}
+
+// TestTombstoneViewValidation covers the error and edge contracts.
+func TestTombstoneViewValidation(t *testing.T) {
+	src := NewMatrixSource(denseRows(4, 2, 0))
+	if _, err := NewTombstoneView(src, []int{4}); err == nil {
+		t.Fatal("out-of-range tombstone accepted")
+	}
+	if _, err := NewTombstoneView(src, []int{-1}); err == nil {
+		t.Fatal("negative tombstone accepted")
+	}
+	all, err := NewTombstoneView(src, []int{0, 1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if all.NumRows() != 0 {
+		t.Fatalf("fully-tombstoned view has %d rows", all.NumRows())
+	}
+	none, err := NewTombstoneView(src, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if none.NumRows() != 4 || none.OriginalIndex(3) != 3 {
+		t.Fatal("empty dead set must be the identity view")
+	}
+}

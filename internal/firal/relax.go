@@ -93,6 +93,16 @@ type RelaxOptions struct {
 	// exactly this many mirror-descent iterations (used by the
 	// performance experiments, which time a fixed iteration count).
 	FixedIterations int
+	// WarmStart, when non-nil, seeds mirror descent from this weight
+	// vector instead of the uniform simplex — the warm-started round of an
+	// incremental session, where the previous round's converged z
+	// (reprojected onto the grown simplex, see ReprojectSimplex) is a far
+	// better iterate than uniform. The vector must have one nonnegative
+	// entry per pool point with a positive sum; it is copied and normalized
+	// to sum 1, so callers may pass z⋄ (which sums to b) directly. Resume
+	// takes precedence: a checkpointed trajectory restarts from its exact
+	// iterate, not from the warm seed. Fast solver only.
+	WarmStart []float64
 	// Resume, when non-nil, continues a previous RelaxFast solve from the
 	// checkpointed state instead of starting at the uniform simplex. The
 	// remaining options (Seed, Probes, tolerances, …) must match the
@@ -240,6 +250,23 @@ func RelaxFast(ctx context.Context, p *Problem, b int, o RelaxOptions) (*RelaxRe
 	s := o.Probes
 	rng := rnd.New(o.Seed)
 	z := uniformSimplex(n)
+	if o.WarmStart != nil && o.Resume == nil {
+		if len(o.WarmStart) != n {
+			return nil, fmt.Errorf("firal: warm start has %d weights, pool has %d", len(o.WarmStart), n)
+		}
+		var sum float64
+		for _, v := range o.WarmStart {
+			if v < 0 || math.IsNaN(v) {
+				return nil, fmt.Errorf("firal: warm start weights must be nonnegative, got %g", v)
+			}
+			sum += v
+		}
+		if !(sum > 0) {
+			return nil, fmt.Errorf("firal: warm start weights sum to %g, want > 0", sum)
+		}
+		copy(z, o.WarmStart)
+		mat.Scal(1/sum, z)
+	}
 	res := &RelaxResult{Timings: timing.New()}
 	ph := res.Timings
 

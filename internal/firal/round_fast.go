@@ -51,6 +51,28 @@ func NewRoundState(sig, ho []*mat.Dense, b int, eta float64, ph *timing.Phases) 
 	return newRoundStateInto(nil, sig, ho, b, eta, ph)
 }
 
+// ensureRoundState returns prev when it matches the block shape (its
+// scratch, accumulators, and inverse-block storage are recycled), or
+// fresh storage otherwise.
+func ensureRoundState(prev *RoundState, d, c int) *RoundState {
+	if prev != nil && prev.d == d && prev.c == c {
+		return prev
+	}
+	st := &RoundState{
+		d: d, c: c,
+		hacc:  make([]*mat.Dense, c),
+		binv:  make([]*mat.Dense, c),
+		isqrt: make([]*mat.Dense, c),
+		ws:    mat.NewWorkspace(),
+		tmp:   mat.NewDense(d, d),
+		pk:    mat.NewDense(d, d),
+	}
+	for k := 0; k < c; k++ {
+		st.hacc[k] = mat.NewDense(d, d)
+	}
+	return st
+}
+
 // newRoundStateInto is NewRoundState reusing a previous state's storage
 // (pooled by RoundFast): when prev matches the block shape, its scratch,
 // accumulators, and inverse-block storage are recycled and only the
@@ -62,35 +84,15 @@ func newRoundStateInto(prev *RoundState, sig, ho []*mat.Dense, b int, eta float6
 		panic("firal: RoundState needs matching non-empty block sets")
 	}
 	d := sig[0].Rows
-	st := prev
-	if st == nil || st.d != d || st.c != c {
-		st = &RoundState{
-			d: d, c: c,
-			hacc:  make([]*mat.Dense, c),
-			binv:  make([]*mat.Dense, c),
-			isqrt: make([]*mat.Dense, c),
-			ws:    mat.NewWorkspace(),
-			tmp:   mat.NewDense(d, d),
-			pk:    mat.NewDense(d, d),
-		}
-		for k := 0; k < c; k++ {
-			st.hacc[k] = mat.NewDense(d, d)
-		}
-	}
+	st := ensureRoundState(prev, d, c)
 	st.eta, st.b, st.edF = eta, b, float64(d*c)
 	st.sig, st.ho = sig, ho
 
-	stop := ph.Start("eig")
-	for k := 0; k < c; k++ {
-		sf, err := mat.NewSPDFuncs(st.sig[k], 1e-10)
-		if err != nil {
-			return nil, err
-		}
-		st.isqrt[k] = sf.InvSqrt()
+	if err := st.invSqrtBlocks(ph); err != nil {
+		return nil, err
 	}
-	stop()
 
-	stop = ph.Start("other")
+	stop := ph.Start("other")
 	sqrtEd := math.Sqrt(st.edF)
 	for k := 0; k < c; k++ {
 		b1 := st.tmp
@@ -101,6 +103,51 @@ func newRoundStateInto(prev *RoundState, sig, ho []*mat.Dense, b int, eta float6
 			return nil, err
 		}
 		st.binv[k] = st.chol.InverseInto(st.ws, st.binv[k])
+		st.hacc[k].Zero()
+	}
+	stop()
+	return st, nil
+}
+
+// invSqrtBlocks rebuilds the (Σ⋄)_k^{-1/2} transforms from the current
+// sig blocks (line 4 of Algorithm 3).
+func (st *RoundState) invSqrtBlocks(ph *timing.Phases) error {
+	stop := ph.Start("eig")
+	defer stop()
+	for k := 0; k < st.c; k++ {
+		sf, err := mat.NewSPDFuncs(st.sig[k], 1e-10)
+		if err != nil {
+			return err
+		}
+		st.isqrt[k] = sf.InvSqrt()
+	}
+	return nil
+}
+
+// NewRoundStateFromFactors is NewRoundState with the B₁ factorizations
+// already in hand: instead of assembling and factoring
+// √ẽd·(Σ⋄)_k + (η/b)·(Ho)_k per class, the supplied factors — kept
+// current across rounds by rank-1 updates (see Incremental) — are
+// inverted directly, so starting round t+1 costs O(cd³) with no fresh
+// Gram assembly. The factors and blocks are read, not consumed; repeated
+// rounds off one maintained state stay valid.
+func NewRoundStateFromFactors(prev *RoundState, sig, ho []*mat.Dense, factors []mat.Cholesky, b int, eta float64, ph *timing.Phases) (*RoundState, error) {
+	c := len(sig)
+	if c == 0 || len(ho) != c || len(factors) != c {
+		panic("firal: RoundState needs matching non-empty block and factor sets")
+	}
+	d := sig[0].Rows
+	st := ensureRoundState(prev, d, c)
+	st.eta, st.b, st.edF = eta, b, float64(d*c)
+	st.sig, st.ho = sig, ho
+
+	if err := st.invSqrtBlocks(ph); err != nil {
+		return nil, err
+	}
+
+	stop := ph.Start("other")
+	for k := 0; k < c; k++ {
+		st.binv[k] = factors[k].InverseInto(st.ws, st.binv[k])
 		st.hacc[k].Zero()
 	}
 	stop()
@@ -364,11 +411,26 @@ func RoundFast(p *Problem, z []float64, b int, o RoundOptions) (*RoundResult, er
 			selected[i] = true
 		}
 	}
-	probs := p.Pool.Probs()
+	if err := runRoundLoop(p.Pool, st, b, scores, selected, rowBuf, res); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
 
+// runRoundLoop executes the b greedy iterations of Algorithm 3 lines
+// 6–11 over pool: rescore, argmax over unselected points, and the FTRL
+// state update for the winner. selected marks points the loop must skip
+// (earlier selections, the caller's exclude set) and is updated in
+// place; scores and rowBuf are caller scratch of length n and d. Shared
+// by RoundFast and the incremental delta rounds, which differ only in
+// how the entering RoundState was built.
+func runRoundLoop(pool hessian.Pool, st *RoundState, b int, scores []float64, selected []bool, rowBuf []float64, res *RoundResult) error {
+	n := pool.N()
+	probs := pool.Probs()
+	ph := res.Timings
 	for t := 1; t <= b; t++ {
 		stop := ph.Start("objective")
-		st.Scores(p.Pool, scores)
+		st.Scores(pool, scores)
 		stop()
 
 		stop = ph.Start("other")
@@ -389,12 +451,12 @@ func RoundFast(p *Problem, z []float64, b int, o RoundOptions) (*RoundResult, er
 		res.Selected = append(res.Selected, best)
 		res.Objectives = append(res.Objectives, bestV)
 
-		nu, err := st.Update(p.Pool.Row(best, rowBuf), probs.Row(best), ph)
+		nu, err := st.Update(pool.Row(best, rowBuf), probs.Row(best), ph)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		res.Nu = append(res.Nu, nu)
 	}
 	res.MinEigH = st.MinEig()
-	return res, nil
+	return nil
 }

@@ -1,0 +1,61 @@
+package hessian
+
+import (
+	"fmt"
+
+	"repro/internal/mat"
+)
+
+// BlockDiagAccumRange adds scale·Σ_{i∈[lo,hi)} w_i H_i's diagonal d×d
+// class blocks into blocks — the delta form of BlockDiagSumInto. An
+// incremental round that appended Δn rows to a pool of n runs the
+// probability/Fisher pass over just the appended window instead of
+// re-sweeping all n+Δn rows:
+//
+//	BlockDiagAccumRange(ws, pool, sig, w, n, n+Δn, 1)
+//
+// costs O(Δn·d²·c) against the full pass's O((n+Δn)·d²·c). With w == nil
+// every row weighs 1; scale multiplies the whole contribution, which is
+// how a reprojection that shrinks old z-mass by (1−α) folds the rescale
+// and the delta into one accumulation sequence.
+//
+// blocks must hold exactly C() matrices of shape d×d and is never
+// zeroed — callers own the base state. Warm calls perform no allocation:
+// all scratch (the block decode, the per-row weight vector, the Gram
+// accumulator) comes from ws.
+func BlockDiagAccumRange(ws *mat.Workspace, p Pool, blocks []*mat.Dense, w []float64, lo, hi int, scale float64) {
+	n, d, c := p.N(), p.D(), p.C()
+	if lo < 0 || hi > n || lo > hi {
+		panic(fmt.Sprintf("hessian: BlockDiagAccumRange window [%d, %d) out of range [0, %d)", lo, hi, n))
+	}
+	if len(blocks) != c {
+		panic("hessian: BlockDiagAccumRange block count mismatch")
+	}
+	if lo == hi || scale == 0 {
+		return
+	}
+	h := p.Probs()
+	bs := p.BlockRows()
+	acc := ws.Matrix(d, d)
+	u := ws.Vec(min(bs, hi-lo))
+	for blo := lo; blo < hi; blo += bs {
+		bhi := min(blo+bs, hi)
+		m := bhi - blo
+		xb := p.Block(ws, blo, bhi)
+		for k := 0; k < c; k++ {
+			for i := 0; i < m; i++ {
+				wi := scale
+				if w != nil {
+					wi = scale * w[blo+i]
+				}
+				hv := h.At(blo+i, k)
+				u[i] = wi * hv * (1 - hv)
+			}
+			mat.WeightedGramWS(ws, acc, xb, u[:m])
+			blocks[k].AddScaled(1, acc)
+		}
+		p.PutBlock(ws, xb)
+	}
+	ws.PutVec(u)
+	ws.PutMatrix(acc)
+}

@@ -1,0 +1,105 @@
+package hessian
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/mat"
+	"repro/internal/parallel"
+)
+
+// TestBlockDiagAccumRangeMatchesFullSweep is the delta-pass oracle: a
+// base accumulation over [0, split) plus a delta accumulation over
+// [split, n) must reproduce the full BlockDiagSumInto sweep exactly,
+// for splits landing inside, on, and across block boundaries of both a
+// resident Set and a streamed pool.
+func TestBlockDiagAccumRangeMatchesFullSweep(t *testing.T) {
+	const n, d, c = 997, 11, 4
+	set, w := streamTestData(17, n, d, c)
+	ws := mat.NewWorkspace()
+	want := set.BlockDiagSumInto(ws, nil, w)
+
+	pools := map[string]Pool{
+		"set":       set,
+		"stream64":  NewStream(dataset.NewMatrixSource(set.X), set.H, 64),
+		"stream997": NewStream(dataset.NewMatrixSource(set.X), set.H, 997),
+	}
+	for name, p := range pools {
+		for _, split := range []int{0, 1, 63, 64, 65, 500, 996, n} {
+			got := make([]*mat.Dense, c)
+			for k := range got {
+				got[k] = mat.NewDense(d, d)
+			}
+			BlockDiagAccumRange(ws, p, got, w, 0, split, 1)
+			BlockDiagAccumRange(ws, p, got, w, split, n, 1)
+			for k := 0; k < c; k++ {
+				if diff := mat.MaxAbsDiff(got[k], want[k]); diff > 1e-10 {
+					t.Errorf("%s split=%d class %d: base+delta diverges from full sweep by %g",
+						name, split, k, diff)
+				}
+			}
+		}
+	}
+}
+
+// TestBlockDiagAccumRangeScale pins the scale argument: accumulating a
+// range at scale s must equal scaling the weights by s, which is how the
+// simplex reprojection folds its (1−α) shrink into the same pass.
+func TestBlockDiagAccumRangeScale(t *testing.T) {
+	const n, d, c = 100, 7, 3
+	set, w := streamTestData(23, n, d, c)
+	ws := mat.NewWorkspace()
+
+	scaled := make([]float64, n)
+	for i := range w {
+		scaled[i] = 0.375 * w[i]
+	}
+	want := set.BlockDiagSumInto(ws, nil, scaled)
+
+	got := make([]*mat.Dense, c)
+	for k := range got {
+		got[k] = mat.NewDense(d, d)
+	}
+	BlockDiagAccumRange(ws, set, got, w, 0, n, 0.375)
+	for k := 0; k < c; k++ {
+		if diff := mat.MaxAbsDiff(got[k], want[k]); diff > 1e-10 {
+			t.Errorf("class %d: scaled accumulation diverges by %g", k, diff)
+		}
+	}
+
+	// scale == 0 and an empty window are no-ops.
+	BlockDiagAccumRange(ws, set, got, w, 0, n, 0)
+	BlockDiagAccumRange(ws, set, got, w, 40, 40, 1)
+	for k := 0; k < c; k++ {
+		if diff := mat.MaxAbsDiff(got[k], want[k]); diff != 0 {
+			t.Errorf("class %d: no-op accumulation mutated blocks by %g", k, diff)
+		}
+	}
+}
+
+// TestBlockDiagAccumRangeZeroAlloc pins the delta pass at zero
+// allocations with a warm workspace — the incremental-round budget is
+// O(Δn) work and no garbage, serial and at four workers.
+func TestBlockDiagAccumRangeZeroAlloc(t *testing.T) {
+	skipUnderRace(t)
+	s := allocSet(2000, 64, 9)
+	w := make([]float64, s.N())
+	mat.Fill(w, 0.5)
+	ws := mat.NewWorkspace()
+	blocks := s.BlockDiagSumInto(ws, nil, w)
+	BlockDiagAccumRange(ws, s, blocks, w, 1900, 2000, 1)
+	if allocs := testing.AllocsPerRun(50, func() {
+		BlockDiagAccumRange(ws, s, blocks, w, 1900, 2000, 1)
+	}); allocs != 0 {
+		t.Errorf("BlockDiagAccumRange allocates %.1f objects per call with a warm workspace", allocs)
+	}
+
+	prev := parallel.SetMaxWorkers(4)
+	defer parallel.SetMaxWorkers(prev)
+	BlockDiagAccumRange(ws, s, blocks, w, 1900, 2000, 1)
+	if allocs := testing.AllocsPerRun(30, func() {
+		BlockDiagAccumRange(ws, s, blocks, w, 1900, 2000, 1)
+	}); allocs != 0 {
+		t.Errorf("BlockDiagAccumRange allocates %.1f objects per call at 4 workers", allocs)
+	}
+}

@@ -1,0 +1,100 @@
+package mat
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrDowndateBreakdown is returned by DowndateRank1 when removing the
+// rank-1 term would make the factored matrix indefinite (or numerically
+// so): the hyperbolic rotation at some pivot would need |w_k| ≥ L_kk.
+// Callers that maintain the unfactored matrix alongside the factor
+// recover by refactoring it with FactorRidge — the downdated matrix may
+// still be semidefinite up to roundoff even though the rotation sequence
+// broke down.
+var ErrDowndateBreakdown = errors.New("mat: rank-1 downdate would make the factor indefinite")
+
+// UpdateRank1 replaces the factorization A = L Lᵀ held by c with the
+// factorization of A + alpha·x xᵀ (alpha ≥ 0) in place, by the standard
+// Givens-rotation sweep: O(n²) instead of the O(n³) refactorization, with
+// the only transient — the scaled copy of x — drawn from ws, so a warm
+// workspace makes the update allocation-free. alpha = 0 is a no-op;
+// alpha < 0 panics (use DowndateRank1, whose breakdown is detectable).
+func (c *Cholesky) UpdateRank1(ws *Workspace, x []float64, alpha float64) {
+	n := c.L.Rows
+	if len(x) != n {
+		panic("mat: UpdateRank1 vector length mismatch")
+	}
+	if alpha == 0 {
+		return
+	}
+	if alpha < 0 {
+		panic("mat: UpdateRank1 needs alpha ≥ 0; use DowndateRank1 for removal")
+	}
+	w := ws.Vec(n)
+	s := math.Sqrt(alpha)
+	for i, v := range x {
+		w[i] = s * v
+	}
+	l := c.L
+	for k := 0; k < n; k++ {
+		lk := l.Row(k)
+		r := math.Hypot(lk[k], w[k])
+		ck := r / lk[k]
+		sk := w[k] / lk[k]
+		lk[k] = r
+		for i := k + 1; i < n; i++ {
+			li := l.Row(i)
+			li[k] = (li[k] + sk*w[i]) / ck
+			w[i] = ck*w[i] - sk*li[k]
+		}
+	}
+	ws.PutVec(w)
+}
+
+// DowndateRank1 replaces the factorization A = L Lᵀ held by c with the
+// factorization of A − alpha·x xᵀ (alpha ≥ 0) in place, by the hyperbolic
+// counterpart of the UpdateRank1 sweep. When some pivot would lose
+// positivity it returns ErrDowndateBreakdown; the factor contents are then
+// unspecified and the caller must refactor from the maintained matrix
+// (FactorRidge) before using c again. Scratch comes from ws; a warm
+// workspace makes the downdate allocation-free.
+func (c *Cholesky) DowndateRank1(ws *Workspace, x []float64, alpha float64) error {
+	n := c.L.Rows
+	if len(x) != n {
+		panic("mat: DowndateRank1 vector length mismatch")
+	}
+	if alpha == 0 {
+		return nil
+	}
+	if alpha < 0 {
+		panic("mat: DowndateRank1 needs alpha ≥ 0; use UpdateRank1 for addition")
+	}
+	w := ws.Vec(n)
+	s := math.Sqrt(alpha)
+	for i, v := range x {
+		w[i] = s * v
+	}
+	l := c.L
+	for k := 0; k < n; k++ {
+		lk := l.Row(k)
+		// r² = L_kk² − w_k², computed as a product of sum and difference
+		// for accuracy when the two magnitudes are close.
+		d := (lk[k] - w[k]) * (lk[k] + w[k])
+		if d <= 0 || math.IsNaN(d) {
+			ws.PutVec(w)
+			return ErrDowndateBreakdown
+		}
+		r := math.Sqrt(d)
+		ck := r / lk[k]
+		sk := w[k] / lk[k]
+		lk[k] = r
+		for i := k + 1; i < n; i++ {
+			li := l.Row(i)
+			li[k] = (li[k] - sk*w[i]) / ck
+			w[i] = ck*w[i] - sk*li[k]
+		}
+	}
+	ws.PutVec(w)
+	return nil
+}

@@ -1,0 +1,189 @@
+package mat
+
+import (
+	"errors"
+	"testing"
+)
+
+// pseudoVec fills a deterministic pseudo-random vector in [-1, 1).
+func pseudoVec(n int, seed uint64) []float64 {
+	x := make([]float64, n)
+	s := seed
+	for i := range x {
+		s = s*6364136223846793005 + 1442695040888963407
+		x[i] = float64(int64(s>>33))/float64(1<<30) - 1
+	}
+	return x
+}
+
+// TestUpdateRank1MatchesRefactor is the from-scratch oracle property: a
+// chain of rank-1 updates must track the factorization of the explicitly
+// accumulated matrix.
+func TestUpdateRank1MatchesRefactor(t *testing.T) {
+	ws := NewWorkspace()
+	for _, n := range []int{1, 2, 5, 16, 33} {
+		a := spdFromFactor(n, uint64(n)+3)
+		var c Cholesky
+		if err := c.FactorInto(a); err != nil {
+			t.Fatal(err)
+		}
+		for step := 0; step < 5; step++ {
+			x := pseudoVec(n, uint64(n*100+step))
+			alpha := 0.25 + 0.5*float64(step)
+			c.UpdateRank1(ws, x, alpha)
+			a.AddOuter(alpha, x)
+			var want Cholesky
+			if err := want.FactorInto(a); err != nil {
+				t.Fatal(err)
+			}
+			if d := MaxAbsDiff(want.L, c.L); d > 1e-9*float64(n) {
+				t.Fatalf("n=%d step=%d: updated factor differs from refactorization by %g", n, step, d)
+			}
+		}
+	}
+}
+
+// TestDowndateRank1MatchesRefactor checks the inverse property: factoring
+// A + αxxᵀ and downdating by (x, α) must recover the factor of A.
+func TestDowndateRank1MatchesRefactor(t *testing.T) {
+	ws := NewWorkspace()
+	for _, n := range []int{1, 2, 5, 16, 33} {
+		a := spdFromFactor(n, uint64(n)+17)
+		var want Cholesky
+		if err := want.FactorInto(a); err != nil {
+			t.Fatal(err)
+		}
+		for step := 0; step < 3; step++ {
+			x := pseudoVec(n, uint64(n*55+step))
+			alpha := 0.5 + float64(step)
+			up := a.Clone()
+			up.AddOuter(alpha, x)
+			var c Cholesky
+			if err := c.FactorInto(up); err != nil {
+				t.Fatal(err)
+			}
+			if err := c.DowndateRank1(ws, x, alpha); err != nil {
+				t.Fatalf("n=%d step=%d: unexpected breakdown: %v", n, step, err)
+			}
+			if d := MaxAbsDiff(want.L, c.L); d > 1e-8*float64(n) {
+				t.Fatalf("n=%d step=%d: downdated factor differs from original by %g", n, step, d)
+			}
+		}
+	}
+}
+
+// TestDowndateRank1Breakdown forces the indefinite case: removing more
+// mass along x than the matrix holds must report ErrDowndateBreakdown,
+// and the documented recovery — refactor the maintained matrix with
+// FactorRidge — must leave the factor usable again.
+func TestDowndateRank1Breakdown(t *testing.T) {
+	ws := NewWorkspace()
+	n := 8
+	a := spdFromFactor(n, 5)
+	var c Cholesky
+	if err := c.FactorInto(a); err != nil {
+		t.Fatal(err)
+	}
+	x := pseudoVec(n, 77)
+	// xᵀA x bounds the removable mass along x; ask for far more.
+	ax := make([]float64, n)
+	for i := 0; i < n; i++ {
+		var s float64
+		for j := 0; j < n; j++ {
+			s += a.At(i, j) * x[j]
+		}
+		ax[i] = s
+	}
+	var quad, norm2 float64
+	for i := range x {
+		quad += x[i] * ax[i]
+		norm2 += x[i] * x[i]
+	}
+	alpha := 4 * quad / (norm2 * norm2)
+	if err := c.DowndateRank1(ws, x, alpha); !errors.Is(err, ErrDowndateBreakdown) {
+		t.Fatalf("downdating by %g×xxᵀ: got %v, want ErrDowndateBreakdown", alpha, err)
+	}
+	// Fallback path: the factor contents are unspecified now; FactorRidge
+	// from the maintained matrix restores a valid factorization.
+	if _, err := c.FactorRidge(a, 1e-12); err != nil {
+		t.Fatalf("FactorRidge fallback after breakdown: %v", err)
+	}
+	var want Cholesky
+	if err := want.FactorInto(a); err != nil {
+		t.Fatal(err)
+	}
+	if d := MaxAbsDiff(want.L, c.L); d != 0 {
+		t.Fatalf("refactored-after-breakdown factor differs by %g", d)
+	}
+}
+
+// TestDowndateRank1ZeroAlpha pins the no-op contracts shared with
+// UpdateRank1: alpha = 0 must leave the factor bit-identical.
+func TestDowndateRank1ZeroAlpha(t *testing.T) {
+	ws := NewWorkspace()
+	a := spdFromFactor(6, 9)
+	var c, want Cholesky
+	if err := c.FactorInto(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := want.FactorInto(a); err != nil {
+		t.Fatal(err)
+	}
+	x := pseudoVec(6, 3)
+	c.UpdateRank1(ws, x, 0)
+	if err := c.DowndateRank1(ws, x, 0); err != nil {
+		t.Fatal(err)
+	}
+	if d := MaxAbsDiff(want.L, c.L); d != 0 {
+		t.Fatalf("zero-alpha update/downdate changed the factor by %g", d)
+	}
+}
+
+// TestRank1UpdateZeroAllocWarm pins the workspace contract: with a warm
+// workspace, an update/downdate pair allocates nothing.
+func TestRank1UpdateZeroAllocWarm(t *testing.T) {
+	if RaceEnabled {
+		t.Skip("allocation counts are meaningless under -race")
+	}
+	ws := NewWorkspace()
+	a := spdFromFactor(24, 13)
+	var c Cholesky
+	if err := c.FactorInto(a); err != nil {
+		t.Fatal(err)
+	}
+	x := pseudoVec(24, 21)
+	pair := func() {
+		c.UpdateRank1(ws, x, 0.5)
+		if err := c.DowndateRank1(ws, x, 0.5); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pair() // warm the workspace free list
+	if allocs := testing.AllocsPerRun(50, pair); allocs != 0 {
+		t.Fatalf("warm rank-1 update/downdate allocates %.1f objects per pair", allocs)
+	}
+	// The pair is numerically a no-op up to roundoff; guard against drift.
+	var want Cholesky
+	if err := want.FactorInto(a); err != nil {
+		t.Fatal(err)
+	}
+	if d := MaxAbsDiff(want.L, c.L); d > 1e-6 {
+		t.Fatalf("update/downdate round trips drifted the factor by %g", d)
+	}
+}
+
+// TestUpdateRank1PanicsOnNegativeAlpha documents the directionality of
+// the two entry points.
+func TestUpdateRank1PanicsOnNegativeAlpha(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("UpdateRank1 with negative alpha did not panic")
+		}
+	}()
+	a := spdFromFactor(3, 1)
+	var c Cholesky
+	if err := c.FactorInto(a); err != nil {
+		t.Fatal(err)
+	}
+	c.UpdateRank1(nil, []float64{1, 0, 0}, -1)
+}

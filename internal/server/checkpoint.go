@@ -38,6 +38,15 @@ func checkpointPath(sessionDir string) string {
 	return filepath.Join(sessionDir, "round.ckpt")
 }
 
+// warmPath is the per-session location of the last completed round's
+// converged RELAX weights (same codec, round field = the round that wrote
+// it). Unlike round.ckpt it survives round completion: the next round
+// reads it to warm-start mirror descent, reprojecting the weights onto
+// the grown simplex if the pool was appended to in between.
+func warmPath(sessionDir string) string {
+	return filepath.Join(sessionDir, "warm.ckpt")
+}
+
 // writeCheckpoint atomically persists the RELAX state of round `round`.
 func writeCheckpoint(path string, round int, ck *firal.RelaxCheckpoint) error {
 	tmp := path + ".tmp"

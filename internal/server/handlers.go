@@ -16,6 +16,7 @@ import (
 //	GET    /v1/sessions/{id}                   one session's summary + rounds
 //	DELETE /v1/sessions/{id}                   cancel + delete
 //	POST   /v1/sessions/{id}/labels            upload/extend labels
+//	POST   /v1/sessions/{id}/pool              append rows to the pool
 //	POST   /v1/sessions/{id}/rounds            start an async round (202/429)
 //	GET    /v1/sessions/{id}/rounds/{round}    round status + live progress
 //	GET    /v1/sessions/{id}/rounds/{round}/selected  the chosen indices
@@ -71,6 +72,15 @@ type roundRequest struct {
 	Budget int `json:"budget"`
 }
 
+// appendPoolRequest is the POST /v1/sessions/{id}/pool body: exactly one
+// of Shards or PoolCSV, same as pool registration at create time. The new
+// rows land after the existing ones, so previously reported indices stay
+// valid; the next round scores the grown pool.
+type appendPoolRequest struct {
+	Shards  []string `json:"shards,omitempty"`
+	PoolCSV string   `json:"pool_csv,omitempty"`
+}
+
 // sessionView is the wire form of a session summary (the labeled features
 // themselves are deliberately not echoed back).
 type sessionView struct {
@@ -101,6 +111,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/sessions/{id}", s.handleGet)
 	mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleDelete)
 	mux.HandleFunc("POST /v1/sessions/{id}/labels", s.handleLabels)
+	mux.HandleFunc("POST /v1/sessions/{id}/pool", s.handleAppendPool)
 	mux.HandleFunc("POST /v1/sessions/{id}/rounds", s.handleStartRound)
 	mux.HandleFunc("GET /v1/sessions/{id}/rounds/{round}", s.handleRound)
 	mux.HandleFunc("GET /v1/sessions/{id}/rounds/{round}/selected", s.handleSelected)
@@ -203,6 +214,28 @@ func (s *Server) handleLabels(w http.ResponseWriter, r *http.Request) {
 	total := len(sess.meta.LabeledY) + len(sess.meta.IndexLabels)
 	sess.mu.Unlock()
 	writeJSON(w, http.StatusOK, map[string]int{"labeled": total})
+}
+
+func (s *Server) handleAppendPool(w http.ResponseWriter, r *http.Request) {
+	sess, err := s.session(r.PathValue("id"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	var req appendPoolRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	rows, gen, err := s.appendPool(sess, req.Shards, req.PoolCSV)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"rows":       rows,
+		"generation": gen,
+	})
 }
 
 func (s *Server) handleStartRound(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,312 @@
+package server
+
+import (
+	"fmt"
+	"math"
+	"net/http"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/logreg"
+	"repro/internal/mat"
+)
+
+// appendShard packs n synthetic rows into a fresh shard file and returns
+// its path.
+func appendShard(t *testing.T, dir string, n, d, c int, seed int64) string {
+	t.Helper()
+	ds := dataset.Generate(dataset.Config{
+		Classes: c, Dim: d, PoolSize: n, EvalSize: c, InitPerClass: 3,
+		Rounds: 1, Budget: 1,
+	}, seed)
+	shard := filepath.Join(dir, fmt.Sprintf("extra-%d.shard", seed))
+	w, err := dataset.CreateShard(shard, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AppendBlock(ds.PoolX); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return shard
+}
+
+// TestAppendPoolGrowsSession appends to a live session twice — once by
+// shard path, once by inline CSV — and then runs a round over the grown
+// pool. Existing row indices must stay stable and the round must be able
+// to select from the full grown range.
+func TestAppendPoolGrowsSession(t *testing.T) {
+	dir := t.TempDir()
+	shard, labX, labY := testPool(t, dir, 120, 5, 3, 21)
+	srv, a := newTestServer(t, Config{})
+
+	var sv sessionView
+	a.must(http.StatusCreated, "POST", "/v1/sessions", &createRequest{
+		Shards:  []string{shard},
+		Labeled: labeledUpload{X: labX, Y: labY},
+		Seed:    7,
+		Probes:  4,
+	}, &sv)
+	if sv.Rows != 120 {
+		t.Fatalf("created with %d rows, want 120", sv.Rows)
+	}
+
+	extra := appendShard(t, dir, 40, 5, 3, 22)
+	var grow struct {
+		Rows       int   `json:"rows"`
+		Generation int64 `json:"generation"`
+	}
+	a.must(http.StatusOK, "POST", "/v1/sessions/"+sv.ID+"/pool",
+		&appendPoolRequest{Shards: []string{extra}}, &grow)
+	if grow.Rows != 160 || grow.Generation != 1 {
+		t.Fatalf("after shard append: rows=%d gen=%d, want 160, 1", grow.Rows, grow.Generation)
+	}
+
+	csv := ""
+	for i := 0; i < 8; i++ {
+		csv += fmt.Sprintf("%d,%d,%d,%d,%d\n", i, i+1, i+2, i+3, i+4)
+	}
+	a.must(http.StatusOK, "POST", "/v1/sessions/"+sv.ID+"/pool",
+		&appendPoolRequest{PoolCSV: csv}, &grow)
+	if grow.Rows != 168 || grow.Generation != 2 {
+		t.Fatalf("after CSV append: rows=%d gen=%d, want 168, 2", grow.Rows, grow.Generation)
+	}
+
+	// The session view and persisted metadata both reflect the growth.
+	a.must(http.StatusOK, "GET", "/v1/sessions/"+sv.ID, nil, &sv)
+	if sv.Rows != 168 {
+		t.Fatalf("session view reports %d rows, want 168", sv.Rows)
+	}
+	sess, err := srv.session(sv.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sess.src.NumRows(); got != 168 {
+		t.Fatalf("live source has %d rows, want 168", got)
+	}
+
+	// Mixed-form appends are still rejected.
+	if got := a.do("POST", "/v1/sessions/"+sv.ID+"/pool",
+		&appendPoolRequest{Shards: []string{extra}, PoolCSV: "1,2,3,4,5\n"}, nil); got != http.StatusBadRequest {
+		t.Fatalf("shards+csv append: status %d, want 400", got)
+	}
+	// Dimension mismatches surface as 400, not a poisoned pool.
+	bad := appendShard(t, dir, 10, 3, 3, 23)
+	if got := a.do("POST", "/v1/sessions/"+sv.ID+"/pool",
+		&appendPoolRequest{Shards: []string{bad}}, nil); got != http.StatusBadRequest {
+		t.Fatalf("dim-mismatched append: status %d, want 400", got)
+	}
+	if got := sess.src.NumRows(); got != 168 {
+		t.Fatalf("failed append changed the pool to %d rows", got)
+	}
+
+	// A round over the grown pool completes and selects valid indices.
+	var started map[string]any
+	a.must(http.StatusAccepted, "POST", "/v1/sessions/"+sv.ID+"/rounds",
+		&roundRequest{Budget: 3}, &started)
+	rv := a.waitRound(sv.ID, 1, 30*time.Second)
+	if rv.Status != RoundDone {
+		t.Fatalf("round over grown pool: %s (%s)", rv.Status, rv.Error)
+	}
+	if len(rv.Selected) != 3 {
+		t.Fatalf("selected %d, want 3", len(rv.Selected))
+	}
+	for _, i := range rv.Selected {
+		if i < 0 || i >= 168 {
+			t.Fatalf("selected index %d out of grown range [0, 168)", i)
+		}
+	}
+}
+
+// TestAppendPoolRefusedMidRound pins the consistency rule: while a round
+// is queued or running, pool appends are refused with 409 — the round's
+// checkpoint records a trajectory over a fixed simplex dimension.
+func TestAppendPoolRefusedMidRound(t *testing.T) {
+	dir := t.TempDir()
+	shard, labX, labY := testPool(t, dir, 80, 4, 3, 31)
+	srv, a := newTestServer(t, Config{})
+
+	var sv sessionView
+	a.must(http.StatusCreated, "POST", "/v1/sessions", &createRequest{
+		Shards:  []string{shard},
+		Labeled: labeledUpload{X: labX, Y: labY},
+	}, &sv)
+	sess, err := srv.session(sv.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Plant an active round directly — deterministic, no timing race with
+	// a real solver run.
+	sess.mu.Lock()
+	rm := &RoundMeta{Round: 1, Budget: 1, Status: RoundRunning}
+	sess.meta.Rounds = append(sess.meta.Rounds, rm)
+	sess.mu.Unlock()
+
+	extra := appendShard(t, dir, 10, 4, 3, 32)
+	if got := a.do("POST", "/v1/sessions/"+sv.ID+"/pool",
+		&appendPoolRequest{Shards: []string{extra}}, nil); got != http.StatusConflict {
+		t.Fatalf("append during active round: status %d, want 409", got)
+	}
+
+	sess.mu.Lock()
+	rm.Status = RoundDone
+	sess.mu.Unlock()
+	var grow struct {
+		Rows int `json:"rows"`
+	}
+	a.must(http.StatusOK, "POST", "/v1/sessions/"+sv.ID+"/pool",
+		&appendPoolRequest{Shards: []string{extra}}, &grow)
+	if grow.Rows != 90 {
+		t.Fatalf("post-round append: rows=%d, want 90", grow.Rows)
+	}
+}
+
+// TestWarmStartedRounds runs round 1, appends a small delta, and runs
+// round 2 without new labels: the server must leave a warm checkpoint
+// whose weights sum to 1, reuse the cached probabilities for the old rows
+// (sweeping only the delta), and complete the warm-started round over the
+// grown pool.
+func TestWarmStartedRounds(t *testing.T) {
+	dir := t.TempDir()
+	shard, labX, labY := testPool(t, dir, 200, 5, 3, 41)
+	srv, a := newTestServer(t, Config{})
+
+	var sv sessionView
+	a.must(http.StatusCreated, "POST", "/v1/sessions", &createRequest{
+		Shards:          []string{shard},
+		Labeled:         labeledUpload{X: labX, Y: labY},
+		Seed:            5,
+		Probes:          4,
+		FixedRelaxIters: 5,
+	}, &sv)
+
+	a.must(http.StatusAccepted, "POST", "/v1/sessions/"+sv.ID+"/rounds",
+		&roundRequest{Budget: 2}, &map[string]any{})
+	rv := a.waitRound(sv.ID, 1, 30*time.Second)
+	if rv.Status != RoundDone {
+		t.Fatalf("round 1: %s (%s)", rv.Status, rv.Error)
+	}
+
+	sess, err := srv.session(sv.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// round.ckpt is cleared on completion; warm.ckpt survives it.
+	if _, err := os.Stat(checkpointPath(sess.dir)); !os.IsNotExist(err) {
+		t.Fatalf("round.ckpt still present after completion: %v", err)
+	}
+	wr, wck, err := readCheckpoint(warmPath(sess.dir))
+	if err != nil {
+		t.Fatalf("warm checkpoint: %v", err)
+	}
+	if wr != 1 || len(wck.Z) != 200 {
+		t.Fatalf("warm checkpoint: round %d with %d weights, want round 1 with 200", wr, len(wck.Z))
+	}
+	sum := 0.0
+	for _, z := range wck.Z {
+		sum += z
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("warm weights sum to %g, want 1 (pre-budget-scaling simplex point)", sum)
+	}
+
+	// The probability cache from round 1 covers the original rows.
+	sess.mu.Lock()
+	cached := sess.probs
+	sess.mu.Unlock()
+	if cached == nil || cached.Rows != 200 {
+		t.Fatalf("probability cache missing after round 1")
+	}
+
+	extra := appendShard(t, dir, 20, 5, 3, 42)
+	a.must(http.StatusOK, "POST", "/v1/sessions/"+sv.ID+"/pool",
+		&appendPoolRequest{Shards: []string{extra}}, &map[string]any{})
+
+	a.must(http.StatusAccepted, "POST", "/v1/sessions/"+sv.ID+"/rounds",
+		&roundRequest{Budget: 2}, &map[string]any{})
+	rv = a.waitRound(sv.ID, 2, 30*time.Second)
+	if rv.Status != RoundDone {
+		t.Fatalf("warm round 2: %s (%s)", rv.Status, rv.Error)
+	}
+	for _, i := range rv.Selected {
+		if i < 0 || i >= 220 {
+			t.Fatalf("round 2 selected %d outside grown pool [0, 220)", i)
+		}
+	}
+
+	// Delta pass: the cache row that existed before round 2 must be the
+	// same backing matrix rows, extended — not recomputed — and now cover
+	// the grown pool; the warm checkpoint advanced to round 2.
+	sess.mu.Lock()
+	probs2 := sess.probs
+	sess.mu.Unlock()
+	if probs2.Rows != 220 {
+		t.Fatalf("probability cache has %d rows after round 2, want 220", probs2.Rows)
+	}
+	for i := 0; i < cached.Rows; i++ {
+		for j := 0; j < cached.Cols; j++ {
+			if probs2.Row(i)[j] != cached.Row(i)[j] {
+				t.Fatalf("cached probability row %d changed during the delta pass", i)
+			}
+		}
+	}
+	if wr, _, err := readCheckpoint(warmPath(sess.dir)); err != nil || wr != 2 {
+		t.Fatalf("warm checkpoint after round 2: round %d, err %v; want round 2", wr, err)
+	}
+}
+
+// TestStreamProbsRangeMatchesFull pins the delta sweep against the full
+// sweep: filling a matrix with two arbitrary-split range calls must
+// reproduce the single full pass bit for bit, reduced and unreduced.
+func TestStreamProbsRangeMatchesFull(t *testing.T) {
+	const n, d, c = 157, 4, 3
+	dir := t.TempDir()
+	shard, labX, labY := testPool(t, dir, n, d, c, 51)
+	src, err := dataset.OpenShards(shard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+
+	labM := mat.NewDense(len(labX), d)
+	for i, row := range labX {
+		copy(labM.Row(i), row)
+	}
+	model, err := logreg.Train(labM, labY, c, nil, logreg.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, reduce := range []bool{true, false} {
+		cols := c
+		if reduce {
+			cols = c - 1
+		}
+		full, err := streamProbs(src, model, c, 13, reduce)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, split := range []int{0, 1, 13, 64, n - 1, n} {
+			got := mat.NewDense(n, cols)
+			if err := streamProbsRange(src, model, c, 13, reduce, 0, split, got); err != nil {
+				t.Fatal(err)
+			}
+			if err := streamProbsRange(src, model, c, 13, reduce, split, n, got); err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < n; i++ {
+				for j := 0; j < cols; j++ {
+					if got.Row(i)[j] != full.Row(i)[j] {
+						t.Fatalf("reduce=%v split=%d: row %d col %d differs", reduce, split, i, j)
+					}
+				}
+			}
+		}
+	}
+}

@@ -145,6 +145,7 @@ func (s *Server) selectOnce(ctx context.Context, sess *Session, rm *RoundMeta) (
 	sess.mu.Lock()
 	meta := sess.meta // shallow copy; slices are not mutated while a round runs
 	exclude := sess.excludeLocked()
+	cachedProbs, cachedLabeled := sess.probs, sess.probsLabeled
 	sess.mu.Unlock()
 	src := sess.src
 
@@ -184,16 +185,51 @@ func (s *Server) selectOnce(ctx context.Context, sess *Session, rm *RoundMeta) (
 
 	switch meta.Selector {
 	case "Approx-FIRAL":
-		reduced, err := streamProbs(src, model, meta.Classes, blockRows, true)
-		if err != nil {
-			return nil, err
+		// Probability pass. The labeled set only grows, so an unchanged
+		// labeled count means the identical training matrix and (training
+		// being deterministic) the identical model — the previous round's
+		// probabilities are still exact, and only rows appended to the
+		// pool since then need the model applied. This is what makes a
+		// round after a small pool append cost O(Δn·d) here instead of
+		// O(n·d).
+		var reduced *mat.Dense
+		switch {
+		case cachedProbs != nil && cachedLabeled == nLab && cachedProbs.Rows == meta.Rows:
+			reduced = cachedProbs
+		case cachedProbs != nil && cachedLabeled == nLab && cachedProbs.Rows < meta.Rows:
+			reduced = mat.NewDense(meta.Rows, meta.Classes-1)
+			copy(reduced.Data[:cachedProbs.Rows*reduced.Cols], cachedProbs.Data)
+			if err := streamProbsRange(src, model, meta.Classes, blockRows, true, cachedProbs.Rows, meta.Rows, reduced); err != nil {
+				return nil, err
+			}
+			s.cfg.Logf("session %s: round %d probability pass over %d appended rows (of %d)",
+				meta.ID, rm.Round, meta.Rows-cachedProbs.Rows, meta.Rows)
+		default:
+			if reduced, err = streamProbs(src, model, meta.Classes, blockRows, true); err != nil {
+				return nil, err
+			}
 		}
+		sess.mu.Lock()
+		sess.probs, sess.probsLabeled = reduced, nLab
+		sess.mu.Unlock()
+
 		relax := firal.RelaxOptions{
 			MaxIter:         meta.RelaxIters,
 			FixedIterations: meta.FixedRelaxIters,
 			Probes:          meta.Probes,
 			CGTol:           meta.CGTol,
 			Seed:            seed,
+		}
+		// Warm start: seed mirror descent from the previous round's
+		// converged weights (reprojected onto the grown simplex if rows
+		// were appended in between). A resume checkpoint for *this* round
+		// takes precedence below — mid-round state beats a prior's.
+		if wr, wck, err := readCheckpoint(warmPath(sess.dir)); err == nil {
+			if wr == rm.Round-1 && len(wck.Z) > 0 && len(wck.Z) <= meta.Rows {
+				relax.WarmStart = firal.ReprojectSimplex(wck.Z, meta.Rows)
+				s.cfg.Logf("session %s: round %d warm-started from round %d weights (%d → %d rows)",
+					meta.ID, rm.Round, wr, len(wck.Z), meta.Rows)
+			}
 		}
 		if round, ck, err := readCheckpoint(checkpointPath(sess.dir)); err == nil && round == rm.Round {
 			relax.Resume = ck
@@ -213,6 +249,14 @@ func (s *Server) selectOnce(ctx context.Context, sess *Session, rm *RoundMeta) (
 			if ck.Done || ck.Iteration%every == 0 {
 				if err := writeCheckpoint(checkpointPath(sess.dir), rm.Round, ck); err != nil {
 					s.cfg.Logf("session %s: round %d checkpoint: %v", meta.ID, rm.Round, err)
+				}
+			}
+			if ck.Done {
+				// The Done checkpoint fires before the budget scaling, so
+				// ck.Z still sums to 1 — exactly the simplex point the
+				// next round wants to start from.
+				if err := writeCheckpoint(warmPath(sess.dir), rm.Round, ck); err != nil {
+					s.cfg.Logf("session %s: round %d warm checkpoint: %v", meta.ID, rm.Round, err)
 				}
 			}
 		}
@@ -299,29 +343,47 @@ func (s *Server) selectOnce(ctx context.Context, sess *Session, rm *RoundMeta) (
 // uncertainty baselines score — either way O(n·c) resident, never the
 // features.
 func streamProbs(src dataset.PoolSource, model *logreg.Model, classes, blockRows int, reduce bool) (*mat.Dense, error) {
-	if blockRows <= 0 {
-		blockRows = dataset.DefaultBlockRows
-	}
 	n := src.NumRows()
 	cols := classes
 	if reduce {
 		cols = classes - 1
 	}
 	outM := mat.NewDense(n, cols)
-	block := mat.NewDense(min(blockRows, n), src.Dim())
-	probsBlock := mat.NewDense(min(blockRows, n), classes)
-	for lo := 0; lo < n; lo += block.Rows {
-		hi := min(lo+block.Rows, n)
-		xb := block.RowSlice(0, hi-lo)
-		if err := src.ReadRows(lo, hi, xb); err != nil {
-			return nil, err
-		}
-		pb := softmax.Probabilities(probsBlock.RowSlice(0, hi-lo), xb, model.Theta)
-		for i := lo; i < hi; i++ {
-			copy(outM.Row(i), pb.Row(i - lo)[:cols])
-		}
+	if err := streamProbsRange(src, model, classes, blockRows, reduce, 0, n, outM); err != nil {
+		return nil, err
 	}
 	return outM, nil
+}
+
+// streamProbsRange applies the model to pool rows [lo, hi) only, writing
+// into the matching rows of outM (an n×cols matrix whose other rows are
+// left untouched). Delta-aware rounds use it to score just the appended
+// tail of a grown pool.
+func streamProbsRange(src dataset.PoolSource, model *logreg.Model, classes, blockRows int, reduce bool, lo, hi int, outM *mat.Dense) error {
+	if lo >= hi {
+		return nil
+	}
+	if blockRows <= 0 {
+		blockRows = dataset.DefaultBlockRows
+	}
+	cols := classes
+	if reduce {
+		cols = classes - 1
+	}
+	block := mat.NewDense(min(blockRows, hi-lo), src.Dim())
+	probsBlock := mat.NewDense(min(blockRows, hi-lo), classes)
+	for blo := lo; blo < hi; blo += block.Rows {
+		bhi := min(blo+block.Rows, hi)
+		xb := block.RowSlice(0, bhi-blo)
+		if err := src.ReadRows(blo, bhi, xb); err != nil {
+			return err
+		}
+		pb := softmax.Probabilities(probsBlock.RowSlice(0, bhi-blo), xb, model.Theta)
+		for i := blo; i < bhi; i++ {
+			copy(outM.Row(i), pb.Row(i - blo)[:cols])
+		}
+	}
+	return nil
 }
 
 // allowedIndices returns [0, n) minus the excluded set, ascending.

@@ -267,7 +267,7 @@ func (s *Server) createSession(req *createRequest) (*Session, error) {
 
 	sess := &Session{
 		dir: dir,
-		src: src,
+		src: dataset.NewLiveSource(src),
 		meta: sessionMeta{
 			ID:              id,
 			Created:         nowStamp(),
@@ -304,6 +304,52 @@ func (s *Server) createSession(req *createRequest) (*Session, error) {
 	s.cfg.Logf("session %s: pool %d×%d (%d shards), %d classes, selector %s",
 		id, src.NumRows(), src.Dim(), len(shards), classes, selector)
 	return sess, nil
+}
+
+// appendPool grows the session's pool in place: the new shards (or an
+// inline CSV packed into the session directory) stack on top of the
+// existing rows, keeping every already-assigned global index stable.
+// Appends during an active round are refused for the same reason label
+// uploads are — the round's checkpoint records a trajectory over the old
+// pool and would be unresumable against a different one.
+func (s *Server) appendPool(sess *Session, shardPaths []string, poolCSV string) (rows int, gen int64, err error) {
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	if sess.deleted {
+		return 0, 0, fmt.Errorf("%w: %q", ErrSessionNotFound, sess.meta.ID)
+	}
+	if rm := sess.activeRoundLocked(); rm != nil {
+		return 0, 0, fmt.Errorf("%w (round %d is %s; wait for it or cancel the session)", ErrRoundActive, rm.Round, rm.Status)
+	}
+	switch {
+	case len(shardPaths) > 0 && poolCSV != "":
+		return 0, 0, errors.New("server: give either shards or pool_csv, not both")
+	case len(shardPaths) == 0 && poolCSV == "":
+		return 0, 0, errors.New("server: append requires shards (paths) or pool_csv (inline upload)")
+	case poolCSV != "":
+		shardPath := filepath.Join(sess.dir, fmt.Sprintf("pool-%d.shard", len(sess.meta.Shards)))
+		if err := packInlinePool(shardPath, poolCSV); err != nil {
+			return 0, 0, fmt.Errorf("server: pool_csv: %w", err)
+		}
+		shardPaths = []string{shardPath}
+	}
+	seg, err := dataset.OpenShards(shardPaths...)
+	if err != nil {
+		return 0, 0, err
+	}
+	gen, err = sess.src.Append(seg) // takes ownership of seg, dim-checked
+	if err != nil {
+		seg.Close()
+		return 0, 0, fmt.Errorf("server: append pool: %w", err)
+	}
+	sess.meta.Shards = append(sess.meta.Shards, shardPaths...)
+	sess.meta.Rows = sess.src.NumRows()
+	if err := sess.persistLocked(); err != nil {
+		return 0, 0, err
+	}
+	s.cfg.Logf("session %s: pool grown to %d×%d (+%d shards, generation %d)",
+		sess.meta.ID, sess.meta.Rows, sess.meta.Dim, len(shardPaths), gen)
+	return sess.meta.Rows, gen, nil
 }
 
 // deleteSession cancels any in-flight round, waits for it to unwind,

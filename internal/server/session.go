@@ -10,6 +10,7 @@ import (
 
 	pub "repro"
 	"repro/internal/dataset"
+	"repro/internal/mat"
 )
 
 // Round statuses. A round is created queued, becomes running when the
@@ -106,7 +107,15 @@ type Session struct {
 	mu   sync.Mutex
 	meta sessionMeta
 	dir  string
-	src  dataset.PoolSource
+	src  *dataset.LiveSource
+
+	// Probability-pass cache for delta-aware rounds: probs holds the
+	// reduced pool probabilities computed by the previous Approx-FIRAL
+	// round, valid while the labeled set (and therefore the trained
+	// model) is unchanged. A round over a grown pool then sweeps only
+	// the appended rows. Guarded by mu; the round goroutine snapshots it.
+	probs        *mat.Dense
+	probsLabeled int // labeled-set size the cache was computed under
 
 	// deleted flips when deleteSession claims the session; a round
 	// enqueue that raced the delete observes it and aborts instead of
@@ -198,7 +207,9 @@ func loadSession(dir string) (*Session, error) {
 		return nil, fmt.Errorf("server: session %s: pool changed shape since registration: now %d×%d, registered %d×%d",
 			s.meta.ID, src.NumRows(), src.Dim(), s.meta.Rows, s.meta.Dim)
 	}
-	s.src = src
+	// All shards — including any appended after creation — reopen as one
+	// base segment; appends after restart stack on top of it.
+	s.src = dataset.NewLiveSource(src)
 	return s, nil
 }
 
