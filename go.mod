@@ -1,3 +1,12 @@
 module repro
 
 go 1.24
+
+// golang.org/x/tools is the repo's first (and only) external dependency,
+// pulled in for the go/analysis framework behind cmd/firal-vet. It is
+// pinned to the exact revision the Go 1.24.0 toolchain itself vendors for
+// `go vet` (see $GOROOT/src/cmd/go.mod), and the needed package subset is
+// committed under vendor/ so builds stay hermetic — no network, no module
+// proxy, and the analyzers agree bit-for-bit with the vet driver shipped
+// in the toolchain. Rationale in ARCHITECTURE.md § Contract enforcement.
+require golang.org/x/tools v0.28.1-0.20250131145412-98746475647e

@@ -1,0 +1,338 @@
+// Package analyzertest is a self-contained analysistest substitute:
+// it loads GOPATH-style fixture packages from a testdata/src tree,
+// type-checks them against the real standard library (compiled from
+// source, so no export data or network is needed), runs one analyzer —
+// resolving its Requires graph — and compares the diagnostics against
+// `// want "regexp"` comments in the fixtures.
+//
+// The upstream golang.org/x/tools/go/analysis/analysistest package is
+// not vendored by the Go toolchain (it depends on go/packages and the
+// whole module loader); this package reimplements the subset the
+// firal-vet suite needs: same fixture layout, same `// want` syntax,
+// no facts (none of the suite's analyzers export any).
+package analyzertest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	goanalysis "golang.org/x/tools/go/analysis"
+)
+
+// Run loads each fixture package (a path under testdata/src), runs a on
+// it, and reports any mismatch between the analyzer's diagnostics and
+// the fixtures' // want expectations as test errors.
+func Run(t *testing.T, testdata string, a *goanalysis.Analyzer, paths ...string) {
+	t.Helper()
+	ld := loaderFor(testdata)
+	for _, path := range paths {
+		lp, err := ld.load(path)
+		if err != nil {
+			t.Errorf("%s: load: %v", path, err)
+			continue
+		}
+		diags, err := runAnalyzer(ld, lp, a)
+		if err != nil {
+			t.Errorf("%s: run %s: %v", path, a.Name, err)
+			continue
+		}
+		checkWants(t, ld, lp, diags)
+	}
+}
+
+// TestData returns the testdata directory of the calling test's
+// package.
+func TestData(t *testing.T) string {
+	t.Helper()
+	dir, err := filepath.Abs("testdata")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+// ---- package loading ----
+
+type loadedPkg struct {
+	path  string
+	files []*ast.File
+	pkg   *types.Package
+	info  *types.Info
+}
+
+type loader struct {
+	mu      sync.Mutex
+	srcRoot string // testdata/src
+	fset    *token.FileSet
+	std     types.Importer
+	pkgs    map[string]*loadedPkg
+	loading map[string]bool
+}
+
+var (
+	loadersMu sync.Mutex
+	loaders   = map[string]*loader{}
+)
+
+// loaderFor returns the shared loader of one testdata tree. Sharing
+// matters: the standard library is type-checked from source, and the
+// cache makes that cost once per test binary, not once per fixture.
+func loaderFor(testdata string) *loader {
+	loadersMu.Lock()
+	defer loadersMu.Unlock()
+	if ld, ok := loaders[testdata]; ok {
+		return ld
+	}
+	fset := token.NewFileSet()
+	ld := &loader{
+		srcRoot: filepath.Join(testdata, "src"),
+		fset:    fset,
+		std:     importer.ForCompiler(fset, "source", nil),
+		pkgs:    map[string]*loadedPkg{},
+		loading: map[string]bool{},
+	}
+	loaders[testdata] = ld
+	return ld
+}
+
+func (ld *loader) load(path string) (*loadedPkg, error) {
+	ld.mu.Lock()
+	defer ld.mu.Unlock()
+	return ld.loadLocked(path)
+}
+
+func (ld *loader) loadLocked(path string) (*loadedPkg, error) {
+	if lp, ok := ld.pkgs[path]; ok {
+		return lp, nil
+	}
+	if ld.loading[path] {
+		return nil, fmt.Errorf("import cycle through %s", path)
+	}
+	ld.loading[path] = true
+	defer delete(ld.loading, path)
+
+	dir := filepath.Join(ld.srcRoot, filepath.FromSlash(path))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(ld.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	info := &types.Info{
+		Types:        map[ast.Expr]types.TypeAndValue{},
+		Instances:    map[*ast.Ident]types.Instance{},
+		Defs:         map[*ast.Ident]types.Object{},
+		Uses:         map[*ast.Ident]types.Object{},
+		Implicits:    map[ast.Node]types.Object{},
+		Selections:   map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:       map[ast.Node]*types.Scope{},
+		FileVersions: map[*ast.File]string{},
+	}
+	conf := types.Config{Importer: importerFunc(ld.importPkg)}
+	pkg, err := conf.Check(path, ld.fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	lp := &loadedPkg{path: path, files: files, pkg: pkg, info: info}
+	ld.pkgs[path] = lp
+	return lp, nil
+}
+
+// importPkg resolves fixture imports from testdata/src first — so
+// fixtures can stand in for repro/internal/... packages — and falls
+// back to the standard library compiled from source.
+func (ld *loader) importPkg(path string) (*types.Package, error) {
+	if _, err := os.Stat(filepath.Join(ld.srcRoot, filepath.FromSlash(path))); err == nil {
+		lp, err := ld.loadLocked(path)
+		if err != nil {
+			return nil, err
+		}
+		return lp.pkg, nil
+	}
+	return ld.std.Import(path)
+}
+
+type importerFunc func(string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// ---- analyzer execution ----
+
+// runAnalyzer runs a on lp, first running its Requires closure in
+// dependency order, and returns a's diagnostics.
+func runAnalyzer(ld *loader, lp *loadedPkg, a *goanalysis.Analyzer) ([]goanalysis.Diagnostic, error) {
+	results := map[*goanalysis.Analyzer]interface{}{}
+	var diags []goanalysis.Diagnostic
+	var exec func(an *goanalysis.Analyzer) error
+	exec = func(an *goanalysis.Analyzer) error {
+		if _, done := results[an]; done {
+			return nil
+		}
+		for _, req := range an.Requires {
+			if err := exec(req); err != nil {
+				return err
+			}
+		}
+		pass := &goanalysis.Pass{
+			Analyzer:   an,
+			Fset:       ld.fset,
+			Files:      lp.files,
+			Pkg:        lp.pkg,
+			TypesInfo:  lp.info,
+			TypesSizes: types.SizesFor("gc", runtime.GOARCH),
+			ResultOf:   results,
+			Report: func(d goanalysis.Diagnostic) {
+				if an == a {
+					diags = append(diags, d)
+				}
+			},
+			ReadFile:          os.ReadFile,
+			ImportObjectFact:  func(types.Object, goanalysis.Fact) bool { return false },
+			ImportPackageFact: func(*types.Package, goanalysis.Fact) bool { return false },
+			ExportObjectFact:  func(types.Object, goanalysis.Fact) {},
+			ExportPackageFact: func(goanalysis.Fact) {},
+			AllObjectFacts:    func() []goanalysis.ObjectFact { return nil },
+			AllPackageFacts:   func() []goanalysis.PackageFact { return nil },
+		}
+		res, err := an.Run(pass)
+		if err != nil {
+			return fmt.Errorf("%s: %w", an.Name, err)
+		}
+		results[an] = res
+		return nil
+	}
+	if err := exec(a); err != nil {
+		return nil, err
+	}
+	return diags, nil
+}
+
+// ---- want expectations ----
+
+var wantRe = regexp.MustCompile(`//\s*want\s+(.*)$`)
+
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	text string
+	hit  bool
+}
+
+// parseWants extracts the // want expectations of every file in lp.
+func parseWants(ld *loader, lp *loadedPkg) ([]*expectation, error) {
+	var wants []*expectation
+	for _, f := range lp.files {
+		name := ld.fset.Position(f.FileStart).Filename
+		data, err := os.ReadFile(name)
+		if err != nil {
+			return nil, err
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			m := wantRe.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			for _, lit := range splitQuoted(m[1]) {
+				pat, err := strconv.Unquote(lit)
+				if err != nil {
+					return nil, fmt.Errorf("%s:%d: bad want pattern %s: %v", name, i+1, lit, err)
+				}
+				re, err := regexp.Compile(pat)
+				if err != nil {
+					return nil, fmt.Errorf("%s:%d: bad want regexp %q: %v", name, i+1, pat, err)
+				}
+				wants = append(wants, &expectation{file: name, line: i + 1, re: re, text: pat})
+			}
+		}
+	}
+	return wants, nil
+}
+
+// splitQuoted splits `"a" "b"` (or backquoted strings) into the quoted
+// literals, ignoring anything after them.
+func splitQuoted(s string) []string {
+	var out []string
+	for {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			return out
+		}
+		switch s[0] {
+		case '"':
+			end := 1
+			for end < len(s) && (s[end] != '"' || s[end-1] == '\\') {
+				end++
+			}
+			if end >= len(s) {
+				return out
+			}
+			out = append(out, s[:end+1])
+			s = s[end+1:]
+		case '`':
+			end := strings.IndexByte(s[1:], '`')
+			if end < 0 {
+				return out
+			}
+			out = append(out, s[:end+2])
+			s = s[end+2:]
+		default:
+			return out
+		}
+	}
+}
+
+// checkWants matches diagnostics against expectations one-to-one.
+func checkWants(t *testing.T, ld *loader, lp *loadedPkg, diags []goanalysis.Diagnostic) {
+	t.Helper()
+	wants, err := parseWants(ld, lp)
+	if err != nil {
+		t.Errorf("%s: %v", lp.path, err)
+		return
+	}
+	sort.SliceStable(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+	for _, d := range diags {
+		pos := ld.fset.Position(d.Pos)
+		matched := false
+		for _, w := range wants {
+			if !w.hit && w.file == pos.Filename && w.line == pos.Line && w.re.MatchString(d.Message) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s:%d: unexpected diagnostic: %s", pos.Filename, pos.Line, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.text)
+		}
+	}
+}

@@ -1,0 +1,53 @@
+package analysis_test
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+)
+
+// TestVetCleanOnRealModule builds cmd/firal-vet and runs it as a
+// vettool over the whole module: the dogfood gate. Every contract the
+// suite enforces must hold on the code that defines it.
+func TestVetCleanOnRealModule(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and vets the whole module; skipped in -short")
+	}
+	root := moduleRoot(t)
+	tool := filepath.Join(t.TempDir(), "firal-vet")
+
+	build := exec.Command("go", "build", "-o", tool, "./cmd/firal-vet")
+	build.Dir = root
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build ./cmd/firal-vet: %v\n%s", err, out)
+	}
+
+	vet := exec.Command("go", "vet", "-vettool="+tool, "./...")
+	vet.Dir = root
+	var buf bytes.Buffer
+	vet.Stdout, vet.Stderr = &buf, &buf
+	if err := vet.Run(); err != nil {
+		t.Fatalf("go vet -vettool=firal-vet ./... failed: %v\n%s", err, buf.String())
+	}
+}
+
+// moduleRoot walks up from the working directory to the go.mod.
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("go.mod not found above test directory")
+		}
+		dir = parent
+	}
+}

@@ -1,0 +1,289 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"strings"
+
+	goanalysis "golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+	"golang.org/x/tools/go/cfg"
+)
+
+// LimitPair enforces the scoped-parallelism contract around
+// internal/parallel's session limits:
+//
+//   - every parallel.AcquireLimit result must be released: either a
+//     `defer lim.Release()` in the acquiring function, or an explicit
+//     Release reachable on every control-flow path from the acquire to
+//     every function exit (checked on the go/cfg graph);
+//   - discarding the returned *Limit is always a leak;
+//   - parallel.SetMaxWorkers is process-wide state whose save/restore
+//     races between sessions, so it is forbidden outside
+//     internal/parallel itself, package main (process entry points own
+//     process-wide knobs), and _test.go files.
+var LimitPair = &goanalysis.Analyzer{
+	Name:     "limitpair",
+	Doc:      "check parallel.AcquireLimit/Release pairing and confine SetMaxWorkers (scoped-limit contract)",
+	Requires: []*goanalysis.Analyzer{inspect.Analyzer},
+	Run:      runLimitPair,
+}
+
+func runLimitPair(pass *goanalysis.Pass) (interface{}, error) {
+	in := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	allows := fileAllows(pass)
+	allowed := func(pos token.Pos) bool {
+		f := enclosingFile(pass, pos)
+		return allows[f].allows(pass.Fset, pos, "limit")
+	}
+
+	in.WithStack([]ast.Node{(*ast.CallExpr)(nil)}, func(n ast.Node, push bool, stack []ast.Node) bool {
+		if !push {
+			return true
+		}
+		call := n.(*ast.CallExpr)
+		f := calleeIn(pass, call, "internal/parallel")
+		if f == nil {
+			return true
+		}
+		switch f.Name() {
+		case "SetMaxWorkers":
+			checkSetMaxWorkers(pass, call, allowed)
+		case "AcquireLimit":
+			checkAcquire(pass, call, stack, allowed)
+		}
+		return true
+	})
+	return nil, nil
+}
+
+func checkSetMaxWorkers(pass *goanalysis.Pass, call *ast.CallExpr, allowed func(token.Pos) bool) {
+	if pass.Pkg.Name() == "main" || pkgPathIs(pass.Pkg.Path(), "internal/parallel") {
+		return
+	}
+	file := pass.Fset.Position(call.Pos()).Filename
+	if strings.HasSuffix(filepath.Base(file), "_test.go") {
+		return // tests save/restore deliberately, with no concurrent sessions
+	}
+	if allowed(call.Pos()) {
+		return
+	}
+	pass.Reportf(call.Pos(),
+		"parallel.SetMaxWorkers is process-wide and races between sessions; use a scoped parallel.AcquireLimit (allowed only in internal/parallel and package main)")
+}
+
+func checkAcquire(pass *goanalysis.Pass, call *ast.CallExpr, stack []ast.Node, allowed func(token.Pos) bool) {
+	if allowed(call.Pos()) {
+		return
+	}
+	// Walk outward: the call's parent decides what happens to the Limit.
+	parent := stack[len(stack)-2]
+	switch p := parent.(type) {
+	case *ast.ExprStmt:
+		pass.Reportf(call.Pos(), "result of parallel.AcquireLimit discarded; the Limit can never be released")
+		return
+	case *ast.AssignStmt:
+		if len(p.Rhs) != 1 || len(p.Lhs) != 1 {
+			break
+		}
+		id, ok := p.Lhs[0].(*ast.Ident)
+		if !ok {
+			break // assigned through a selector/index: ownership stored away
+		}
+		if id.Name == "_" {
+			pass.Reportf(call.Pos(), "result of parallel.AcquireLimit discarded; the Limit can never be released")
+			return
+		}
+		obj := pass.TypesInfo.Defs[id]
+		if obj == nil {
+			obj = pass.TypesInfo.Uses[id]
+		}
+		if obj == nil {
+			return
+		}
+		body := enclosingFuncBody(stack)
+		if body == nil {
+			return
+		}
+		if hasDeferredRelease(pass, body, obj) {
+			return
+		}
+		if escapesOwnership(pass, body, obj) {
+			return // handed to another owner; pairing is its responsibility
+		}
+		if leakPos, ok := releaseMissesPath(pass, body, p, obj); ok {
+			pass.Reportf(call.Pos(),
+				"parallel.AcquireLimit at this site has no dominating `defer %s.Release()`, and a path reaching the function exit at line %d never calls Release",
+				id.Name, pass.Fset.Position(leakPos).Line)
+		}
+		return
+	}
+	// Any other use (argument, return value, struct field) transfers
+	// ownership; the receiving code is checked where it releases.
+}
+
+// enclosingFuncBody returns the body of the innermost enclosing
+// function declaration or literal on the inspector stack.
+func enclosingFuncBody(stack []ast.Node) *ast.BlockStmt {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch f := stack[i].(type) {
+		case *ast.FuncDecl:
+			return f.Body
+		case *ast.FuncLit:
+			return f.Body
+		}
+	}
+	return nil
+}
+
+// hasDeferredRelease reports whether body contains `defer obj.Release()`
+// outside nested function literals.
+func hasDeferredRelease(pass *goanalysis.Pass, body *ast.BlockStmt, obj types.Object) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		d, ok := n.(*ast.DeferStmt)
+		if !ok {
+			return true
+		}
+		if isReleaseOf(pass, d.Call, obj) {
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+// isReleaseOf reports whether call is obj.Release().
+func isReleaseOf(pass *goanalysis.Pass, call *ast.CallExpr, obj types.Object) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Release" {
+		return false
+	}
+	id, ok := ast.Unparen(sel.X).(*ast.Ident)
+	return ok && pass.TypesInfo.Uses[id] == obj
+}
+
+// escapesOwnership reports whether obj is used in a way that hands the
+// Limit to other code: passed as a call argument, returned, assigned to
+// anything but itself, or captured by a function literal.
+func escapesOwnership(pass *goanalysis.Pass, body *ast.BlockStmt, obj types.Object) bool {
+	escapes := false
+	var lits []*ast.FuncLit
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			lits = append(lits, n)
+		case *ast.CallExpr:
+			for _, a := range n.Args {
+				if id, ok := ast.Unparen(a).(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+					escapes = true
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, r := range n.Results {
+				if id, ok := ast.Unparen(r).(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+					escapes = true
+				}
+			}
+		case *ast.AssignStmt:
+			// `_ = lim` keeps ownership here; any real assignment
+			// (another variable, a field, a map slot) transfers it.
+			allBlank := true
+			for _, l := range n.Lhs {
+				if id, ok := ast.Unparen(l).(*ast.Ident); !ok || id.Name != "_" {
+					allBlank = false
+				}
+			}
+			if !allBlank {
+				for _, r := range n.Rhs {
+					if id, ok := ast.Unparen(r).(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+						escapes = true
+					}
+				}
+			}
+		}
+		return true
+	})
+	for _, lit := range lits {
+		ast.Inspect(lit, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+				escapes = true // goroutine/closure owns the release
+			}
+			return true
+		})
+	}
+	return escapes
+}
+
+// releaseMissesPath walks the control-flow graph of body from the
+// acquire statement and reports (exit position, true) if some path
+// reaches a function exit without passing a `obj.Release()` call.
+func releaseMissesPath(pass *goanalysis.Pass, body *ast.BlockStmt, acquire ast.Stmt, obj types.Object) (token.Pos, bool) {
+	g := cfg.New(body, func(*ast.CallExpr) bool { return true })
+
+	releases := func(n ast.Node) bool {
+		hit := false
+		ast.Inspect(n, func(c ast.Node) bool {
+			if call, ok := c.(*ast.CallExpr); ok && isReleaseOf(pass, call, obj) {
+				hit = true
+			}
+			return !hit
+		})
+		return hit
+	}
+
+	// Locate the block and node index of the acquire statement.
+	startBlock, startIdx := -1, -1
+	for bi, b := range g.Blocks {
+		for ni, n := range b.Nodes {
+			if n == ast.Node(acquire) || (n.Pos() <= acquire.Pos() && acquire.End() <= n.End()) {
+				startBlock, startIdx = bi, ni
+			}
+		}
+	}
+	if startBlock < 0 {
+		return 0, false // unreachable code; nothing to check
+	}
+
+	type visitKey = *cfg.Block
+	visited := make(map[visitKey]bool)
+	var leak token.Pos
+	var visit func(b *cfg.Block, from int) bool
+	visit = func(b *cfg.Block, from int) bool {
+		for i := from; i < len(b.Nodes); i++ {
+			if releases(b.Nodes[i]) {
+				return false // this path is closed
+			}
+		}
+		if len(b.Succs) == 0 {
+			if b.Return() != nil {
+				leak = b.Return().Pos()
+			} else if len(b.Nodes) > 0 {
+				leak = b.Nodes[len(b.Nodes)-1].End()
+			} else {
+				leak = body.End()
+			}
+			return true
+		}
+		if visited[b] {
+			return false // cycle: no new exits on this path
+		}
+		visited[b] = true
+		for _, s := range b.Succs {
+			if visit(s, 0) {
+				return true
+			}
+		}
+		return false
+	}
+	if visit(g.Blocks[startBlock], startIdx+1) {
+		return leak, true
+	}
+	return 0, false
+}

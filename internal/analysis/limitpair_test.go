@@ -1,0 +1,13 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analyzertest"
+)
+
+func TestLimitPair(t *testing.T) {
+	analyzertest.Run(t, analyzertest.TestData(t), analysis.LimitPair,
+		"limitpair", "limitpair/main")
+}

@@ -1,0 +1,155 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"strings"
+
+	goanalysis "golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+)
+
+// LockOrder enforces the service layer's two documented ownership
+// rules. It only fires in the internal/server package:
+//
+//   - Lock order is s.mu → sess.mu (server map lock strictly before any
+//     session lock). Any function that acquires a Server mu while a
+//     Session mu is held inverts the order and can deadlock against
+//     the documented nesting. The check is a linear, source-order scan
+//     per function body: conservative, but the server code takes both
+//     locks in short straight-line critical sections by design.
+//   - RoundMeta belongs to the round goroutine once the round is
+//     enqueued; handlers read value snapshots. Mutating RoundMeta
+//     fields is therefore confined to the owning files round.go and
+//     server.go (where rounds are created and re-enqueued).
+var LockOrder = &goanalysis.Analyzer{
+	Name:     "lockorder",
+	Doc:      "enforce s.mu → sess.mu lock order and RoundMeta ownership in internal/server",
+	Requires: []*goanalysis.Analyzer{inspect.Analyzer},
+	Run:      runLockOrder,
+}
+
+// roundMetaOwners are the files allowed to mutate RoundMeta fields.
+var roundMetaOwners = map[string]bool{"round.go": true, "server.go": true}
+
+func runLockOrder(pass *goanalysis.Pass) (interface{}, error) {
+	if !pkgPathIs(pass.Pkg.Path(), "internal/server") && pass.Pkg.Name() != "server" {
+		return nil, nil
+	}
+	in := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	allows := fileAllows(pass)
+	allowed := func(pos token.Pos, cat string) bool {
+		return allows[enclosingFile(pass, pos)].allows(pass.Fset, pos, cat)
+	}
+
+	in.Preorder([]ast.Node{(*ast.FuncDecl)(nil), (*ast.FuncLit)(nil)}, func(n ast.Node) {
+		var body *ast.BlockStmt
+		switch f := n.(type) {
+		case *ast.FuncDecl:
+			body = f.Body
+		case *ast.FuncLit:
+			body = f.Body
+		}
+		if body != nil {
+			checkLockOrderIn(pass, body, allowed)
+		}
+	})
+
+	in.Preorder([]ast.Node{(*ast.AssignStmt)(nil), (*ast.IncDecStmt)(nil)}, func(n ast.Node) {
+		var lhs []ast.Expr
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			lhs = s.Lhs
+		case *ast.IncDecStmt:
+			lhs = []ast.Expr{s.X}
+		}
+		for _, l := range lhs {
+			sel, ok := ast.Unparen(l).(*ast.SelectorExpr)
+			if !ok || !isPtrToRoundMeta(pass, sel.X) {
+				continue
+			}
+			file := filepath.Base(pass.Fset.Position(n.Pos()).Filename)
+			if roundMetaOwners[file] || strings.HasSuffix(file, "_test.go") {
+				continue
+			}
+			if allowed(n.Pos(), "lockorder") {
+				continue
+			}
+			pass.Reportf(n.Pos(),
+				"RoundMeta.%s mutated in %s; the round goroutine owns RoundMeta after enqueue — mutate only in round.go/server.go, handlers take value snapshots",
+				sel.Sel.Name, file)
+		}
+	})
+	return nil, nil
+}
+
+// checkLockOrderIn scans one function body in source order, tracking
+// (approximately) whether a Session mu is held, and reports Server mu
+// acquisitions made while it is. Nested function literals run on their
+// own goroutine or call schedule, so they are scanned separately and
+// skipped here.
+func checkLockOrderIn(pass *goanalysis.Pass, body *ast.BlockStmt, allowed func(token.Pos, string) bool) {
+	sessHeld := false
+	var sessPos token.Pos
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.DeferStmt:
+			// `defer sess.mu.Unlock()` releases at return, not here:
+			// it must not clear the held state for the scan.
+			return false
+		case *ast.CallExpr:
+			recv, method := mutexCall(pass, n)
+			switch {
+			case recv == "Session" && method == "Lock":
+				sessHeld, sessPos = true, n.Pos()
+			case recv == "Session" && method == "Unlock":
+				sessHeld = false
+			case recv == "Server" && method == "Lock" && sessHeld:
+				if !allowed(n.Pos(), "lockorder") {
+					pass.Reportf(n.Pos(),
+						"acquires s.mu while sess.mu is held (locked at line %d); the documented order is s.mu → sess.mu",
+						pass.Fset.Position(sessPos).Line)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// isPtrToRoundMeta reports whether e is a *RoundMeta (or an explicit
+// dereference of one). Mutating through the pointer touches the shared
+// record the round goroutine owns; mutating a value copy (`c := *rm`)
+// is local and fine — handlers build exactly such snapshots.
+func isPtrToRoundMeta(pass *goanalysis.Pass, e ast.Expr) bool {
+	if star, ok := ast.Unparen(e).(*ast.StarExpr); ok {
+		e = star.X
+	}
+	t := pass.TypesInfo.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	if _, ok := t.Underlying().(*types.Pointer); !ok {
+		return false
+	}
+	return namedTypeName(pass.TypesInfo, e) == "RoundMeta"
+}
+
+// mutexCall matches `<recv>.mu.Lock()` / `<recv>.mu.Unlock()` and
+// returns the named type of recv ("Session", "Server", …) and the
+// method name; otherwise ("", "").
+func mutexCall(pass *goanalysis.Pass, call *ast.CallExpr) (recvType, method string) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || (sel.Sel.Name != "Lock" && sel.Sel.Name != "Unlock") {
+		return "", ""
+	}
+	mu, ok := ast.Unparen(sel.X).(*ast.SelectorExpr)
+	if !ok || mu.Sel.Name != "mu" {
+		return "", ""
+	}
+	return namedTypeName(pass.TypesInfo, mu.X), sel.Sel.Name
+}

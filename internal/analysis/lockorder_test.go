@@ -1,0 +1,13 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analyzertest"
+)
+
+func TestLockOrder(t *testing.T) {
+	analyzertest.Run(t, analyzertest.TestData(t), analysis.LockOrder,
+		"repro/internal/server")
+}

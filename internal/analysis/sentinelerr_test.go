@@ -1,0 +1,12 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analyzertest"
+)
+
+func TestSentinelErr(t *testing.T) {
+	analyzertest.Run(t, analyzertest.TestData(t), analysis.SentinelErr, "sentinelerr")
+}

@@ -1,0 +1,96 @@
+// Package limitpair exercises the limitpair analyzer: Release pairing
+// for parallel.AcquireLimit on every control-flow path, and the
+// SetMaxWorkers confinement.
+package limitpair
+
+import "repro/internal/parallel"
+
+func deferred(workers int) {
+	lim := parallel.AcquireLimit(workers)
+	defer lim.Release()
+}
+
+func deferredInBranch(workers int) {
+	if workers > 0 {
+		lim := parallel.AcquireLimit(workers)
+		defer lim.Release()
+	}
+}
+
+func discarded(workers int) {
+	parallel.AcquireLimit(workers) // want "result of parallel.AcquireLimit discarded"
+}
+
+func blanked(workers int) {
+	_ = parallel.AcquireLimit(workers) // want "result of parallel.AcquireLimit discarded"
+}
+
+func neverReleased(workers int) {
+	lim := parallel.AcquireLimit(workers) // want "no dominating `defer lim.Release\\(\\)`"
+	_ = lim
+}
+
+func releasedOnAllPaths(workers int, early bool) {
+	lim := parallel.AcquireLimit(workers)
+	if early {
+		lim.Release()
+		return
+	}
+	work()
+	lim.Release()
+}
+
+func missesOnePath(workers int, early bool) {
+	lim := parallel.AcquireLimit(workers) // want "a path reaching the function exit"
+	if early {
+		return
+	}
+	lim.Release()
+}
+
+func missesLoopBreak(workers int, n int) {
+	lim := parallel.AcquireLimit(workers) // want "a path reaching the function exit"
+	for i := 0; i < n; i++ {
+		if i == 3 {
+			return
+		}
+	}
+	lim.Release()
+}
+
+// transferred hands the Limit to another owner: pairing is checked at
+// the receiving site, not here.
+func transferred(workers int) {
+	lim := parallel.AcquireLimit(workers)
+	keep(lim)
+}
+
+// releasedInClosure captures the Limit in a goroutine closure that owns
+// the release.
+func releasedInClosure(workers int, done chan struct{}) {
+	lim := parallel.AcquireLimit(workers)
+	go func() {
+		<-done
+		lim.Release()
+	}()
+}
+
+func allowedLeak(workers int) {
+	//firal:allow(limit) — process-lifetime limit, released at exit elsewhere
+	lim := parallel.AcquireLimit(workers)
+	_ = lim
+}
+
+func setMaxOutsideMain() {
+	parallel.SetMaxWorkers(4) // want "SetMaxWorkers is process-wide"
+}
+
+func allowedSetMax() {
+	parallel.SetMaxWorkers(4) //firal:allow(limit) single-process benchmark driver
+}
+
+var sink *parallel.Limit
+
+func keep(l *parallel.Limit) { sink = l }
+
+func work() {}

@@ -1,0 +1,10 @@
+// Package main: process entry points own process-wide knobs, so
+// SetMaxWorkers is allowed here.
+package main
+
+import "repro/internal/parallel"
+
+func main() {
+	prev := parallel.SetMaxWorkers(4) // no finding in package main
+	defer parallel.SetMaxWorkers(prev)
+}

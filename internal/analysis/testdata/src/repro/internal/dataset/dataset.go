@@ -1,0 +1,10 @@
+// Package dataset is a fixture stub for repro/internal/dataset.
+package dataset
+
+type Matrix struct{ Rows, Cols int }
+
+type PoolSource interface {
+	NumRows() int
+	Dim() int
+	ReadRows(lo, hi int, dst *Matrix) error
+}

@@ -1,0 +1,12 @@
+// Package krylov is a fixture stub for repro/internal/krylov.
+package krylov
+
+import "context"
+
+type Result struct{ Iterations int }
+
+type Op func(dst, v []float64)
+
+func Solve(ctx context.Context, op Op, b []float64) (Result, error) { return Result{}, nil }
+
+func SolveBlockInto(ctx context.Context, op Op, b []float64) (Result, error) { return Result{}, nil }

@@ -1,0 +1,21 @@
+// Package parallel is a fixture stub standing in for the real
+// repro/internal/parallel: same names, no behavior. The analyzers match
+// by package-path suffix, so fixtures importing this path exercise the
+// same code paths as the real module.
+package parallel
+
+type Limit struct{ n int }
+
+func AcquireLimit(n int) *Limit { return &Limit{n: n} }
+
+func (l *Limit) Release() {}
+
+func SetMaxWorkers(n int) int { return n }
+
+func For(n int, fn func(i int)) {}
+
+func ForChunk(n int, fn func(lo, hi int)) {}
+
+func ForChunkMin(n, minPer int, fn func(lo, hi int)) {}
+
+func Fork(n int, fn func(i int)) {}

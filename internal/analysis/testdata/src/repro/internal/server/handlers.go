@@ -1,0 +1,24 @@
+// handlers.go is NOT a RoundMeta owner: handlers must read value
+// snapshots, never mutate through the shared pointer.
+package server
+
+func (sess *Session) handlerMutates(rm *RoundMeta) {
+	rm.State = "cancelled" // want `RoundMeta\.State mutated in handlers\.go`
+}
+
+func (sess *Session) handlerAppends(rm *RoundMeta) {
+	rm.Selected = append(rm.Selected, 7) // want `RoundMeta\.Selected mutated in handlers\.go`
+}
+
+// handlerSnapshot builds a value copy and mutates that: the by-design
+// handler pattern, no finding.
+func (sess *Session) handlerSnapshot(rm *RoundMeta) RoundMeta {
+	c := *rm
+	c.Selected = append([]int(nil), rm.Selected...)
+	return c
+}
+
+func (sess *Session) handlerAllowed(rm *RoundMeta) {
+	//firal:allow(lockorder) — pre-enqueue, handler still owns the record
+	rm.State = "queued"
+}

@@ -1,0 +1,72 @@
+// Package server is a miniature of the real internal/server layer:
+// just enough Session/Server/RoundMeta structure to exercise the
+// lockorder analyzer. This file is a RoundMeta owner (round.go).
+package server
+
+import "sync"
+
+type RoundMeta struct {
+	ID       int
+	Selected []int
+	State    string
+}
+
+type Session struct {
+	mu     sync.Mutex
+	rounds map[int]*RoundMeta
+}
+
+type Server struct {
+	mu       sync.Mutex
+	sessions map[string]*Session
+}
+
+// documentedOrder takes s.mu strictly before sess.mu: the contract.
+func (s *Server) documentedOrder(id string) *Session {
+	s.mu.Lock()
+	sess := s.sessions[id]
+	s.mu.Unlock()
+	if sess == nil {
+		return nil
+	}
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	return sess
+}
+
+// inverted acquires s.mu while sess.mu is held: deadlocks against the
+// documented nesting.
+func (s *Server) inverted(sess *Session, id string) {
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	s.mu.Lock() // want "acquires s.mu while sess.mu is held"
+	delete(s.sessions, id)
+	s.mu.Unlock()
+}
+
+// releasedFirst drops sess.mu before touching s.mu: fine.
+func (s *Server) releasedFirst(sess *Session, id string) {
+	sess.mu.Lock()
+	n := len(sess.rounds)
+	sess.mu.Unlock()
+	s.mu.Lock()
+	if n == 0 {
+		delete(s.sessions, id)
+	}
+	s.mu.Unlock()
+}
+
+// allowedInversion documents why the order is safe at this one site.
+func (s *Server) allowedInversion(sess *Session) {
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	//firal:allow(lockorder) — s is session-private here, no other holder
+	s.mu.Lock()
+	s.mu.Unlock()
+}
+
+// advance mutates RoundMeta from its owning file: no finding.
+func (sess *Session) advance(rm *RoundMeta, idx int) {
+	rm.Selected = append(rm.Selected, idx)
+	rm.State = "running"
+}

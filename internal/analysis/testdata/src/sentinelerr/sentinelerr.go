@@ -1,0 +1,50 @@
+// Package sentinelerr exercises the sentinelerr analyzer: identity
+// comparison and switch dispatch on package-level Err* sentinels.
+package sentinelerr
+
+import "errors"
+
+var ErrResidentPool = errors.New("exact FIRAL requires a resident pool")
+var ErrSaturated = errors.New("all round slots busy")
+var errInternal = errors.New("unexported") // lowercase: not a sentinel by the Err* rule
+
+func bad(err error) bool {
+	return err == ErrResidentPool // want "comparison with sentinel error ErrResidentPool"
+}
+
+func badNeq(err error) bool {
+	return err != ErrSaturated // want "comparison with sentinel error ErrSaturated"
+}
+
+func badSwitch(err error) string {
+	switch err {
+	case ErrResidentPool: // want "comparison with sentinel error ErrResidentPool"
+		return "resident"
+	case nil:
+		return "ok"
+	}
+	return "other"
+}
+
+func good(err error) bool {
+	return errors.Is(err, ErrResidentPool)
+}
+
+func nilCheck(err error) bool {
+	return err == nil || err != nil
+}
+
+func unexported(err error) bool {
+	return err == errInternal // lowercase name: out of contract scope
+}
+
+func localShadow() bool {
+	ErrLocal := errors.New("local")
+	var err error
+	return err == ErrLocal // local variable, not a package sentinel
+}
+
+func allowed(err error) bool {
+	//firal:allow(sentinel) — identity intentionally exact here
+	return err == ErrSaturated
+}

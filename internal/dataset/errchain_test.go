@@ -1,0 +1,77 @@
+package dataset
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/mat"
+)
+
+// TestShardWriterKeepsErrorChain pins that ShardWriter's contextual
+// wrapping preserves the underlying cause: a filesystem error surfaced
+// through Flush/Close must still satisfy errors.Is(err, os.ErrClosed) —
+// callers distinguishing disk-full from corruption rely on the chain,
+// not the message.
+func TestShardWriterKeepsErrorChain(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "chain.shard")
+	w, err := CreateShard(path, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AppendRow([]float64{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	// Yank the file out from under the writer: Close must report the
+	// flush failure with the shard path AND the os cause intact.
+	if err := w.f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	err = w.Close()
+	if err == nil {
+		t.Fatal("Close after losing the file: want an error")
+	}
+	if !errors.Is(err, os.ErrClosed) {
+		t.Fatalf("Close error %v does not wrap os.ErrClosed", err)
+	}
+	if !strings.Contains(err.Error(), path) {
+		t.Fatalf("Close error %q does not name the shard %s", err, path)
+	}
+	// The sticky error keeps the chain on later calls too.
+	if err := w.AppendRow([]float64{4, 5, 6}); !errors.Is(err, os.ErrClosed) {
+		t.Fatalf("sticky AppendRow error %v does not wrap os.ErrClosed", err)
+	}
+}
+
+// failingSource is a PoolSource whose reads fail with a fixed error.
+type failingSource struct {
+	rows, d int
+	err     error
+}
+
+func (f *failingSource) NumRows() int                              { return f.rows }
+func (f *failingSource) Dim() int                                  { return f.d }
+func (f *failingSource) ReadRows(lo, hi int, dst *mat.Dense) error { return f.err }
+func (f *failingSource) Close() error                              { return nil }
+
+// TestLiveSourceKeepsErrorChain pins that LiveSource.ReadRows wraps a
+// failing segment's error — adding which segment and row range — without
+// breaking errors.Is on the typed cause.
+func TestLiveSourceKeepsErrorChain(t *testing.T) {
+	sentinel := errors.New("decode exploded")
+	base := NewMatrixSource(mat.NewDense(4, 2))
+	live := NewLiveSource(base)
+	if _, err := live.Append(&failingSource{rows: 3, d: 2, err: sentinel}); err != nil {
+		t.Fatal(err)
+	}
+	dst := mat.NewDense(2, 2)
+	err := live.ReadRows(5, 7, dst) // lands in the failing second segment
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("ReadRows error %v does not wrap the segment's cause", err)
+	}
+	if !strings.Contains(err.Error(), "segment 1") {
+		t.Fatalf("ReadRows error %q does not identify the failing segment", err)
+	}
+}

@@ -110,7 +110,11 @@ func (s *LiveSource) ReadRows(lo, hi int, dst *mat.Dense) error {
 		segLo := row - st.starts[si]
 		segHi := min(seg.NumRows(), hi-st.starts[si])
 		if err := seg.ReadRows(segLo, segHi, dst.RowSlice(row-lo, row-lo+segHi-segLo)); err != nil {
-			return err
+			// Wrap, don't replace: segment errors carry typed causes
+			// (fs errors, ErrResidentPool from a gated source) that
+			// callers match with errors.Is through this context.
+			return fmt.Errorf("dataset: live segment %d (rows [%d, %d)): %w",
+				si, st.starts[si], st.starts[si]+seg.NumRows(), err)
 		}
 		row += segHi - segLo
 		si++

@@ -60,7 +60,7 @@ func CreateShard(path string, d int) (*ShardWriter, error) {
 	// Row count is patched on Close.
 	if _, err := sw.w.Write(hdr[:]); err != nil {
 		f.Close()
-		return nil, err
+		return nil, fmt.Errorf("dataset: shard %s: write header: %w", path, err)
 	}
 	return sw, nil
 }
@@ -71,15 +71,17 @@ func (sw *ShardWriter) AppendRow(x []float64) error {
 		return sw.err
 	}
 	if len(x) != sw.d {
-		sw.err = fmt.Errorf("dataset: shard row has %d features, want %d", len(x), sw.d)
+		sw.err = fmt.Errorf("dataset: shard %s: row has %d features, want %d", sw.path, len(x), sw.d)
 		return sw.err
 	}
 	for j, v := range x {
 		binary.LittleEndian.PutUint32(sw.buf[j*4:], math.Float32bits(float32(v)))
 	}
 	if _, err := sw.w.Write(sw.buf); err != nil {
-		sw.err = err
-		return err
+		// Keep the cause in the chain: a caller distinguishing disk-full
+		// from corruption needs errors.Is/As through the shard context.
+		sw.err = fmt.Errorf("dataset: shard %s: write row %d: %w", sw.path, sw.rows, err)
+		return sw.err
 	}
 	sw.rows++
 	return nil
@@ -114,18 +116,18 @@ func (sw *ShardWriter) Rows() int { return sw.rows }
 // Close flushes the payload, patches the row count into the header, and
 // closes the file.
 func (sw *ShardWriter) Close() error {
-	flushErr := sw.w.Flush()
-	if sw.err == nil {
-		sw.err = flushErr
+	if flushErr := sw.w.Flush(); sw.err == nil && flushErr != nil {
+		sw.err = fmt.Errorf("dataset: shard %s: flush: %w", sw.path, flushErr)
 	}
 	if sw.err == nil {
 		var cnt [8]byte
 		binary.LittleEndian.PutUint64(cnt[:], uint64(sw.rows))
-		_, sw.err = sw.f.WriteAt(cnt[:], 12)
+		if _, err := sw.f.WriteAt(cnt[:], 12); err != nil {
+			sw.err = fmt.Errorf("dataset: shard %s: patch row count: %w", sw.path, err)
+		}
 	}
-	closeErr := sw.f.Close()
-	if sw.err == nil {
-		sw.err = closeErr
+	if closeErr := sw.f.Close(); sw.err == nil && closeErr != nil {
+		sw.err = fmt.Errorf("dataset: shard %s: close: %w", sw.path, closeErr)
 	}
 	return sw.err
 }

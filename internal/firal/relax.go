@@ -165,6 +165,8 @@ type RelaxResult struct {
 // mirrorStep applies the entropic mirror-descent update of Algorithm 1
 // lines 7–8 (z_i ← z_i e^{−β g_i}, renormalized), with β_t scaled by the
 // gradient's ∞-norm for a scale-free schedule.
+//
+//firal:hotpath
 func mirrorStep(z, g []float64, beta0 float64, t int) {
 	gmax := 0.0
 	for _, v := range g {
@@ -244,6 +246,8 @@ func StochasticConverged(f []float64, tol float64) bool {
 // mirror-descent step rather than O(probes·iterations) — the per-column
 // arithmetic is unchanged (bit-for-bit with the historical per-column
 // sweeps), only the sweep sharing is new.
+//
+//firal:hotpath
 func RelaxFast(ctx context.Context, p *Problem, b int, o RelaxOptions) (*RelaxResult, error) {
 	o.defaults()
 	n, ed := p.N(), p.Ed()
@@ -314,7 +318,7 @@ func RelaxFast(ctx context.Context, p *Problem, b int, o RelaxOptions) (*RelaxRe
 		// identically, and fast-forward the probe stream: iteration t of
 		// the resumed run must see exactly the Rademacher block iteration
 		// t of the uninterrupted run saw.
-		sc.fHist = append(sc.fHist, o.Resume.FHist...)
+		sc.fHist = append(sc.fHist, o.Resume.FHist...) //firal:allow(alloc) resume path, once per run
 		for t := 1; t < start; t++ {
 			rng.Rademacher(v.Data)
 		}
@@ -387,9 +391,9 @@ func RelaxFast(ctx context.Context, p *Problem, b int, o RelaxOptions) (*RelaxRe
 		stop()
 
 		res.Iterations = t
-		sc.fHist = append(sc.fHist, f)
+		sc.fHist = append(sc.fHist, f) //firal:allow(alloc) recorded history, one float per iteration
 		if o.RecordObjective {
-			res.Objectives = append(res.Objectives, f)
+			res.Objectives = append(res.Objectives, f) //firal:allow(alloc) diagnostics mode
 		}
 		if o.OnIteration != nil {
 			ck := RelaxCheckpoint{Iteration: t, Z: z, FHist: sc.fHist, CGIterations: res.CGIterations}

@@ -168,6 +168,8 @@ func (st *RoundState) NumBlocks() int { return st.c }
 // batched GEMM + row-dot passes per block and the cost is O(n c d²) per
 // round (Table II). The per-class P_k products are hoisted into
 // persistent state before the sweep.
+//
+//firal:hotpath
 func (st *RoundState) Scores(pool hessian.Pool, dst []float64) {
 	n := pool.N()
 	if len(dst) != n {
@@ -178,6 +180,7 @@ func (st *RoundState) Scores(pool hessian.Pool, dst []float64) {
 		return
 	}
 	// P_k = B⁻¹_k (Σ⋄)_k B⁻¹_k, shared by every block of this pass.
+	//firal:allow(alloc) — lazy init, once per state
 	if st.pks == nil {
 		st.pks = make([]*mat.Dense, st.c)
 		for k := range st.pks {
@@ -194,6 +197,7 @@ func (st *RoundState) Scores(pool hessian.Pool, dst []float64) {
 	// allocator while qp/qb land exactly on their size class, so a state
 	// reused with a slightly larger block size could pass an xmBuf-only
 	// check and then overrun qp/qb.
+	//firal:allow(alloc) — amortized: regrows only when the block size grows
 	if cap(st.xmBuf) < bs*st.d || cap(st.qp) < bs {
 		st.xmBuf = make([]float64, bs*st.d)
 		st.qp = make([]float64, bs)
@@ -226,6 +230,8 @@ func (st *RoundState) Scores(pool hessian.Pool, dst []float64) {
 
 // AddPoint accumulates the chosen point into (H)_k (line 8):
 // (H)_k ← (H)_k + (1/b)(Ho)_k + h_k(1−h_k) x xᵀ.
+//
+//firal:hotpath
 func (st *RoundState) AddPoint(x, h []float64) {
 	for k := 0; k < st.c; k++ {
 		st.hacc[k].AddScaled(1/float64(st.b), st.ho[k])
@@ -424,6 +430,8 @@ func RoundFast(p *Problem, z []float64, b int, o RoundOptions) (*RoundResult, er
 // place; scores and rowBuf are caller scratch of length n and d. Shared
 // by RoundFast and the incremental delta rounds, which differ only in
 // how the entering RoundState was built.
+//
+//firal:hotpath
 func runRoundLoop(pool hessian.Pool, st *RoundState, b int, scores []float64, selected []bool, rowBuf []float64, res *RoundResult) error {
 	n := pool.N()
 	probs := pool.Probs()
@@ -448,14 +456,14 @@ func runRoundLoop(pool hessian.Pool, st *RoundState, b int, scores []float64, se
 			break
 		}
 		selected[best] = true
-		res.Selected = append(res.Selected, best)
-		res.Objectives = append(res.Objectives, bestV)
+		res.Selected = append(res.Selected, best)      //firal:allow(alloc) result history, one entry per selection
+		res.Objectives = append(res.Objectives, bestV) //firal:allow(alloc) result history, one entry per selection
 
 		nu, err := st.Update(pool.Row(best, rowBuf), probs.Row(best), ph)
 		if err != nil {
 			return err
 		}
-		res.Nu = append(res.Nu, nu)
+		res.Nu = append(res.Nu, nu) //firal:allow(alloc) result history, one entry per selection
 	}
 	res.MinEigH = st.MinEig()
 	return nil

@@ -40,6 +40,8 @@ func checkBlockShapes(p Pool, vs ...*mat.Dense) {
 // A nil w means unit weights. Scratch comes from ws; a warm workspace
 // makes the call allocation-free. Column results are bit-for-bit equal to
 // s calls of Pool.MatVecWS.
+//
+//firal:hotpath
 func MatVecBlockWS(ws *mat.Workspace, p Pool, dst, v *mat.Dense, w []float64) {
 	checkBlockShapes(p, dst, v)
 	s := v.Rows
@@ -100,6 +102,8 @@ func MatVecBlockWS(ws *mat.Workspace, p Pool, dst, v *mat.Dense, w []float64) {
 // contributions land in ascending j order, exactly as s sequential
 // Pool.QuadAccumWS sweeps would order them, so the result is bit-for-bit
 // identical.
+//
+//firal:hotpath
 func QuadAccumBlockWS(ws *mat.Workspace, p Pool, dst []float64, u, v *mat.Dense, scale float64) {
 	checkBlockShapes(p, u, v)
 	s := u.Rows

@@ -23,6 +23,8 @@ import (
 // zeroed — callers own the base state. Warm calls perform no allocation:
 // all scratch (the block decode, the per-row weight vector, the Gram
 // accumulator) comes from ws.
+//
+//firal:hotpath
 func BlockDiagAccumRange(ws *mat.Workspace, p Pool, blocks []*mat.Dense, w []float64, lo, hi int, scale float64) {
 	n, d, c := p.N(), p.D(), p.C()
 	if lo < 0 || hi > n || lo > hi {

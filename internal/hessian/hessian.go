@@ -157,6 +157,8 @@ func (s *Set) MatVec(dst, v, w []float64) []float64 {
 // ws falls back to per-call allocation. The sum is accumulated block by
 // block (see Pool), which bounds the scratch to one row block regardless
 // of n.
+//
+//firal:hotpath
 func (s *Set) MatVecWS(ws *mat.Workspace, dst, v, w []float64) []float64 {
 	return poolMatVecWS(ws, s, dst, v, w)
 }
@@ -195,6 +197,8 @@ var quadTasks = &sync.Pool{New: func() any {
 // gammaRange rewrites rows [lo, hi) of the block-local product g in
 // place: g_ik ← w_i (g_ik − α_i) h_ik with α_i = Σ_k g_ik h_ik. h and w
 // are globally indexed at base+i.
+//
+//firal:hotpath
 func gammaRange(g, h *mat.Dense, w []float64, base, lo, hi int) {
 	for i := lo; i < hi; i++ {
 		gr := g.Row(i)
@@ -242,12 +246,16 @@ func (s *Set) QuadAccum(dst []float64, u, v []float64, scale float64) {
 
 // QuadAccumWS is QuadAccum with the per-block scratch products drawn
 // from ws (see MatVecWS for the workspace and blocking contract).
+//
+//firal:hotpath
 func (s *Set) QuadAccumWS(ws *mat.Workspace, dst []float64, u, v []float64, scale float64) {
 	poolQuadAccumWS(ws, s, dst, u, v, scale)
 }
 
 // quadRange accumulates dst[base+i] += scale·uᵀH_{base+i}v for block-local
 // rows [lo, hi) of the products gu, gv; h and dst are globally indexed.
+//
+//firal:hotpath
 func quadRange(dst []float64, gu, gv, h *mat.Dense, scale float64, base, lo, hi int) {
 	for i := lo; i < hi; i++ {
 		hu := gu.Row(i)
@@ -264,6 +272,8 @@ func quadRange(dst []float64, gu, gv, h *mat.Dense, scale float64, base, lo, hi 
 
 // GammaCol writes γ_i = h_ik (1 − h_ik) for class k into dst (allocated if
 // nil) — the per-class curvature weights of Eq. 15.
+//
+//firal:hotpath
 func (s *Set) GammaCol(dst []float64, k int) []float64 {
 	n := s.N()
 	if dst == nil {
@@ -286,6 +296,8 @@ func (s *Set) BlockDiagSum(w []float64) []*mat.Dense {
 // (allocated when blocks is nil) with scratch drawn from ws, so callers
 // that rebuild the blocks every iteration (the RELAX preconditioner, the
 // distributed allreduce) reuse one set of buffers round to round.
+//
+//firal:hotpath
 func (s *Set) BlockDiagSumInto(ws *mat.Workspace, blocks []*mat.Dense, w []float64) []*mat.Dense {
 	return poolBlockDiagSumInto(ws, s, blocks, w)
 }
@@ -293,6 +305,8 @@ func (s *Set) BlockDiagSumInto(ws *mat.Workspace, blocks []*mat.Dense, w []float
 // AddBlockDiagPoint adds γ_k x xᵀ to each block (γ_k = h_k(1−h_k)),
 // optionally scaled — the per-point block-diagonal update of Algorithm 3,
 // line 8.
+//
+//firal:hotpath
 func AddBlockDiagPoint(blocks []*mat.Dense, x, h []float64, scale float64) {
 	for k, b := range blocks {
 		g := scale * h[k] * (1 - h[k])

@@ -49,13 +49,15 @@ func SolveBlock(ctx context.Context, a BlockOp, precond BlockOp, b, x *mat.Dense
 // and it is already shared). On cancellation the still-active columns
 // report ctx.Err() with x holding their best iterates; columns that
 // already converged keep their results.
+//
+//firal:hotpath
 func SolveBlockInto(ctx context.Context, a BlockOp, precond BlockOp, b, x *mat.Dense, results []Result, opt Options) []Result {
 	if b.Rows != x.Rows || b.Cols != x.Cols {
 		panic("krylov: SolveBlock shape mismatch")
 	}
 	s, n := b.Rows, b.Cols
 	if cap(results) < s {
-		results = make([]Result, s)
+		results = make([]Result, s) //firal:allow(alloc) amortized: grows once per larger probe block
 	} else {
 		results = results[:s]
 		for j := range results {
@@ -93,6 +95,7 @@ func SolveBlockInto(ctx context.Context, a BlockOp, precond BlockOp, b, x *mat.D
 		ws.PutVec(act)
 	}()
 
+	//firal:allow(alloc) — built once per solve, non-escaping
 	applyPrec := func() {
 		if precond != nil {
 			precond(z, r)
@@ -121,7 +124,7 @@ func SolveBlockInto(ctx context.Context, a BlockOp, precond BlockOp, b, x *mat.D
 		}
 		rel[j] = mat.Nrm2(rj) / bnorm[j]
 		if opt.RecordResiduals {
-			results[j].Residuals = append(results[j].Residuals, rel[j])
+			results[j].Residuals = append(results[j].Residuals, rel[j]) //firal:allow(alloc) diagnostics mode
 		}
 		if rel[j] <= opt.Tol {
 			results[j].Converged = true
@@ -180,7 +183,7 @@ func SolveBlockInto(ctx context.Context, a BlockOp, precond BlockOp, b, x *mat.D
 			rel[j] = mat.Nrm2(r.Row(j)) / bnorm[j]
 			results[j].Iterations = it + 1
 			if opt.RecordResiduals {
-				results[j].Residuals = append(results[j].Residuals, rel[j])
+				results[j].Residuals = append(results[j].Residuals, rel[j]) //firal:allow(alloc) diagnostics mode
 			}
 			if rel[j] <= opt.Tol {
 				results[j].Converged = true

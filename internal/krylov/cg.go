@@ -73,6 +73,8 @@ func CG(ctx context.Context, a Op, b, x []float64, opt Options) Result {
 // applies M⁻¹ (pass nil for unpreconditioned CG). x is both the initial
 // guess and the output. The context is polled once per iteration; on
 // cancellation the result carries ctx.Err() and the current iterate.
+//
+//firal:hotpath
 func PCG(ctx context.Context, a Op, precond Op, b, x []float64, opt Options) Result {
 	n := len(b)
 	if len(x) != n {
@@ -106,6 +108,7 @@ func PCG(ctx context.Context, a Op, precond Op, b, x []float64, opt Options) Res
 	}
 
 	z := ws.Vec(n)
+	//firal:allow(alloc) — built once per solve, non-escaping
 	applyPrec := func() {
 		if precond != nil {
 			precond(z, r)
@@ -125,7 +128,7 @@ func PCG(ctx context.Context, a Op, precond Op, b, x []float64, opt Options) Res
 	res := Result{}
 	rel := mat.Nrm2(r) / bnorm
 	if opt.RecordResiduals {
-		res.Residuals = append(res.Residuals, rel)
+		res.Residuals = append(res.Residuals, rel) //firal:allow(alloc) diagnostics mode
 	}
 	if rel <= opt.Tol {
 		res.Converged = true
@@ -154,7 +157,7 @@ func PCG(ctx context.Context, a Op, precond Op, b, x []float64, opt Options) Res
 		rel = mat.Nrm2(r) / bnorm
 		res.Iterations = it + 1
 		if opt.RecordResiduals {
-			res.Residuals = append(res.Residuals, rel)
+			res.Residuals = append(res.Residuals, rel) //firal:allow(alloc) diagnostics mode
 		}
 		if rel <= opt.Tol {
 			res.Converged = true
@@ -187,12 +190,14 @@ func SolveColumns(ctx context.Context, a Op, precond Op, b, x *mat.Dense, opt Op
 // the RELAX mirror descent runs two sweeps per iteration — reuse one
 // slice instead of allocating b.Cols results per call. Pass the previous
 // return value back in; the contents are overwritten.
+//
+//firal:hotpath
 func SolveColumnsInto(ctx context.Context, a Op, precond Op, b, x *mat.Dense, results []Result, opt Options) []Result {
 	if b.Rows != x.Rows || b.Cols != x.Cols {
 		panic("krylov: SolveColumns shape mismatch")
 	}
 	if cap(results) < b.Cols {
-		results = make([]Result, b.Cols)
+		results = make([]Result, b.Cols) //firal:allow(alloc) amortized: grows once per larger probe block
 	} else {
 		results = results[:b.Cols]
 		for j := range results {

@@ -1,6 +1,7 @@
 package logreg
 
 import (
+	"errors"
 	"testing"
 
 	"repro/internal/mat"
@@ -75,7 +76,7 @@ func TestWarmStart(t *testing.T) {
 }
 
 func TestEmptyTrainingSet(t *testing.T) {
-	if _, err := Train(mat.NewDense(0, 3), nil, 2, nil, Options{}); err != ErrNoData {
+	if _, err := Train(mat.NewDense(0, 3), nil, 2, nil, Options{}); !errors.Is(err, ErrNoData) {
 		t.Fatalf("expected ErrNoData, got %v", err)
 	}
 }

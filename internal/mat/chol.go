@@ -72,6 +72,8 @@ func (c *Cholesky) FactorRidge(a *Dense, ridge0 float64) (float64, error) {
 // only the lower triangle of a and writing c.L (which never aliases a's
 // storage in supported use; factoring a matrix into itself is not
 // supported).
+//
+//firal:hotpath
 func (c *Cholesky) factor(a *Dense, ridge float64) error {
 	n := a.Rows
 	if a.Cols != n {
@@ -125,6 +127,8 @@ func NewCholeskyRidge(a *Dense, ridge0 float64) (*Cholesky, float64, error) {
 }
 
 // SolveVec solves A x = b in place of dst (dst may be b itself).
+//
+//firal:hotpath
 func (c *Cholesky) SolveVec(dst, b []float64) []float64 {
 	n := c.L.Rows
 	if len(b) != n {
@@ -163,6 +167,8 @@ func (c *Cholesky) Solve(dst, b *Dense) *Dense {
 
 // SolveInto is Solve with the column buffer drawn from ws, so repeated
 // solves against a warm workspace are allocation-free.
+//
+//firal:hotpath
 func (c *Cholesky) SolveInto(ws *Workspace, dst, b *Dense) *Dense {
 	if dst == nil {
 		dst = b.Clone()

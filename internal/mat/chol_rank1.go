@@ -20,6 +20,8 @@ var ErrDowndateBreakdown = errors.New("mat: rank-1 downdate would make the facto
 // the only transient — the scaled copy of x — drawn from ws, so a warm
 // workspace makes the update allocation-free. alpha = 0 is a no-op;
 // alpha < 0 panics (use DowndateRank1, whose breakdown is detectable).
+//
+//firal:hotpath
 func (c *Cholesky) UpdateRank1(ws *Workspace, x []float64, alpha float64) {
 	n := c.L.Rows
 	if len(x) != n {
@@ -59,6 +61,8 @@ func (c *Cholesky) UpdateRank1(ws *Workspace, x []float64, alpha float64) {
 // unspecified and the caller must refactor from the maintained matrix
 // (FactorRidge) before using c again. Scratch comes from ws; a warm
 // workspace makes the downdate allocation-free.
+//
+//firal:hotpath
 func (c *Cholesky) DowndateRank1(ws *Workspace, x []float64, alpha float64) error {
 	n := c.L.Rows
 	if len(x) != n {

@@ -57,6 +57,8 @@ func useBlocked(m, n, k int) bool {
 
 // Mul computes dst = a*b. dst must not alias a or b. If dst is nil a new
 // matrix is allocated. Rows of dst are computed in parallel.
+//
+//firal:hotpath
 func Mul(dst, a, b *Dense) *Dense {
 	if a.Cols != b.Rows {
 		panic("mat: Mul inner dimension mismatch")
@@ -83,6 +85,8 @@ var mulTasks = newChunkTaskPool(func(t *kernelTask, lo, hi int) {
 
 // MulTransA computes dst = aᵀ*b for a (n×r) and b (n×c), yielding r×c.
 // dst must not alias a or b.
+//
+//firal:hotpath
 func MulTransA(dst, a, b *Dense) *Dense {
 	if a.Rows != b.Rows {
 		panic("mat: MulTransA row mismatch")
@@ -109,6 +113,7 @@ var mulTransATasks = newChunkTaskPool(func(t *kernelTask, lo, hi int) {
 	mulTransASmallRange(t.m1, t.m2, t.m3, lo, hi)
 })
 
+//firal:hotpath
 func mulTransASmallRange(dst, a, b *Dense, lo, hi int) {
 	for k := 0; k < a.Rows; k++ {
 		ar := a.Row(k)[lo:hi]
@@ -127,6 +132,8 @@ func mulTransASmallRange(dst, a, b *Dense, lo, hi int) {
 
 // MulTransB computes dst = a*bᵀ for a (m×k) and b (n×k), yielding m×n.
 // dst must not alias a or b.
+//
+//firal:hotpath
 func MulTransB(dst, a, b *Dense) *Dense {
 	if a.Cols != b.Cols {
 		panic("mat: MulTransB column mismatch")
@@ -151,6 +158,7 @@ var mulTransBTasks = newChunkTaskPool(func(t *kernelTask, lo, hi int) {
 	mulTransBSmallRange(t.m1, t.m2, t.m3, lo, hi)
 })
 
+//firal:hotpath
 func mulTransBSmallRange(dst, a, b *Dense, lo, hi int) {
 	for i := lo; i < hi; i++ {
 		ar := a.Row(i)
@@ -165,6 +173,8 @@ func mulTransBSmallRange(dst, a, b *Dense, lo, hi int) {
 // packed exactly once, on the calling goroutine; the row-parallel workers
 // share it read-only and pack only their own A blocks. Workers split
 // output rows, so the result is identical for any worker count.
+//
+//firal:hotpath
 func gemm(dst, a, b *Dense, transA, transB bool) {
 	m, n := dst.Rows, dst.Cols
 	kd := a.Cols
@@ -195,6 +205,8 @@ func gemm(dst, a, b *Dense, transA, transB bool) {
 
 // gemmTileParallel fans the row loop of one packed-B tile out across
 // workers; each worker packs its own A blocks from pooled scratch.
+//
+//firal:hotpath
 func gemmTileParallel(dst, a *Dense, transA bool, bp []float64, pc, jc, kc, nc, m int) {
 	t := gemmTileTasks.Get().(*kernelTask)
 	t.m1, t.m2, t.b1, t.v1 = dst, a, transA, bp
@@ -213,6 +225,8 @@ var gemmTileTasks = newChunkTaskPool(func(t *kernelTask, lo, hi int) {
 // gemmRowRange runs the packed micro-kernels for output rows [lo, hi) of
 // one (pc, jc) tile, packing A blocks into ap and reading the shared
 // packed B panel bp.
+//
+//firal:hotpath
 func gemmRowRange(dst, a *Dense, transA bool, ap, bp []float64, pc, jc, kc, nc, lo, hi int) {
 	for ic := lo; ic < hi; ic += gemmMC {
 		mc := min(gemmMC, hi-ic)
@@ -233,6 +247,8 @@ func gemmRowRange(dst, a *Dense, transA bool, ap, bp []float64, pc, jc, kc, nc, 
 // micro-kernel reads MR values per k from one contiguous stream. Rows
 // beyond mc are zero-padded (the padded accumulators are never written
 // back).
+//
+//firal:hotpath
 func packA(ap []float64, a *Dense, trans bool, i0, k0, mc, kc int) {
 	for pi := 0; pi < mc; pi += gemmMR {
 		dst := ap[pi*kc:]
@@ -291,6 +307,8 @@ func packA(ap []float64, a *Dense, trans bool, i0, k0, mc, kc int) {
 
 // packB copies the kc×nc block of op(b) at (k0, j0) into gemmNR-column
 // panels, zero-padding columns beyond nc.
+//
+//firal:hotpath
 func packB(bp []float64, b *Dense, trans bool, k0, j0, kc, nc int) {
 	for pj := 0; pj < nc; pj += gemmNR {
 		dst := bp[pj*kc:]
@@ -337,6 +355,8 @@ func packB(bp []float64, b *Dense, trans bool, k0, j0, kc, nc int) {
 // written back; the padded lanes accumulate zeros. The tile itself comes
 // from the SSE2 kernel on amd64 and from the scalar loop elsewhere; both
 // sum k-terms in the same order, so results are identical.
+//
+//firal:hotpath
 func micro4x4(kc int, ap, bp []float64, dst *Dense, i, j, mr, nr int) {
 	var acc [gemmMR * gemmNR]float64
 	if useAsmKernel {
@@ -377,6 +397,8 @@ func micro4x4(kc int, ap, bp []float64, dst *Dense, i, j, mr, nr int) {
 
 // microScalar4x4 is the portable micro-kernel: sixteen independent
 // accumulators over the packed panels, overwriting acc.
+//
+//firal:hotpath
 func microScalar4x4(kc int, ap, bp []float64, acc *[gemmMR * gemmNR]float64) {
 	var c00, c01, c02, c03 float64
 	var c10, c11, c12, c13 float64
@@ -434,6 +456,8 @@ func microScalar4x4(kc int, ap, bp []float64, acc *[gemmMR * gemmNR]float64) {
 // accumulators). It reorders the summation relative to Dot, so kernels
 // built on it agree with the reference kernels to roundoff, not
 // bit-for-bit.
+//
+//firal:hotpath
 func dotu(x, y []float64) float64 {
 	n := len(x)
 	if len(y) != n {
@@ -456,6 +480,8 @@ func dotu(x, y []float64) float64 {
 }
 
 // MatVec computes dst = a*x. If dst is nil it is allocated.
+//
+//firal:hotpath
 func MatVec(dst []float64, a *Dense, x []float64) []float64 {
 	if a.Cols != len(x) {
 		panic("mat: MatVec dimension mismatch")
@@ -480,6 +506,7 @@ var matVecTasks = newChunkTaskPool(func(t *kernelTask, lo, hi int) {
 	matVecRange(t.v1, t.m1, t.v2, lo, hi)
 })
 
+//firal:hotpath
 func matVecRange(dst []float64, a *Dense, x []float64, lo, hi int) {
 	for i := lo; i < hi; i++ {
 		dst[i] = dotu(a.Row(i), x)
@@ -488,6 +515,8 @@ func matVecRange(dst []float64, a *Dense, x []float64, lo, hi int) {
 
 // MatTVec computes dst = aᵀ*x. If dst is nil it is allocated. The serial
 // inner accumulation keeps this deterministic.
+//
+//firal:hotpath
 func MatTVec(dst []float64, a *Dense, x []float64) []float64 {
 	if a.Rows != len(x) {
 		panic("mat: MatTVec dimension mismatch")
@@ -530,6 +559,8 @@ func WeightedGram(dst *Dense, x *Dense, w []float64) *Dense {
 // calling goroutine, so the single-owner workspace contract holds); hot
 // loops that rebuild Gram blocks every iteration reuse them instead of
 // re-allocating O(workers·d²) per call.
+//
+//firal:hotpath
 func WeightedGramWS(ws *Workspace, dst *Dense, x *Dense, w []float64) *Dense {
 	d := x.Cols
 	dst = prepDst(dst, d, d)
@@ -554,6 +585,7 @@ func WeightedGramWS(ws *Workspace, dst *Dense, x *Dense, w []float64) *Dense {
 	buf := ws.Vec(nw * d * d)
 	t := gramTasks.Get().(*kernelTask)
 	if cap(t.hdrs) < nw {
+		//firal:allow(alloc) — amortized: grows once per worker-count change
 		t.hdrs = make([]Dense, nw)
 	}
 	t.m1, t.v1, t.v2 = x, w, buf
@@ -585,6 +617,8 @@ var gramTasks = newForkTaskPool(func(t *kernelTask, widx int) {
 // weightedGramRange accumulates the lower triangle of Σ_i w_i x_i x_iᵀ for
 // rows [lo, hi), four rows at a time so each loaded dst element absorbs
 // four multiply-adds.
+//
+//firal:hotpath
 func weightedGramRange(dst *Dense, x *Dense, w []float64, lo, hi int) {
 	d := x.Cols
 	i := lo
@@ -634,6 +668,8 @@ func weightedGramRange(dst *Dense, x *Dense, w []float64, lo, hi int) {
 }
 
 // mirrorLower copies the strict lower triangle into the upper.
+//
+//firal:hotpath
 func mirrorLower(dst *Dense) {
 	for r := 1; r < dst.Rows; r++ {
 		row := dst.Row(r)
@@ -646,6 +682,8 @@ func mirrorLower(dst *Dense) {
 // RowDots computes dst[i] = Σ_j a_ij * b_ij, i.e. the diagonal of a*bᵀ.
 // This implements the diag(X M Xᵀ) pattern of the ROUND objective (Eq. 17):
 // pass a = X and b = X*M. If dst is nil it is allocated.
+//
+//firal:hotpath
 func RowDots(dst []float64, a, b *Dense) []float64 {
 	if a.Rows != b.Rows || a.Cols != b.Cols {
 		panic("mat: RowDots shape mismatch")
@@ -668,6 +706,7 @@ var rowDotsTasks = newChunkTaskPool(func(t *kernelTask, lo, hi int) {
 	rowDotsRange(t.v1, t.m1, t.m2, lo, hi)
 })
 
+//firal:hotpath
 func rowDotsRange(dst []float64, a, b *Dense, lo, hi int) {
 	for i := lo; i < hi; i++ {
 		dst[i] = dotu(a.Row(i), b.Row(i))

@@ -1,6 +1,7 @@
 package mat
 
 import (
+	"errors"
 	"math"
 	"math/rand"
 	"testing"
@@ -54,7 +55,7 @@ func TestLUSolveMatrixAndNonsymmetric(t *testing.T) {
 
 func TestLUSingular(t *testing.T) {
 	a := FromRows([][]float64{{1, 2}, {2, 4}})
-	if _, err := NewLU(a); err != ErrSingular {
+	if _, err := NewLU(a); !errors.Is(err, ErrSingular) {
 		t.Fatalf("expected ErrSingular, got %v", err)
 	}
 }

@@ -6,6 +6,8 @@ import "math"
 // layer under the CG solver and the mirror-descent updates.
 
 // Dot returns xᵀy.
+//
+//firal:hotpath
 func Dot(x, y []float64) float64 {
 	if len(x) != len(y) {
 		panic("mat: Dot length mismatch")
@@ -18,6 +20,8 @@ func Dot(x, y []float64) float64 {
 }
 
 // Nrm2 returns the Euclidean norm of x.
+//
+//firal:hotpath
 func Nrm2(x []float64) float64 {
 	// Two-pass scaling keeps us safe from overflow for the magnitudes the
 	// solvers produce.
@@ -39,6 +43,8 @@ func Nrm2(x []float64) float64 {
 }
 
 // Axpy performs y += alpha*x.
+//
+//firal:hotpath
 func Axpy(alpha float64, x, y []float64) {
 	if len(x) != len(y) {
 		panic("mat: Axpy length mismatch")
@@ -49,6 +55,8 @@ func Axpy(alpha float64, x, y []float64) {
 }
 
 // Scal performs x *= alpha.
+//
+//firal:hotpath
 func Scal(alpha float64, x []float64) {
 	for i := range x {
 		x[i] *= alpha
@@ -56,6 +64,8 @@ func Scal(alpha float64, x []float64) {
 }
 
 // CopyVec copies src into dst (lengths must match).
+//
+//firal:hotpath
 func CopyVec(dst, src []float64) {
 	if len(dst) != len(src) {
 		panic("mat: CopyVec length mismatch")
@@ -64,6 +74,8 @@ func CopyVec(dst, src []float64) {
 }
 
 // Fill sets every element of x to v.
+//
+//firal:hotpath
 func Fill(x []float64, v float64) {
 	for i := range x {
 		x[i] = v
@@ -71,6 +83,8 @@ func Fill(x []float64, v float64) {
 }
 
 // Sum returns Σ x_i.
+//
+//firal:hotpath
 func Sum(x []float64) float64 {
 	var s float64
 	for _, v := range x {
@@ -81,6 +95,8 @@ func Sum(x []float64) float64 {
 
 // MaxIdx returns the index of the maximum element (first on ties) and its
 // value. It panics on empty input.
+//
+//firal:hotpath
 func MaxIdx(x []float64) (int, float64) {
 	if len(x) == 0 {
 		panic("mat: MaxIdx of empty slice")
@@ -96,6 +112,8 @@ func MaxIdx(x []float64) (int, float64) {
 
 // MinIdx returns the index of the minimum element (first on ties) and its
 // value. It panics on empty input.
+//
+//firal:hotpath
 func MinIdx(x []float64) (int, float64) {
 	if len(x) == 0 {
 		panic("mat: MinIdx of empty slice")

@@ -160,6 +160,9 @@ func (s *Server) selectOnce(ctx context.Context, sess *Session, rm *RoundMeta) (
 	}
 	labY = append(labY, meta.LabeledY...)
 	for k, il := range meta.IndexLabels {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		rowDst := labM.RowSlice(len(meta.LabeledX)+k, len(meta.LabeledX)+k+1)
 		if err := src.ReadRows(il.Index, il.Index+1, rowDst); err != nil {
 			return nil, fmt.Errorf("read labeled pool row %d: %w", il.Index, err)

@@ -1,0 +1,14 @@
+#!/usr/bin/env sh
+# vet.sh — the repo's `make vet`: stock go vet plus the firal-vet
+# contract analyzers (internal/analysis), exactly what the contracts-vet
+# CI job runs. Usage: scripts/vet.sh [packages...] (defaults to ./...).
+set -eu
+
+cd "$(dirname "$0")/.."
+pkgs="${*:-./...}"
+
+go vet $pkgs
+
+mkdir -p bin
+go build -o bin/firal-vet ./cmd/firal-vet
+go vet -vettool="$(pwd)/bin/firal-vet" $pkgs
