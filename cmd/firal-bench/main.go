@@ -258,7 +258,7 @@ func main() {
 	}
 	defer setup.cleanup()
 	rep.Results = append(rep.Results, streamBench(run, setup))
-	if e, err := relaxStreamBench(run, setup); err != nil {
+	if e, err := relaxStreamBench(setup); err != nil {
 		log.Fatal(err)
 	} else {
 		rep.Results = append(rep.Results, e)
@@ -394,45 +394,105 @@ func streamBench(run func(string, func(b *testing.B)) entry, setup *streamSetup)
 // relaxStreamBench measures one streamed RELAX mirror-descent iteration
 // (the paper's s = 10 probes, CG capped for a deterministic sweep budget)
 // over the same million-row shard pool — the configuration the block-CG
-// work targets. Historically every probe column re-decoded the pool once
-// per CG matvec, O(probes·CG-iterations) full sweeps per mirror-descent
-// iteration; with krylov.SolveBlockInto and the multi-RHS hessian kernels
-// the whole probe block shares one decode per CG iteration plus five
-// fixed sweeps. The decode traffic is measured directly with
-// dataset.CountingSource during the warm-up call and recorded in the
-// entry's Extra map: decode_sweeps against the total CG iteration count
-// and the per-column path's cg_iterations + (4·probes+1) sweep estimate.
-func relaxStreamBench(run func(string, func(b *testing.B)) entry, setup *streamSetup) (entry, error) {
+// and prefetch work targets. PR 5's block CG minimized the decode COUNT
+// (one pool sweep per CG iteration instead of one per probe column); the
+// prefetch layer hides what remains by decoding block k+1 while the
+// kernels chew block k, so the headline entry runs with prefetch ON —
+// the production default — with the synchronous path timed in an
+// interleaved A/B (best of three each) into Extra["prefetch_off_ns"]
+// for the overlap ratio. Overlap needs a spare core: at GOMAXPROCS = 1
+// the background read only runs when the consumer blocks, so
+// prefetch_speedup ≈ 1 there (read it next to the report's num_cpu).
+//
+// The run hard-fails unless the two paths are equivalent in every way
+// that matters: bit-identical RELAX weights (selection_match — read-
+// ahead must change decode timing, never arithmetic) and identical
+// decode traffic measured by a dataset.CountingSource sitting BELOW the
+// prefetcher (decode_sweeps — the forward-sweep prediction must never
+// read a window the solver doesn't then consume). Also recorded: the
+// total CG iteration count and the per-column path's
+// cg_iterations + (4·probes+1) sweep estimate.
+func relaxStreamBench(setup *streamSetup) (entry, error) {
 	const probes = 10
 	counting := dataset.NewCountingSource(setup.src)
-	pool := hessian.NewStream(counting, setup.probs, 0)
-	p := firal.NewProblem(setup.labeled, pool)
 	opts := firal.RelaxOptions{
 		FixedIterations: 1, Probes: probes, CGTol: 0.1, CGMaxIter: 8, Seed: 13,
 	}
-	// One measured warm-up solve: maps the shard pages, fills the scratch
-	// pools, and counts the decode sweeps the steady state repeats.
-	warm, err := firal.RelaxFast(context.Background(), p, 10, opts)
-	if err != nil {
-		return entry{}, err
+	ctx := context.Background()
+
+	// Both problem stacks sit on the same CountingSource, so every sample
+	// — synchronous or prefetched — counts its decode traffic for free;
+	// the prefetched stack adds WithPrefetch, the production composition
+	// hook, ABOVE the counter so asynchronous reads land on the counted
+	// ReadRows exactly like synchronous ones.
+	pOff := firal.NewProblem(setup.labeled, hessian.NewStream(counting, setup.probs, 0))
+	pOn := firal.NewProblem(setup.labeled,
+		hessian.NewStream(dataset.WithPrefetch(ctx, counting, 0), setup.probs, 0))
+	sample := func(p *firal.Problem) (*firal.RelaxResult, float64, float64, error) {
+		counting.Reset()
+		t0 := time.Now()
+		r, err := firal.RelaxFast(ctx, p, 10, opts)
+		return r, float64(time.Since(t0).Nanoseconds()), counting.Sweeps(), err
 	}
-	counting.Reset()
-	if _, err := firal.RelaxFast(context.Background(), p, 10, opts); err != nil {
-		return entry{}, err
-	}
-	sweeps := counting.Sweeps()
-	e := run("relax_stream_n1e6_d64", func(b *testing.B) {
-		for i := 0; i < b.N; i++ {
-			if _, err := firal.RelaxFast(context.Background(), p, 10, opts); err != nil {
-				b.Fatal(err)
+
+	// The paths alternate (A/B) and each keeps its best of three, so a
+	// machine-load swing hits both paths instead of whichever ran second
+	// and the cold first pass (page mapping, scratch-pool fill) never
+	// decides either figure. The first prefetched sample is checked
+	// against the synchronous result — weights bit for bit, sweeps
+	// exactly equal (later samples are identical by determinism: same
+	// seed, same arithmetic).
+	var off, on *firal.RelaxResult
+	offNs, onNs, offSweeps := math.Inf(1), math.Inf(1), 0.0
+	for round := 0; round < 3; round++ {
+		r, ns, sweeps, err := sample(pOff)
+		if err != nil {
+			return entry{}, err
+		}
+		if round == 0 {
+			off, offSweeps = r, sweeps
+		}
+		offNs = math.Min(offNs, ns)
+
+		r, ns, sweeps, err = sample(pOn)
+		if err != nil {
+			return entry{}, err
+		}
+		if round == 0 {
+			on = r
+		}
+		onNs = math.Min(onNs, ns)
+		if round > 0 {
+			continue
+		}
+		for i := range off.Z {
+			if math.Float64bits(on.Z[i]) != math.Float64bits(off.Z[i]) {
+				return entry{}, fmt.Errorf("prefetched RELAX diverges from the synchronous path: z[%d] = %x vs %x",
+					i, math.Float64bits(on.Z[i]), math.Float64bits(off.Z[i]))
 			}
 		}
-	})
-	e.Extra = map[string]float64{
-		"decode_sweeps":            sweeps,
-		"cg_iterations":            float64(warm.CGIterations),
-		"per_column_sweeps_legacy": float64(warm.CGIterations + (4*probes+1)*warm.Iterations),
+		if sweeps != offSweeps {
+			return entry{}, fmt.Errorf("prefetch changed the decode traffic: %.2f sweeps vs %.2f synchronous",
+				sweeps, offSweeps)
+		}
 	}
+
+	// The headline entry is the best prefetched pass: at 1 s benchtime a
+	// ~9 s op gets a single testing.Benchmark iteration anyway, and the
+	// min-of-3 from the A/B loop is the more noise-robust figure — the
+	// off/on minima are directly comparable by construction.
+	e := entry{Name: "relax_stream_n1e6_d64", NsPerOp: onNs}
+	fmt.Printf("%-28s %14.0f ns/op %8d allocs/op\n", e.Name, e.NsPerOp, e.AllocsPerOp)
+	e.Extra = map[string]float64{
+		"decode_sweeps":            offSweeps,
+		"cg_iterations":            float64(on.CGIterations),
+		"per_column_sweeps_legacy": float64(on.CGIterations + (4*probes+1)*on.Iterations),
+		"prefetch_off_ns":          offNs,
+		"prefetch_speedup":         offNs / onNs,
+		"selection_match":          1,
+	}
+	fmt.Printf("%-28s prefetch off %12.0f ns/op (%.2fx overlap gain, %.0f sweeps both paths)\n",
+		"", offNs, offNs/onNs, offSweeps)
 	return e, nil
 }
 

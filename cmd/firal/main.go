@@ -71,6 +71,7 @@ func main() {
 		demo      = flag.Bool("demo", false, "ignore -pool/-labeled and run a built-in synthetic demo")
 		shards    = flag.String("shards", "", "comma-separated float32 shard files: stream-select one batch from an out-of-core pool")
 		blockRows = flag.Int("block", 0, "streaming row-block size (0 = default)")
+		prefetch  = flag.Bool("prefetch", true, "overlap shard decode with compute via async block read-ahead (selections are identical either way; dist-firal ranks always prefetch)")
 		pack      = flag.String("pack", "", "write the -pool CSV (features only) to this shard file and exit")
 	)
 	flag.Parse()
@@ -86,6 +87,7 @@ func main() {
 			shards: strings.Split(*shards, ","), labeled: *labPath, labelCol: *labelCol,
 			selector: *selName, ranks: *ranks, budget: *budget, block: *blockRows,
 			seed: *seed, probes: *probes, cgtol: *cgtol, relaxIters: *relaxIt, workers: *workers,
+			prefetch: *prefetch,
 		}); err != nil {
 			log.Fatal(err)
 		}

@@ -68,6 +68,7 @@ type streamConfig struct {
 	cgtol      float64
 	relaxIters int
 	workers    int
+	prefetch   bool
 }
 
 // streamSelect runs one Approx-FIRAL batch selection over a pool served
@@ -179,7 +180,19 @@ func streamSelect(cfg streamConfig) error {
 		}
 		picked = selected[0]
 	} else {
-		pool := hessian.NewStream(src, reduced, cfg.block)
+		// -prefetch (default on) overlaps each block's float32 decode with
+		// the previous block's solver kernels; selections are bit-identical
+		// either way, so the flag exists only to measure the overlap and to
+		// fall back if a platform misbehaves. The prefetcher's Close closes
+		// src too — harmless next to the defer above (shard Close is
+		// idempotent), and it guarantees the in-flight read is drained
+		// before the mapping goes away.
+		var swept dataset.PoolSource = src
+		if cfg.prefetch {
+			swept = dataset.WithPrefetch(ctx, swept, cfg.block)
+			defer swept.Close()
+		}
+		pool := hessian.NewStream(swept, reduced, cfg.block)
 		p := firal.NewProblem(labeled, pool)
 		res, err := firal.SelectApprox(ctx, p, cfg.budget, firal.Options{Relax: relax})
 		if err != nil {

@@ -105,8 +105,13 @@ func main() {
 	// ❹ Select through the block-streaming solver path. hessian.NewStream
 	// implements the same Pool contract as a resident set, so RELAX and
 	// ROUND run unchanged — their kernels just iterate shard blocks.
+	// dataset.WithPrefetch decodes block k+1 asynchronously while the
+	// kernels chew block k; selections are bit-identical with or without
+	// it (this demo pool fits one block, so the hook returns src as-is).
 	labeled := hessian.NewSet(labX, hessian.ReduceProbs(softmax.Probabilities(nil, labX, model.Theta)))
-	pool := hessian.NewStream(src, reduced, blockRows)
+	swept := dataset.WithPrefetch(context.Background(), src, blockRows)
+	defer swept.Close()
+	pool := hessian.NewStream(swept, reduced, blockRows)
 	problem := firal.NewProblem(labeled, pool)
 	res, err := firal.SelectApprox(context.Background(), problem, budget, firal.Options{
 		Relax: firal.RelaxOptions{Seed: 1, MaxIter: 20}, // capped so the demo stays snappy

@@ -8,6 +8,14 @@
 // labeled/pool/eval split sizes, the same imbalance ratios, and the same
 // per-round budgets — preserving exactly the structure the selectors
 // interact with. See DESIGN.md § 3 for the substitution argument.
+//
+// The package also defines the out-of-core pool abstraction the
+// streaming solvers consume: PoolSource and its implementations
+// (MatrixSource, ShardSource, CSVSource, LiveSource, plus the Subrange,
+// TombstoneView, and CountingSource wrappers), and PrefetchSource /
+// WithPrefetch, the async block read-ahead layer that overlaps shard
+// decode with kernel compute. The streaming and prefetch contracts are
+// specified in ARCHITECTURE.md § Contract 3.
 package dataset
 
 import (

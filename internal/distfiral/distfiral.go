@@ -97,15 +97,18 @@ func MakeShard(labeled, pool *hessian.Set, size, rank int) *Shard {
 }
 
 // MakeStreamShard cuts rank's partition out of a streamed global pool:
-// the rank-local pool is a hessian.Stream over a Subrange view of src, so
-// nothing is materialized — every rank reads its contiguous row window of
-// the shared source (safe: dataset sources support concurrent ReadRows)
-// and indexes its slice of the replicated probability matrix. blockRows ≤
-// 0 selects the default block granularity.
+// the rank-local pool is a hessian.Stream over a prefetched Subrange view
+// of src, so nothing is materialized — every rank reads its contiguous
+// row window of the shared source (safe: dataset sources support
+// concurrent ReadRows) and indexes its slice of the replicated
+// probability matrix, with each rank's next block decoding under the
+// current block's kernels (dataset.WithPrefetch; resident sources skip
+// the wrapper). blockRows ≤ 0 selects the default block granularity.
 func MakeStreamShard(labeled *hessian.Set, src dataset.PoolSource, probs *mat.Dense, blockRows, size, rank int) *Shard {
 	n := src.NumRows()
 	lo, hi := mpi.Partition(n, size, rank)
-	local := hessian.NewStream(dataset.Subrange(src, lo, hi), probs.RowSlice(lo, hi), blockRows)
+	view := dataset.WithPrefetch(nil, dataset.Subrange(src, lo, hi), blockRows)
+	local := hessian.NewStream(view, probs.RowSlice(lo, hi), blockRows)
 	return &Shard{
 		Labeled:    labeled,
 		PoolLocal:  local,

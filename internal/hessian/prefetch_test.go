@@ -1,0 +1,159 @@
+package hessian
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/mat"
+	"repro/internal/parallel"
+	"repro/internal/rnd"
+)
+
+// prefetchedStream serves a Set's features through a PrefetchSource, the
+// async read-ahead path. The CountingSource underneath hides the
+// Resident fast path, so reads flow through the same decode machinery an
+// out-of-core shard would use; wrapping forces the lender route in
+// Stream regardless of pool size.
+func prefetchedStream(s *Set, blockRows int) (*Stream, *dataset.CountingSource) {
+	counting := dataset.NewCountingSource(dataset.NewMatrixSource(s.X))
+	p := dataset.NewPrefetchSource(context.Background(), counting, blockRows)
+	return NewStream(p, s.H, blockRows), counting
+}
+
+// TestPrefetchedKernelsBitIdentical pins the tentpole's transparency at
+// the kernel level: every blocked engine — the multi-RHS Lemma-2 matvec,
+// the gradient accumulation, and the Gram block sum — produces
+// bit-for-bit identical results whether the blocks arrive through
+// synchronous workspace decode or the asynchronous lend handoff, across
+// ragged block sizes.
+func TestPrefetchedKernelsBitIdentical(t *testing.T) {
+	set := allocSet(397, 13, 5) // 397 prime: ragged against every block size
+	w := make([]float64, set.N())
+	for i := range w {
+		w[i] = 0.1 + float64(i%9)/9
+	}
+	const s = 4
+	vt, _ := blockVectors(set.Ed(), s, 31)
+	ut, _ := blockVectors(set.Ed(), s, 32)
+
+	for _, bs := range []int{32, 100, 396} {
+		sync := NewStream(dataset.NewCountingSource(dataset.NewMatrixSource(set.X)), set.H, bs)
+		pre, _ := prefetchedStream(set, bs)
+		ws1, ws2 := mat.NewWorkspace(), mat.NewWorkspace()
+
+		wantMV, gotMV := mat.NewDense(s, set.Ed()), mat.NewDense(s, set.Ed())
+		MatVecBlockWS(ws1, sync, wantMV, vt, w)
+		MatVecBlockWS(ws2, pre, gotMV, vt, w)
+		for i := range wantMV.Data {
+			if math.Float64bits(gotMV.Data[i]) != math.Float64bits(wantMV.Data[i]) {
+				t.Fatalf("bs=%d: MatVecBlock[%d] = %g prefetched, %g sync", bs, i, gotMV.Data[i], wantMV.Data[i])
+			}
+		}
+
+		wantQ, gotQ := make([]float64, set.N()), make([]float64, set.N())
+		QuadAccumBlockWS(ws1, sync, wantQ, ut, vt, -0.5)
+		QuadAccumBlockWS(ws2, pre, gotQ, ut, vt, -0.5)
+		for i := range wantQ {
+			if math.Float64bits(gotQ[i]) != math.Float64bits(wantQ[i]) {
+				t.Fatalf("bs=%d: QuadAccum[%d] = %g prefetched, %g sync", bs, i, gotQ[i], wantQ[i])
+			}
+		}
+
+		wantG := sync.BlockDiagSumInto(ws1, nil, w)
+		gotG := pre.BlockDiagSumInto(ws2, nil, w)
+		for k := range wantG {
+			for i := range wantG[k].Data {
+				if math.Float64bits(gotG[k].Data[i]) != math.Float64bits(wantG[k].Data[i]) {
+					t.Fatalf("bs=%d: Gram block %d[%d] = %g prefetched, %g sync",
+						bs, k, i, gotG[k].Data[i], wantG[k].Data[i])
+				}
+			}
+		}
+	}
+}
+
+// TestPrefetchedDeltaSweepBitIdentical covers the windowed consumer:
+// BlockDiagAccumRange sweeps arbitrary [lo, hi) windows whose starts are
+// misaligned with the pipeline's predictions, so the prefetcher serves
+// its miss path mid-stream — results must still match the synchronous
+// sweep bit for bit.
+func TestPrefetchedDeltaSweepBitIdentical(t *testing.T) {
+	set := allocSet(397, 11, 4)
+	const bs = 48
+	sync := NewStream(dataset.NewCountingSource(dataset.NewMatrixSource(set.X)), set.H, bs)
+	pre, _ := prefetchedStream(set, bs)
+	ws1, ws2 := mat.NewWorkspace(), mat.NewWorkspace()
+	c := set.C()
+	want := make([]*mat.Dense, c)
+	got := make([]*mat.Dense, c)
+	for k := 0; k < c; k++ {
+		want[k] = mat.NewDense(set.D(), set.D())
+		got[k] = mat.NewDense(set.D(), set.D())
+	}
+	for _, win := range [][2]int{{0, 397}, {13, 250}, {250, 397}, {40, 41}, {96, 397}} {
+		BlockDiagAccumRange(ws1, sync, want, nil, win[0], win[1], 1)
+		BlockDiagAccumRange(ws2, pre, got, nil, win[0], win[1], 1)
+		for k := 0; k < c; k++ {
+			for i := range want[k].Data {
+				if math.Float64bits(got[k].Data[i]) != math.Float64bits(want[k].Data[i]) {
+					t.Fatalf("window [%d, %d): block %d[%d] = %g prefetched, %g sync",
+						win[0], win[1], k, i, got[k].Data[i], want[k].Data[i])
+				}
+			}
+		}
+	}
+}
+
+// TestPrefetchedStreamZeroAllocMulticore pins the standing 0-alloc
+// contract on the new path: with four workers engaged and warm state, a
+// full prefetched sweep through each blocked kernel — including the
+// asynchronous read-ahead spawned per block — allocates nothing. Named
+// *Alloc* for the CI alloc-multicore job.
+func TestPrefetchedStreamZeroAllocMulticore(t *testing.T) {
+	skipUnderRace(t)
+	prev := parallel.SetMaxWorkers(4)
+	defer parallel.SetMaxWorkers(prev)
+	set := allocSet(2000, 24, 5)
+	const bs = 256
+	pre, _ := prefetchedStream(set, bs)
+	ws := mat.NewWorkspace()
+	const s = 3
+	vt, _ := blockVectors(set.Ed(), s, 41)
+	ut, _ := blockVectors(set.Ed(), s, 42)
+	dstMV := mat.NewDense(s, set.Ed())
+	dstQ := make([]float64, set.N())
+	w := make([]float64, set.N())
+	mat.Fill(w, 0.5)
+	var grams []*mat.Dense
+	sweep := func() {
+		MatVecBlockWS(ws, pre, dstMV, vt, w)
+		QuadAccumBlockWS(ws, pre, dstQ, ut, vt, -0.1)
+		grams = pre.BlockDiagSumInto(ws, grams, w)
+	}
+	sweep() // size the double buffer, workspace scratch, and Gram storage
+	sweep()
+	if allocs := testing.AllocsPerRun(30, sweep); allocs != 0 {
+		t.Fatalf("warm prefetched kernel sweep allocates %.1f objects per pass at 4 workers", allocs)
+	}
+}
+
+// TestPrefetchedStreamRowFetch pins the Row passthrough: single-row
+// fetches through a prefetched stream (the ROUND winner's feature row)
+// return exact bytes without disturbing an ongoing sweep's pipeline.
+func TestPrefetchedStreamRowFetch(t *testing.T) {
+	set := allocSet(300, 9, 4)
+	pre, _ := prefetchedStream(set, 64)
+	buf := make([]float64, set.D())
+	rng := rnd.New(17)
+	for k := 0; k < 20; k++ {
+		i := int(rng.Float64() * float64(set.N()))
+		row := pre.Row(i, buf)
+		for j, v := range row {
+			if math.Float64bits(v) != math.Float64bits(set.X.At(i, j)) {
+				t.Fatalf("row %d col %d = %g, want %g", i, j, v, set.X.At(i, j))
+			}
+		}
+	}
+}

@@ -97,7 +97,8 @@ func (s *Set) PutBlock(ws *mat.Workspace, b *mat.Dense) {
 // ReadRows is concurrency-safe (all dataset sources are).
 type Stream struct {
 	src       dataset.PoolSource
-	res       dataset.Resident // non-nil: zero-copy fast path
+	res       dataset.Resident    // non-nil: zero-copy fast path
+	lend      dataset.BlockLender // non-nil: prefetching zero-copy handoff
 	h         *mat.Dense
 	blockRows int
 }
@@ -114,7 +115,8 @@ func NewStream(src dataset.PoolSource, probs *mat.Dense, blockRows int) *Stream 
 		blockRows = dataset.DefaultBlockRows
 	}
 	res, _ := src.(dataset.Resident)
-	return &Stream{src: src, res: res, h: probs, blockRows: blockRows}
+	lend, _ := src.(dataset.BlockLender)
+	return &Stream{src: src, res: res, lend: lend, h: probs, blockRows: blockRows}
 }
 
 // Source returns the underlying PoolSource.
@@ -154,11 +156,21 @@ func (st *Stream) Row(i int, buf []float64) []float64 {
 	return buf[:d]
 }
 
-// Block returns rows [lo, hi): a zero-copy view for resident sources,
-// otherwise decoded into workspace scratch.
+// Block returns rows [lo, hi): a zero-copy view for resident sources, a
+// borrowed prefetch buffer for lending sources (dataset.BlockLender —
+// the async read-ahead path, where the block's decode already ran under
+// the previous block's kernels), otherwise decoded into workspace
+// scratch.
 func (st *Stream) Block(ws *mat.Workspace, lo, hi int) *mat.Dense {
 	if st.res != nil {
 		return ws.View(st.res.ResidentRows(lo, hi), hi-lo, st.D())
+	}
+	if st.lend != nil {
+		b, err := st.lend.LendBlock(lo, hi)
+		if err != nil {
+			panic(fmt.Sprintf("hessian: pool source read failed: %v", err))
+		}
+		return b
 	}
 	b := ws.Matrix(hi-lo, st.D())
 	if err := st.src.ReadRows(lo, hi, b); err != nil {
@@ -167,10 +179,15 @@ func (st *Stream) Block(ws *mat.Workspace, lo, hi int) *mat.Dense {
 	return b
 }
 
-// PutBlock releases a block obtained from Block.
+// PutBlock releases a block obtained from Block. For a lending source
+// this is what frees a prefetch buffer for the next read-ahead, so the
+// blocked engines' lend-compute-return rhythm must hold (it does: every
+// consumer releases block k before requesting block k+1).
 func (st *Stream) PutBlock(ws *mat.Workspace, b *mat.Dense) {
 	if st.res != nil {
 		ws.PutView(b)
+	} else if st.lend != nil {
+		st.lend.ReturnBlock(b)
 	} else {
 		ws.PutMatrix(b)
 	}

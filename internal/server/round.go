@@ -264,7 +264,17 @@ func (s *Server) selectOnce(ctx context.Context, sess *Session, rm *RoundMeta) (
 			}
 		}
 		labeled := hessian.NewSet(labM, hessian.ReduceProbs(softmax.Probabilities(nil, labM, model.Theta)))
-		pool := hessian.NewStream(src, reduced, blockRows)
+		// The sweep source is a pinned [0, meta.Rows) view of the session's
+		// live pool wrapped in block read-ahead: while the solver kernels
+		// chew block k, block k+1 is already decoding. The Subrange both
+		// pins the round's row count and makes the prefetcher's Close a
+		// no-op chain — the session's LiveSource outlives the round.
+		// Cancelling the round stops further read-ahead; the solver exits
+		// at its next ctx poll and the deferred Close drains whatever read
+		// is still in flight.
+		swept := dataset.WithPrefetch(ctx, dataset.Subrange(src, 0, meta.Rows), blockRows)
+		defer swept.Close()
+		pool := hessian.NewStream(swept, reduced, blockRows)
 		res, err := firal.SelectApprox(ctx, firal.NewProblem(labeled, pool), rm.Budget,
 			firal.Options{Relax: relax, Exclude: exclude})
 		if err != nil {

@@ -565,6 +565,64 @@ func TestNoGoroutineLeak(t *testing.T) {
 	}
 }
 
+// TestNoGoroutineLeakPrefetchedRound extends the leak pin to the
+// prefetched Approx-FIRAL sweep: with a block size far below the pool
+// the round's selection runs through dataset.WithPrefetch, so every
+// solver sweep keeps an asynchronous shard read in flight. Both a round
+// allowed to finish and a round cancelled mid-sweep by session delete
+// must drain those reads and return the process to its original
+// goroutine count.
+func TestNoGoroutineLeakPrefetchedRound(t *testing.T) {
+	shard, labX, labY := testPool(t, t.TempDir(), 400, 6, 3, 52)
+	before := runtime.NumGoroutine()
+
+	srv, err := New(Config{DataDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(srv.Handler())
+	a := &api{t: t, base: hs.URL}
+
+	// Round 1 runs to completion through the prefetched sweep path.
+	var sv sessionView
+	a.must(http.StatusCreated, "POST", "/v1/sessions", &createRequest{
+		Shards: []string{shard}, Labeled: labeledUpload{X: labX, Y: labY},
+		Selector: "Approx-FIRAL", Probes: 3, FixedRelaxIters: 2, BlockRows: 32, Seed: 3,
+	}, &sv)
+	a.must(http.StatusAccepted, "POST", "/v1/sessions/"+sv.ID+"/rounds", &roundRequest{Budget: 3}, nil)
+	if rv := a.waitRound(sv.ID, 1, 30*time.Second); rv.Status != RoundDone {
+		t.Fatalf("round 1 ended %s: %s", rv.Status, rv.Error)
+	}
+	a.must(http.StatusNoContent, "DELETE", "/v1/sessions/"+sv.ID, nil, nil)
+
+	// Round 2 is torn down mid-flight: many mirror-descent iterations keep
+	// the sweep busy while the delete cancels the round context, which the
+	// prefetcher must answer by draining its in-flight read.
+	a.must(http.StatusCreated, "POST", "/v1/sessions", &createRequest{
+		Shards: []string{shard}, Labeled: labeledUpload{X: labX, Y: labY},
+		Selector: "Approx-FIRAL", Probes: 4, FixedRelaxIters: 50, BlockRows: 32, Seed: 4,
+	}, &sv)
+	a.must(http.StatusAccepted, "POST", "/v1/sessions/"+sv.ID+"/rounds", &roundRequest{Budget: 3}, nil)
+	time.Sleep(20 * time.Millisecond) // let the sweep get going
+	a.must(http.StatusNoContent, "DELETE", "/v1/sessions/"+sv.ID, nil, nil)
+
+	hs.Close()
+	srv.Close()
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		runtime.GC()
+		if after := runtime.NumGoroutine(); after <= before+2 {
+			return
+		} else if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			t.Fatalf("goroutines %d → %d after prefetched rounds\n%s",
+				before, runtime.NumGoroutine(), buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
 // TestMultiTenantThroughput is the scaling acceptance check: 8 tenants
 // running their rounds through a concurrency-4 server must finish within
 // 2× the wall-clock of the same 8 rounds run strictly one at a time —
