@@ -33,6 +33,16 @@
 //	firal -pack pool.shard -pool pool.csv             # CSV → shard file
 //	firal -shards pool.shard -labeled seed.csv -budget 10
 //	firal -shards a.shard,b.shard -labeled seed.csv -select dist-firal -ranks 4
+//
+// Multi-process selection: with -transport tcp each OS process is one
+// rank of the distributed solver. Rank 0 listens on the -peers address
+// and every process announces its -rank; selections are bit-identical to
+// the in-process -ranks run over the same shards. With -op-timeout the
+// run also survives rank failures (survivors agree on the dead set,
+// re-shard, and resume from the last checkpoint). See examples/distributed.
+//
+//	firal -shards pool.shard -labeled seed.csv -select dist-firal \
+//	      -transport tcp -peers host:9907 -ranks 3 -rank $R -op-timeout 5s
 package main
 
 import (
@@ -70,6 +80,12 @@ func main() {
 		asCSV     = flag.Bool("csv", false, "emit per-round results as CSV")
 		demo      = flag.Bool("demo", false, "ignore -pool/-labeled and run a built-in synthetic demo")
 		shards    = flag.String("shards", "", "comma-separated float32 shard files: stream-select one batch from an out-of-core pool")
+		transport = flag.String("transport", "inproc", "dist-firal transport: inproc (goroutine ranks) or tcp (one OS process per rank)")
+		rank      = flag.Int("rank", 0, "this process's rank with -transport tcp (-ranks is the world size)")
+		peers     = flag.String("peers", "", "rendezvous host:port with -transport tcp (rank 0 listens there, everyone else dials)")
+		chunk     = flag.Int("chunk", 0, "allreduce pipeline chunk in float64 elements (0 = unchunked; results are bit-identical)")
+		opTimeout = flag.Duration("op-timeout", 0, "per-operation timeout enabling rank-failure recovery (0 = wait forever)")
+		killAfter = flag.Int("kill-after", 0, "test hook: crash this process after N collective steps (0 = off)")
 		blockRows = flag.Int("block", 0, "streaming row-block size (0 = default)")
 		prefetch  = flag.Bool("prefetch", true, "overlap shard decode with compute via async block read-ahead (selections are identical either way; dist-firal ranks always prefetch)")
 		pack      = flag.String("pack", "", "write the -pool CSV (features only) to this shard file and exit")
@@ -87,7 +103,9 @@ func main() {
 			shards: strings.Split(*shards, ","), labeled: *labPath, labelCol: *labelCol,
 			selector: *selName, ranks: *ranks, budget: *budget, block: *blockRows,
 			seed: *seed, probes: *probes, cgtol: *cgtol, relaxIters: *relaxIt, workers: *workers,
-			prefetch: *prefetch,
+			prefetch:  *prefetch,
+			transport: *transport, rank: *rank, peers: *peers, chunk: *chunk,
+			opTimeout: *opTimeout, killAfter: *killAfter,
 		}); err != nil {
 			log.Fatal(err)
 		}

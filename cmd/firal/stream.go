@@ -1,9 +1,12 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"os"
 	"strings"
+	"sync"
 	"time"
 
 	pub "repro"
@@ -69,6 +72,15 @@ type streamConfig struct {
 	relaxIters int
 	workers    int
 	prefetch   bool
+
+	// Real-network mode (-transport tcp): this process is rank `rank` of
+	// a `ranks`-wide world bootstrapped through the `peers` rendezvous.
+	transport string
+	rank      int
+	peers     string
+	chunk     int
+	opTimeout time.Duration
+	killAfter int
 }
 
 // streamSelect runs one Approx-FIRAL batch selection over a pool served
@@ -164,11 +176,18 @@ func streamSelect(cfg streamConfig) error {
 	defer cancel()
 	t0 = time.Now()
 	var picked []int
-	if name == "Dist-FIRAL" {
+	switch {
+	case name == "Dist-FIRAL" && cfg.transport == "tcp":
+		picked, err = tcpSelect(ctx, cfg, labeled, src, reduced, relax)
+		if err != nil {
+			return err
+		}
+	case name == "Dist-FIRAL":
 		ranks := max(cfg.ranks, 1)
 		selected := make([][]int, ranks)
 		errs := make([]error, ranks)
 		mpi.Run(ranks, func(c *mpi.Comm) {
+			c.SetChunk(cfg.chunk)
 			sh := distfiral.MakeStreamShard(labeled, src, reduced, cfg.block, ranks, c.Rank())
 			sel, _, _, err := distfiral.Select(ctx, c, sh, cfg.budget, 0, relax)
 			selected[c.Rank()], errs[c.Rank()] = sel, err
@@ -179,7 +198,7 @@ func streamSelect(cfg streamConfig) error {
 			}
 		}
 		picked = selected[0]
-	} else {
+	default:
 		// -prefetch (default on) overlaps each block's float32 decode with
 		// the previous block's solver kernels; selections are bit-identical
 		// either way, so the flag exists only to measure the overlap and to
@@ -205,4 +224,88 @@ func streamSelect(cfg streamConfig) error {
 		fmt.Println(i)
 	}
 	return nil
+}
+
+// tcpSelect runs this process as one rank of a real-network distributed
+// selection: bootstrap through the rendezvous address (rank 0 listens,
+// everyone else dials), then run the same distfiral solve as the
+// in-process path — selections are bit-identical by construction. With
+// -op-timeout set the run is resilient: a crashed rank is detected by
+// deadline, the survivors agree on the dead set, re-shard the pool, and
+// resume from the last global checkpoint.
+func tcpSelect(ctx context.Context, cfg streamConfig, labeled *hessian.Set, src dataset.PoolSource, reduced *mat.Dense, relax firal.RelaxOptions) ([]int, error) {
+	if cfg.peers == "" {
+		return nil, fmt.Errorf("-transport tcp needs -peers host:port (the rendezvous address)")
+	}
+	if cfg.rank < 0 || cfg.rank >= cfg.ranks {
+		return nil, fmt.Errorf("-rank %d outside the %d-rank world", cfg.rank, cfg.ranks)
+	}
+	bctx, cancel := context.WithTimeout(ctx, time.Minute)
+	defer cancel()
+	log.Printf("rank %d/%d: bootstrapping via %s", cfg.rank, cfg.ranks, cfg.peers)
+	tr, err := mpi.ConnectTCP(bctx, cfg.peers, cfg.rank, cfg.ranks)
+	if err != nil {
+		return nil, fmt.Errorf("tcp bootstrap: %w", err)
+	}
+	defer tr.Close()
+	if cfg.killAfter > 0 {
+		tr = &killTransport{Transport: tr, after: cfg.killAfter}
+	}
+	c := mpi.NewComm(tr)
+	c.SetChunk(cfg.chunk)
+
+	if cfg.opTimeout > 0 {
+		c.SetOpTimeout(cfg.opTimeout)
+		mk := func(size, rank int) (*distfiral.Shard, error) {
+			return distfiral.MakeStreamShard(labeled, src, reduced, cfg.block, size, rank), nil
+		}
+		res, err := distfiral.SelectResilient(ctx, c, mk, cfg.budget, 0, relax)
+		if err != nil {
+			return nil, err
+		}
+		if len(res.LostRanks) > 0 {
+			log.Printf("rank %d/%d: recovered from lost rank(s) %v after %d heal(s)",
+				res.Rank, res.Size, res.LostRanks, len(res.ResumePoints))
+		}
+		return res.Selected, nil
+	}
+	sh := distfiral.MakeStreamShard(labeled, src, reduced, cfg.block, cfg.ranks, cfg.rank)
+	sel, _, _, err := distfiral.Select(ctx, c, sh, cfg.budget, 0, relax)
+	return sel, err
+}
+
+// killTransport is the -kill-after test hook: it crash-stops the process
+// (os.Exit, no cleanup — exactly what a killed rank looks like to its
+// peers) once its endpoint has participated in the configured number of
+// collective steps. Collective tags are negative and change per step, so
+// counting distinct ones counts collectives.
+type killTransport struct {
+	mpi.Transport
+	mu      sync.Mutex
+	after   int
+	seen    int
+	lastTag int
+}
+
+func (k *killTransport) step(tag int) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if tag < 0 && tag != k.lastTag {
+		k.lastTag = tag
+		k.seen++
+	}
+	if k.seen > k.after {
+		log.Printf("rank %d: -kill-after %d reached, crashing", k.Transport.Rank(), k.after)
+		os.Exit(3)
+	}
+}
+
+func (k *killTransport) Send(dst, tag int, data []float64, deadline time.Time) error {
+	k.step(tag)
+	return k.Transport.Send(dst, tag, data, deadline)
+}
+
+func (k *killTransport) Recv(src, tag int, deadline time.Time) ([]float64, error) {
+	k.step(tag)
+	return k.Transport.Recv(src, tag, deadline)
 }

@@ -43,6 +43,7 @@ func run() error {
 	checkpointEvery := flag.Int("checkpoint-every", 1, "checkpoint RELAX state every k mirror-descent iterations")
 	block := flag.Int("block", 0, "streaming row-block size (0 = library default)")
 	maxResident := flag.Int64("max-resident", 1<<30, "byte cap on resident-pool materialization (Exact-FIRAL, K-Means)")
+	ranks := flag.Int("ranks", 0, "in-process ranks per Dist-FIRAL round (0 = Dist-FIRAL not servable)")
 	drain := flag.Duration("drain-timeout", 10*time.Second, "grace period for in-flight HTTP requests on shutdown")
 	flag.Parse()
 	if *data == "" {
@@ -56,6 +57,7 @@ func run() error {
 		CheckpointEvery:  *checkpointEvery,
 		BlockRows:        *block,
 		MaxResidentBytes: *maxResident,
+		Ranks:            *ranks,
 		Logf:             log.Printf,
 	})
 	if err != nil {

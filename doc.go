@@ -92,6 +92,25 @@
 // bit-for-bit. See ARCHITECTURE.md § Service layer and examples/service
 // for the API walkthrough.
 //
+// # Distributed transport
+//
+// The message-passing collectives under internal/mpi are written against
+// a pluggable Transport (tagged point-to-point send/recv with
+// deadlines): the in-process mailbox world behind mpi.Run, and a
+// length-prefixed TCP transport with rendezvous bootstrap for real
+// multi-process runs (cmd/firal -transport tcp -peers host:port
+// -ranks p -rank r). Allreduces optionally run as a chunked pipeline
+// (Comm.SetChunk) that overlaps transfer with local reduction while
+// staying bit-identical to the unchunked schedule. With an operation
+// timeout set, a dead rank surfaces as mpi.ErrRankLost; survivors agree
+// on the dead set (Comm.Heal), and distfiral.SelectResilient re-shards
+// the survivors and resumes the interrupted RELAX iteration from the
+// last globally-agreed checkpoint, reproducing bit-for-bit what a fresh
+// run at the reduced rank count would select. A transport conformance
+// suite (internal/mpi/mpitest) and fault-injection tests pin the
+// contract; see ARCHITECTURE.md § Distributed transport and
+// examples/distributed.
+//
 // # Incremental pools
 //
 // Pools are mutable between rounds and round t+1 costs what changed:

@@ -14,6 +14,7 @@ package distfiral
 
 import (
 	"context"
+	"fmt"
 	"math"
 
 	"repro/internal/dataset"
@@ -283,7 +284,17 @@ func ctxErr(ctx context.Context) error {
 // Relax runs the distributed fast RELAX (Algorithm 2 over MPI).
 // Cancellation is detected collectively once per mirror-descent
 // iteration; all ranks abort together with the context error.
-func Relax(ctx context.Context, c *mpi.Comm, s *Shard, b int, o firal.RelaxOptions) (*RelaxResult, error) {
+//
+// o.OnIteration and o.Resume work as in the serial solver, with global
+// checkpoints: each completed iteration allgathers the full simplex
+// iterate so every rank holds an identical RelaxCheckpoint that can be
+// resumed under a different rank count (the pool is re-sliced by this
+// rank's Partition window). Because the checkpoint gather is a
+// collective, OnIteration must be set on all ranks or on none. A lost
+// rank surfaces as an error satisfying errors.Is(err, mpi.ErrRankLost);
+// see SelectResilient for the heal-reshard-resume loop.
+func Relax(ctx context.Context, c *mpi.Comm, s *Shard, b int, o firal.RelaxOptions) (res *RelaxResult, err error) {
+	defer mpi.RecoverLost(&err)
 	// Mirror the serial option defaults.
 	if o.MaxIter <= 0 {
 		o.MaxIter = 100
@@ -310,11 +321,35 @@ func Relax(ctx context.Context, c *mpi.Comm, s *Shard, b int, o firal.RelaxOptio
 	ed := s.Ed()
 	nLocal := s.PoolLocal.N()
 	nGlobal := s.PoolTotal
-	res := &RelaxResult{Timings: timing.New()}
+	res = &RelaxResult{Timings: timing.New()}
 	ph := res.Timings
 
 	z := make([]float64, nLocal)
 	mat.Fill(z, 1/float64(nGlobal))
+
+	// Resume from a global checkpoint: slice the replicated simplex
+	// iterate by this rank's pool window — the rank count may differ from
+	// the run that produced the checkpoint (that is the point: survivors
+	// re-shard after a rank loss and continue).
+	start := 1
+	if o.Resume != nil {
+		if len(o.Resume.Z) != nGlobal {
+			return nil, fmt.Errorf("%w: checkpoint has %d weights, global pool has %d",
+				firal.ErrBadCheckpoint, len(o.Resume.Z), nGlobal)
+		}
+		copy(z, o.Resume.Z[s.PoolOffset:s.PoolOffset+nLocal])
+		start = o.Resume.Iteration + 1
+		res.Iterations = o.Resume.Iteration
+		res.CGIterations = o.Resume.CGIterations
+		if o.Resume.Done {
+			// Mirror descent already finished; only the b· scaling of
+			// line 12 remains. The caller re-runs ROUND on the restored
+			// final iterate.
+			res.ZLocal = z
+			mat.Scal(float64(b), res.ZLocal)
+			return res, nil
+		}
+	}
 
 	// Rank 0 owns the probe stream; with the same seed it draws exactly
 	// the probe sequence of the serial solver, so serial and distributed
@@ -337,6 +372,19 @@ func Relax(ctx context.Context, c *mpi.Comm, s *Shard, b int, o firal.RelaxOptio
 	hpw := mat.NewDense(o.Probes, ed)
 	w2 := mat.NewDense(o.Probes, ed)
 	var fHist []float64
+	if o.Resume != nil {
+		// Restore the objective history so convergence decisions replay
+		// identically, and fast-forward rank 0's probe stream: iteration t
+		// of the resumed run must see exactly the Rademacher block
+		// iteration t of the uninterrupted run saw — regardless of the
+		// rank count either run used, since only rank 0 draws.
+		fHist = append(fHist, o.Resume.FHist...)
+		if c.Rank() == 0 {
+			for t := 1; t < start; t++ {
+				rng.Rademacher(v.Data)
+			}
+		}
+	}
 	var cgRes []krylov.Result // reused across iterations by SolveBlockInto
 	cgOpt := krylov.Options{Tol: o.CGTol, MaxIter: o.CGMaxIter, Workspace: ws}
 	sigMV := s.sigmaMatVecBlock(c, z, ph) // reads z live; z is updated in place
@@ -344,7 +392,7 @@ func Relax(ctx context.Context, c *mpi.Comm, s *Shard, b int, o firal.RelaxOptio
 	bp := s.precond()
 	applyPrec := krylov.BlockOp(bp.ApplyBlock)
 
-	for t := 1; t <= o.MaxIter; t++ {
+	for t := start; t <= o.MaxIter; t++ {
 		if collectiveCancelled(ctx, c, ph) {
 			return nil, ctxErr(ctx)
 		}
@@ -447,11 +495,30 @@ func Relax(ctx context.Context, c *mpi.Comm, s *Shard, b int, o firal.RelaxOptio
 		if o.RecordObjective {
 			res.Objectives = append(res.Objectives, f)
 		}
+		if o.OnIteration != nil {
+			// Global checkpoint: allgather the full simplex iterate so the
+			// checkpoint resumes under any rank count. This is a collective
+			// — OnIteration must be set on all ranks or on none.
+			stop = ph.Start("comm")
+			zGlob, _ := c.Allgatherv(z)
+			stop()
+			ck := firal.RelaxCheckpoint{Iteration: t, Z: zGlob, FHist: fHist, CGIterations: res.CGIterations}
+			o.OnIteration(&ck)
+		}
 		// f is identical on every rank, so the windowed stop fires in
 		// lockstep.
 		if o.FixedIterations == 0 && firal.StochasticConverged(fHist, o.ObjTol) {
 			break
 		}
+	}
+	if o.OnIteration != nil {
+		// Final Done checkpoint: a caller interrupted during the ROUND
+		// phase resumes with mirror descent skipped.
+		stop := ph.Start("comm")
+		zGlob, _ := c.Allgatherv(z)
+		stop()
+		ck := firal.RelaxCheckpoint{Iteration: res.Iterations, Done: true, Z: zGlob, FHist: fHist, CGIterations: res.CGIterations}
+		o.OnIteration(&ck)
 	}
 
 	res.ZLocal = z

@@ -24,12 +24,19 @@ type RoundResult struct {
 // every rank keeps the replicated O(cd²) block state, scores its local
 // pool partition, and the per-round argmax, winner broadcast, and
 // eigenvalue allgather follow § III-C. zLocal is this rank's slice of z⋄.
-// Cancellation is detected collectively once per selected candidate.
-func Round(ctx context.Context, c *mpi.Comm, s *Shard, zLocal []float64, b int, eta float64) (*RoundResult, error) {
+// Cancellation is detected collectively once per selected candidate. A
+// lost rank surfaces as an error satisfying errors.Is(err,
+// mpi.ErrRankLost); see SelectResilient for the heal-reshard-resume loop.
+//
+// exclude lists global pool indices the step must not select (tombstones
+// from earlier selection rounds, mirroring firal.Options.Exclude); it
+// must be identical on every rank.
+func Round(ctx context.Context, c *mpi.Comm, s *Shard, zLocal []float64, b int, eta float64, exclude ...int) (res *RoundResult, err error) {
+	defer mpi.RecoverLost(&err)
 	if eta <= 0 {
 		eta = 8 * math.Sqrt(float64(s.Ed()))
 	}
-	res := &RoundResult{Timings: timing.New()}
+	res = &RoundResult{Timings: timing.New()}
 	ph := res.Timings
 	d, cc := s.D(), s.C()
 
@@ -48,7 +55,12 @@ func Round(ctx context.Context, c *mpi.Comm, s *Shard, zLocal []float64, b int, 
 
 	nLocal := s.PoolLocal.N()
 	scores := make([]float64, nLocal)
-	selectedLocal := make(map[int]bool, b)
+	selectedLocal := make(map[int]bool, b+len(exclude))
+	for _, gi := range exclude {
+		if li := gi - s.PoolOffset; li >= 0 && li < nLocal {
+			selectedLocal[li] = true
+		}
+	}
 	probsLocal := s.PoolLocal.Probs()
 	rowBuf := make([]float64, d)
 	// Winner broadcast buffer: x (d), h (c), global index (1).

@@ -1,0 +1,70 @@
+package mpi
+
+import "time"
+
+// localWorld is the in-process transport group: one matcher per rank,
+// deposits are deep copies, delivery is immediate. It reproduces the
+// original goroutine-mailbox semantics bit for bit — same matching, same
+// FIFO order per (src, tag), same deep-copy-on-send guarantee — just
+// behind the Transport seam the TCP implementation also satisfies.
+type localWorld struct {
+	ms []*matcher
+}
+
+// localTransport is one rank's endpoint of a localWorld.
+type localTransport struct {
+	w    *localWorld
+	rank int
+}
+
+// NewLocalWorld creates the in-process transport group used by Run: p
+// endpoints whose sends deposit deep copies directly into the receiving
+// rank's matcher. Sends never block and, with a zero deadline, recvs
+// wait forever — exactly the pre-Transport mailbox behavior.
+func NewLocalWorld(p int) []Transport {
+	if p <= 0 {
+		panic("mpi: non-positive rank count")
+	}
+	w := &localWorld{ms: make([]*matcher, p)}
+	for i := range w.ms {
+		w.ms[i] = newMatcher()
+	}
+	ts := make([]Transport, p)
+	for r := range ts {
+		ts[r] = &localTransport{w: w, rank: r}
+	}
+	return ts
+}
+
+func (t *localTransport) Rank() int { return t.rank }
+func (t *localTransport) Size() int { return len(t.w.ms) }
+
+func (t *localTransport) Send(dst, tag int, data []float64, deadline time.Time) error {
+	if dst == t.rank {
+		panic("mpi: send to self")
+	}
+	if err := t.w.ms[t.rank].closedErr(); err != nil {
+		return err
+	}
+	cp := make([]float64, len(data))
+	copy(cp, data)
+	t.w.ms[dst].deposit(t.rank, tag, cp)
+	return nil
+}
+
+func (t *localTransport) Recv(src, tag int, deadline time.Time) ([]float64, error) {
+	return t.w.ms[t.rank].recv(src, tag, deadline)
+}
+
+// Close withdraws the rank from the group: peers see it as lost.
+func (t *localTransport) Close() error {
+	err := &LostError{Rank: t.rank, Op: "conn"}
+	for r, m := range t.w.ms {
+		if r == t.rank {
+			m.close(err)
+		} else {
+			m.markDead(t.rank, err)
+		}
+	}
+	return nil
+}

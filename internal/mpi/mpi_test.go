@@ -14,9 +14,15 @@ var ranksToTest = []int{1, 2, 3, 4, 5, 6, 7, 8, 12, 13}
 func TestSendRecv(t *testing.T) {
 	Run(2, func(c *Comm) {
 		if c.Rank() == 0 {
-			c.Send(1, 7, []float64{1, 2, 3})
+			if err := c.Send(1, 7, []float64{1, 2, 3}); err != nil {
+				t.Errorf("send: %v", err)
+			}
 		} else {
-			got := c.Recv(0, 7)
+			got, err := c.Recv(0, 7)
+			if err != nil {
+				t.Errorf("recv: %v", err)
+				return
+			}
 			if len(got) != 3 || got[2] != 3 {
 				t.Errorf("bad payload %v", got)
 			}
@@ -28,12 +34,18 @@ func TestSendCopiesData(t *testing.T) {
 	Run(2, func(c *Comm) {
 		if c.Rank() == 0 {
 			buf := []float64{1}
-			c.Send(1, 0, buf)
+			if err := c.Send(1, 0, buf); err != nil {
+				t.Errorf("send: %v", err)
+			}
 			buf[0] = 99 // must not affect receiver
 			c.Barrier()
 		} else {
 			c.Barrier()
-			got := c.Recv(0, 0)
+			got, err := c.Recv(0, 0)
+			if err != nil {
+				t.Errorf("recv: %v", err)
+				return
+			}
 			if got[0] != 1 {
 				t.Errorf("send aliased sender buffer: %v", got)
 			}
@@ -44,15 +56,22 @@ func TestSendCopiesData(t *testing.T) {
 func TestRecvOutOfOrderTags(t *testing.T) {
 	Run(2, func(c *Comm) {
 		if c.Rank() == 0 {
-			c.Send(1, 1, []float64{1})
-			c.Send(1, 2, []float64{2})
+			for tag, v := range map[int]float64{1: 1, 2: 2} {
+				if err := c.Send(1, tag, []float64{v}); err != nil {
+					t.Errorf("send tag %d: %v", tag, err)
+				}
+			}
 		} else {
 			// Receive in reverse tag order.
-			if got := c.Recv(0, 2); got[0] != 2 {
-				t.Errorf("tag 2 payload %v", got)
-			}
-			if got := c.Recv(0, 1); got[0] != 1 {
-				t.Errorf("tag 1 payload %v", got)
+			for _, tag := range []int{2, 1} {
+				got, err := c.Recv(0, tag)
+				if err != nil {
+					t.Errorf("recv tag %d: %v", tag, err)
+					return
+				}
+				if got[0] != float64(tag) {
+					t.Errorf("tag %d payload %v", tag, got)
+				}
 			}
 		}
 	})

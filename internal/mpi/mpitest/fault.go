@@ -1,0 +1,144 @@
+package mpitest
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"repro/internal/mpi"
+)
+
+// FaultKind selects what happens to the victim once the fault fires.
+type FaultKind int
+
+const (
+	// FaultKill crash-stops the victim: its own operations fail with
+	// ErrVictimKilled (so the rank's goroutine exits its SPMD body) and
+	// nothing it sends is delivered. Survivors observe silence, time out,
+	// and agree the victim dead.
+	FaultKill FaultKind = iota
+	// FaultPartition cuts the victim off in both directions but leaves
+	// it running: survivors heal to a (p−1)-group while the victim times
+	// out on everyone and heals to a group of one (the split-brain
+	// outcome the agreement doc warns about).
+	FaultPartition
+	// FaultDelay holds the victim's outgoing messages for Delay before
+	// delivery. With Delay below the operation timeout nothing is lost —
+	// the false-positive guard: selections must match the fault-free run.
+	FaultDelay
+)
+
+// ErrVictimKilled is what the killed rank itself observes — deliberately
+// not an ErrRankLost, so a victim cannot mistake its own death for a
+// peer's and try to heal.
+var ErrVictimKilled = errors.New("mpitest: rank killed by fault plan")
+
+// FaultPlan schedules one fault: Victim suffers Kind at the moment its
+// own endpoint has seen AfterCollectives distinct collective operations
+// begin (collective tags are negative and strictly decreasing per
+// epoch, so distinct tags count collective steps). Zero means
+// immediately.
+type FaultPlan struct {
+	Victim           int
+	Kind             FaultKind
+	AfterCollectives int
+	Delay            time.Duration
+
+	mu      sync.Mutex
+	seen    int
+	lastTag int
+	fired   bool
+}
+
+// step observes a tag passing through the victim's endpoint and reports
+// whether the fault is active.
+func (p *FaultPlan) step(tag int) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if tag < 0 && tag != p.lastTag {
+		p.lastTag = tag
+		p.seen++
+	}
+	if !p.fired && p.seen > p.AfterCollectives {
+		p.fired = true
+	}
+	return p.fired
+}
+
+func (p *FaultPlan) active() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.fired
+}
+
+// Wrap applies the plan to a transport group: the victim's endpoint is
+// wrapped so the fault triggers at the chosen collective step, and —
+// for Kill and Partition — the other endpoints stop exchanging with the
+// victim too (matching a real network, where both directions die).
+func (p *FaultPlan) Wrap(ts []mpi.Transport) []mpi.Transport {
+	out := make([]mpi.Transport, len(ts))
+	for r, t := range ts {
+		out[r] = &faultTransport{Transport: t, plan: p}
+	}
+	return out
+}
+
+// faultTransport injects the plan's fault around a single endpoint.
+type faultTransport struct {
+	mpi.Transport
+	plan *FaultPlan
+}
+
+// blockedPair reports whether traffic between this endpoint and peer is
+// cut by the active fault.
+func (f *faultTransport) blockedPair(peer int) bool {
+	me := f.Transport.Rank()
+	victim := f.plan.Victim
+	switch f.plan.Kind {
+	case FaultKill, FaultPartition:
+		return me == victim || peer == victim
+	default:
+		return false
+	}
+}
+
+func (f *faultTransport) Send(dst, tag int, data []float64, deadline time.Time) error {
+	me := f.Transport.Rank()
+	fired := f.plan.active()
+	if me == f.plan.Victim {
+		fired = f.plan.step(tag)
+	}
+	if !fired || !f.blockedPair(dst) {
+		if fired && f.plan.Kind == FaultDelay && me == f.plan.Victim {
+			time.Sleep(f.plan.Delay)
+		}
+		return f.Transport.Send(dst, tag, data, deadline)
+	}
+	if me == f.plan.Victim && f.plan.Kind == FaultKill {
+		return ErrVictimKilled
+	}
+	// Partition (either side) and survivor→victim sends vanish silently,
+	// like packets into a dead host.
+	return nil
+}
+
+func (f *faultTransport) Recv(src, tag int, deadline time.Time) ([]float64, error) {
+	me := f.Transport.Rank()
+	fired := f.plan.active()
+	if me == f.plan.Victim {
+		fired = f.plan.step(tag)
+	}
+	if !fired || !f.blockedPair(src) {
+		return f.Transport.Recv(src, tag, deadline)
+	}
+	if me == f.plan.Victim && f.plan.Kind == FaultKill {
+		return nil, ErrVictimKilled
+	}
+	// The pair is cut: messages deposited before the fault must not be
+	// seen either, so just run out the deadline like a silent peer.
+	if deadline.IsZero() {
+		select {} // no deadline, no fault recovery: hang like a real loss
+	}
+	time.Sleep(time.Until(deadline))
+	return nil, &mpi.LostError{Rank: src, Tag: tag, Op: "recv"}
+}

@@ -4,16 +4,19 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"os"
 	"time"
 
 	pub "repro"
 	"repro/internal/baselines"
 	"repro/internal/dataset"
+	"repro/internal/distfiral"
 	"repro/internal/firal"
 	"repro/internal/hessian"
 	"repro/internal/logreg"
 	"repro/internal/mat"
+	"repro/internal/mpi"
 	"repro/internal/parallel"
 	"repro/internal/rnd"
 	"repro/internal/softmax"
@@ -188,33 +191,10 @@ func (s *Server) selectOnce(ctx context.Context, sess *Session, rm *RoundMeta) (
 
 	switch meta.Selector {
 	case "Approx-FIRAL":
-		// Probability pass. The labeled set only grows, so an unchanged
-		// labeled count means the identical training matrix and (training
-		// being deterministic) the identical model — the previous round's
-		// probabilities are still exact, and only rows appended to the
-		// pool since then need the model applied. This is what makes a
-		// round after a small pool append cost O(Δn·d) here instead of
-		// O(n·d).
-		var reduced *mat.Dense
-		switch {
-		case cachedProbs != nil && cachedLabeled == nLab && cachedProbs.Rows == meta.Rows:
-			reduced = cachedProbs
-		case cachedProbs != nil && cachedLabeled == nLab && cachedProbs.Rows < meta.Rows:
-			reduced = mat.NewDense(meta.Rows, meta.Classes-1)
-			copy(reduced.Data[:cachedProbs.Rows*reduced.Cols], cachedProbs.Data)
-			if err := streamProbsRange(src, model, meta.Classes, blockRows, true, cachedProbs.Rows, meta.Rows, reduced); err != nil {
-				return nil, err
-			}
-			s.cfg.Logf("session %s: round %d probability pass over %d appended rows (of %d)",
-				meta.ID, rm.Round, meta.Rows-cachedProbs.Rows, meta.Rows)
-		default:
-			if reduced, err = streamProbs(src, model, meta.Classes, blockRows, true); err != nil {
-				return nil, err
-			}
+		reduced, err := s.roundProbs(sess, meta, rm.Round, src, model, nLab, blockRows, cachedProbs, cachedLabeled)
+		if err != nil {
+			return nil, err
 		}
-		sess.mu.Lock()
-		sess.probs, sess.probsLabeled = reduced, nLab
-		sess.mu.Unlock()
 
 		relax := firal.RelaxOptions{
 			MaxIter:         meta.RelaxIters,
@@ -286,6 +266,85 @@ func (s *Server) selectOnce(ctx context.Context, sess *Session, rm *RoundMeta) (
 		out.cgIters = res.Relax.CGIterations
 		return out, nil
 
+	case "Dist-FIRAL":
+		// In-process distributed rounds: Config.Ranks goroutine ranks run
+		// the § III-C solver over stream shards of the pinned pool view.
+		// RELAX checkpoints are global (rank-count independent) and share
+		// the serial format, so an interrupted dist round resumes like an
+		// Approx one — even if the server restarts with a different -ranks.
+		reduced, err := s.roundProbs(sess, meta, rm.Round, src, model, nLab, blockRows, cachedProbs, cachedLabeled)
+		if err != nil {
+			return nil, err
+		}
+		relax := firal.RelaxOptions{
+			MaxIter:         meta.RelaxIters,
+			FixedIterations: meta.FixedRelaxIters,
+			Probes:          meta.Probes,
+			CGTol:           meta.CGTol,
+			Seed:            seed,
+		}
+		if round, ck, err := readCheckpoint(checkpointPath(sess.dir)); err == nil && round == rm.Round {
+			relax.Resume = ck
+			sess.mu.Lock()
+			sess.progress = roundProgress{RelaxIteration: ck.Iteration, RelaxDone: ck.Done, CGIterations: ck.CGIterations}
+			sess.mu.Unlock()
+			s.cfg.Logf("session %s: round %d resuming RELAX from iteration %d (done=%v)",
+				meta.ID, rm.Round, ck.Iteration, ck.Done)
+		} else if err == nil {
+			os.Remove(checkpointPath(sess.dir)) // stale: belongs to another round
+		}
+		every := s.cfg.CheckpointEvery
+		labeled := hessian.NewSet(labM, hessian.ReduceProbs(softmax.Probabilities(nil, labM, model.Theta)))
+		pinned := dataset.Subrange(src, 0, meta.Rows)
+		ranks := s.cfg.Ranks
+		type rankOut struct {
+			sel                 []int
+			relaxIters, cgIters int
+			err                 error
+		}
+		outs := make([]rankOut, ranks)
+		mpi.Run(ranks, func(c *mpi.Comm) {
+			ro := relax
+			writer := c.Rank() == 0
+			// The checkpoint gather is a collective, so the hook must be
+			// set on every rank; only rank 0 touches disk and progress.
+			ro.OnIteration = func(ck *firal.RelaxCheckpoint) {
+				if !writer {
+					return
+				}
+				sess.mu.Lock()
+				sess.progress = roundProgress{RelaxIteration: ck.Iteration, RelaxDone: ck.Done, CGIterations: ck.CGIterations}
+				sess.mu.Unlock()
+				if ck.Done || ck.Iteration%every == 0 {
+					if err := writeCheckpoint(checkpointPath(sess.dir), rm.Round, ck); err != nil {
+						s.cfg.Logf("session %s: round %d checkpoint: %v", meta.ID, rm.Round, err)
+					}
+				}
+			}
+			sh := distfiral.MakeStreamShard(labeled, pinned, reduced, blockRows, ranks, c.Rank())
+			rres, rerr := distfiral.Relax(ctx, c, sh, rm.Budget, ro)
+			if rerr != nil {
+				outs[c.Rank()].err = rerr
+				return
+			}
+			rd, rerr := distfiral.Round(ctx, c, sh, rres.ZLocal, rm.Budget, 0, exclude...)
+			if rerr != nil {
+				outs[c.Rank()].err = rerr
+				return
+			}
+			outs[c.Rank()] = rankOut{sel: rd.Selected, relaxIters: rres.Iterations, cgIters: rres.CGIterations}
+		})
+		for _, ro := range outs {
+			if ro.err != nil {
+				return nil, ro.err
+			}
+		}
+		out.selected = outs[0].sel
+		out.eta = 8 * math.Sqrt(float64(meta.Dim*(meta.Classes-1)))
+		out.relaxIters = outs[0].relaxIters
+		out.cgIters = outs[0].cgIters
+		return out, nil
+
 	case "Exact-FIRAL":
 		x, err := s.resident(src)
 		if err != nil {
@@ -348,6 +407,38 @@ func (s *Server) selectOnce(ctx context.Context, sess *Session, rm *RoundMeta) (
 		return out, nil
 	}
 	return nil, fmt.Errorf("selector %s is not servable", meta.Selector)
+}
+
+// roundProbs computes the round's reduced probability matrix and caches
+// it on the session. The labeled set only grows, so an unchanged labeled
+// count means the identical training matrix and (training being
+// deterministic) the identical model — the previous round's probabilities
+// are still exact, and only rows appended to the pool since then need the
+// model applied. This is what makes a round after a small pool append
+// cost O(Δn·d) here instead of O(n·d).
+func (s *Server) roundProbs(sess *Session, meta sessionMeta, round int, src dataset.PoolSource, model *logreg.Model, nLab, blockRows int, cachedProbs *mat.Dense, cachedLabeled int) (*mat.Dense, error) {
+	var reduced *mat.Dense
+	switch {
+	case cachedProbs != nil && cachedLabeled == nLab && cachedProbs.Rows == meta.Rows:
+		reduced = cachedProbs
+	case cachedProbs != nil && cachedLabeled == nLab && cachedProbs.Rows < meta.Rows:
+		reduced = mat.NewDense(meta.Rows, meta.Classes-1)
+		copy(reduced.Data[:cachedProbs.Rows*reduced.Cols], cachedProbs.Data)
+		if err := streamProbsRange(src, model, meta.Classes, blockRows, true, cachedProbs.Rows, meta.Rows, reduced); err != nil {
+			return nil, err
+		}
+		s.cfg.Logf("session %s: round %d probability pass over %d appended rows (of %d)",
+			meta.ID, round, meta.Rows-cachedProbs.Rows, meta.Rows)
+	default:
+		var err error
+		if reduced, err = streamProbs(src, model, meta.Classes, blockRows, true); err != nil {
+			return nil, err
+		}
+	}
+	sess.mu.Lock()
+	sess.probs, sess.probsLabeled = reduced, nLab
+	sess.mu.Unlock()
+	return reduced, nil
 }
 
 // streamProbs sweeps the pool once under the trained model. With reduce

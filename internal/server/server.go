@@ -39,6 +39,10 @@ type Config struct {
 	// MaxResidentBytes caps pool materialization for selectors that need
 	// a resident pool (Exact-FIRAL, K-Means). Default 1 GiB.
 	MaxResidentBytes int64
+	// Ranks enables the Dist-FIRAL selector with that many in-process
+	// ranks per round (goroutine ranks over stream shards of the session
+	// pool). Zero (the default) keeps Dist-FIRAL unservable.
+	Ranks int
 	// Logf receives operational log lines; nil discards them.
 	Logf func(format string, args ...any)
 }
@@ -227,7 +231,7 @@ func (s *Server) createSession(req *createRequest) (*Session, error) {
 			return nil, fmt.Errorf("server: labeled.y[%d] = %d out of range [0, %d)", i, y, classes)
 		}
 	}
-	selector, err := servableSelector(req.Selector)
+	selector, err := servableSelector(req.Selector, s.cfg.Ranks)
 	if err != nil {
 		return nil, err
 	}
@@ -525,7 +529,9 @@ func (s *Server) resident(src dataset.PoolSource) (*mat.Dense, error) {
 // servableSelector resolves name through the selector registry and
 // rejects strategies the service cannot run, with the full registry list
 // in the error — the service-side counterpart of `firal -select help`.
-func servableSelector(name string) (string, error) {
+// Dist-FIRAL is servable only when the server was configured with ranks
+// (firald -ranks), since a round then runs that many in-process ranks.
+func servableSelector(name string, ranks int) (string, error) {
 	if name == "" {
 		return "Approx-FIRAL", nil
 	}
@@ -534,8 +540,8 @@ func servableSelector(name string) (string, error) {
 		return "", fmt.Errorf("server: unknown selector %q (registered: %s)",
 			name, strings.Join(pub.Names(), ", "))
 	}
-	if canonical == "Dist-FIRAL" {
-		return "", fmt.Errorf("server: selector %s simulates distributed ranks in-process and is not servable; use Approx-FIRAL", canonical)
+	if canonical == "Dist-FIRAL" && ranks <= 0 {
+		return "", fmt.Errorf("server: selector %s needs the server started with -ranks (in-process rank count); use Approx-FIRAL or restart firald with -ranks", canonical)
 	}
 	return canonical, nil
 }

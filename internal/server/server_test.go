@@ -229,7 +229,7 @@ func TestCreateValidation(t *testing.T) {
 		want string
 	}{
 		{"unknown selector", createRequest{Shards: []string{shard}, Labeled: lab, Selector: "gradient-boost"}, "Approx-FIRAL"},
-		{"dist not servable", createRequest{Shards: []string{shard}, Labeled: lab, Selector: "dist"}, "not servable"},
+		{"dist needs ranks", createRequest{Shards: []string{shard}, Labeled: lab, Selector: "dist"}, "-ranks"},
 		{"no pool", createRequest{Labeled: lab}, "pool required"},
 		{"both pools", createRequest{Shards: []string{shard}, PoolCSV: "1,2,3,4\n", Labeled: lab}, "not both"},
 		{"no labels", createRequest{Shards: []string{shard}}, "labeled set required"},
@@ -674,5 +674,62 @@ func TestMultiTenantThroughput(t *testing.T) {
 	t.Logf("8 tenants: sequential %v, concurrent %v", sequential, concurrent)
 	if concurrent > 2*sequential {
 		t.Errorf("concurrent wall-clock %v exceeds 2× sequential %v", concurrent, sequential)
+	}
+}
+
+// TestDistFIRALRounds serves Dist-FIRAL when the server is configured
+// with in-process ranks: rounds complete, respect tombstones, and two
+// servers with the same rank count reproduce identical selections (the
+// distributed solver is deterministic at fixed geometry).
+func TestDistFIRALRounds(t *testing.T) {
+	shard, labX, labY := testPool(t, t.TempDir(), 200, 5, 3, 17)
+	runOnce := func() [][]int {
+		_, a := newTestServer(t, Config{Ranks: 3})
+		var sv sessionView
+		a.must(http.StatusCreated, "POST", "/v1/sessions", &createRequest{
+			Shards:          []string{shard},
+			Labeled:         labeledUpload{X: labX, Y: labY},
+			Seed:            9,
+			Selector:        "dist",
+			Probes:          4,
+			FixedRelaxIters: 3,
+		}, &sv)
+		if sv.Selector != "Dist-FIRAL" {
+			t.Fatalf("alias not canonicalized: %q", sv.Selector)
+		}
+		var sels [][]int
+		for round := 1; round <= 2; round++ {
+			a.must(http.StatusAccepted, "POST", "/v1/sessions/"+sv.ID+"/rounds", &roundRequest{Budget: 4}, nil)
+			if rv := a.waitRound(sv.ID, round, 60*time.Second); rv.Status != RoundDone {
+				t.Fatalf("dist round %d ended %s: %s", round, rv.Status, rv.Error)
+			}
+			var sel struct {
+				Selected []int `json:"selected"`
+			}
+			a.must(http.StatusOK, "GET", fmt.Sprintf("/v1/sessions/%s/rounds/%d/selected", sv.ID, round), nil, &sel)
+			if len(sel.Selected) != 4 {
+				t.Fatalf("dist round %d selected %d points, want 4", round, len(sel.Selected))
+			}
+			sels = append(sels, sel.Selected)
+		}
+		taken := map[int]bool{}
+		for _, sel := range sels {
+			for _, i := range sel {
+				if i < 0 || i >= 200 || taken[i] {
+					t.Fatalf("invalid or re-selected index %d across rounds %v", i, sels)
+				}
+				taken[i] = true
+			}
+		}
+		return sels
+	}
+	first := runOnce()
+	second := runOnce()
+	for r := range first {
+		for i := range first[r] {
+			if first[r][i] != second[r][i] {
+				t.Fatalf("round %d not reproducible: %v vs %v", r+1, first[r], second[r])
+			}
+		}
 	}
 }

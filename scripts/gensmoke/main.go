@@ -1,0 +1,67 @@
+// Command gensmoke writes a small synthetic pool and labeled seed as CSV
+// files for the CI dist-smoke script: pool.csv carries features plus a
+// trailing label column (cmd/firal -pack strips the label when packing
+// the shard), seed.csv is the initial labeled set in the same layout.
+// Deterministic for a fixed -seed, so every rank of the smoke run (and
+// its golden single-process reference) sees identical data.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/dataset"
+	"repro/internal/mat"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("gensmoke: ")
+	var (
+		poolPath = flag.String("pool", "pool.csv", "output CSV for the unlabeled pool")
+		seedPath = flag.String("labeled", "seed.csv", "output CSV for the labeled seed set")
+		n        = flag.Int("n", 240, "pool rows")
+		d        = flag.Int("d", 6, "feature dimension")
+		c        = flag.Int("c", 3, "classes")
+		perClass = flag.Int("init-per-class", 4, "labeled seed rows per class")
+		seed     = flag.Int64("seed", 5, "generator seed")
+	)
+	flag.Parse()
+
+	ds := dataset.Generate(dataset.Config{
+		Classes: *c, Dim: *d, PoolSize: *n, EvalSize: *c,
+		InitPerClass: *perClass, Rounds: 1, Budget: 1,
+	}, *seed)
+	if err := writeCSV(*poolPath, ds.PoolX, ds.PoolY); err != nil {
+		log.Fatal(err)
+	}
+	if err := writeCSV(*seedPath, ds.LabeledX, ds.LabeledY); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("wrote %s (%d×%d) and %s (%d×%d), %d classes",
+		*poolPath, ds.PoolX.Rows, *d, *seedPath, ds.LabeledX.Rows, *d, *c)
+}
+
+// writeCSV emits one row per point: features, then the integer label in
+// the last column (cmd/firal's default -labelcol -1 layout).
+func writeCSV(path string, x *mat.Dense, y []int) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(f)
+	for i := 0; i < x.Rows; i++ {
+		for _, v := range x.Row(i) {
+			fmt.Fprintf(w, "%.17g,", v)
+		}
+		fmt.Fprintf(w, "%d\n", y[i])
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
